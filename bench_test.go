@@ -1,0 +1,140 @@
+// Package shotgun's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation under `go test -bench`. Each benchmark
+// prints its table once (on the first iteration) and reports simulated
+// instructions per second, so `go test -bench=. -benchmem` reproduces the
+// full evaluation and characterizes simulator performance at once.
+//
+// Benchmarks run at a reduced scale by default so the whole suite
+// completes in minutes; cmd/shotgun-bench runs the same experiments at
+// full scale.
+package shotgun_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"shotgun/internal/btb"
+	"shotgun/internal/harness"
+	"shotgun/internal/sim"
+	"shotgun/internal/stats"
+)
+
+// benchScale balances fidelity and suite runtime.
+func benchScale() harness.Scale {
+	return harness.Scale{WarmupInstr: 600_000, MeasureInstr: 900_000, Samples: 1}
+}
+
+var (
+	runnerOnce sync.Once
+	runner     *harness.Runner
+)
+
+func sharedRunner() *harness.Runner {
+	runnerOnce.Do(func() { runner = harness.NewRunner(benchScale()) })
+	return runner
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var exp harness.Experiment
+	for _, e := range harness.Experiments() {
+		if e.ID == id {
+			exp = e
+			break
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		out := exp.Run(r)
+		if i == 0 {
+			fmt.Println(out)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (BTB MPKI without prefetching).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (Confluence/Boomerang/Ideal).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure3 regenerates Figure 3 (region spatial locality).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFigure4 regenerates Figure 4 (branch working-set coverage).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFigure6 regenerates Figure 6 (stall-cycle coverage).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates Figure 7 (speedups).
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates Figure 8 (footprint-variant coverage).
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFigure9 regenerates Figure 9 (footprint-variant speedup).
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates Figure 10 (prefetch accuracy).
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFigure11 regenerates Figure 11 (L1-D fill latency).
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFigure12 regenerates Figure 12 (C-BTB sensitivity).
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFigure13 regenerates Figure 13 (BTB budget sensitivity).
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkAblationNoRIB quantifies the RIB's value (Section 4.2.1):
+// Shotgun with a dedicated RIB vs returns burning full U-BTB entries at
+// the same storage budget, on the two highest-BTB-pressure workloads.
+func BenchmarkAblationNoRIB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := stats.NewTable("Ablation: dedicated RIB vs returns in U-BTB (equal storage)",
+			"Workload", "with-RIB", "no-RIB")
+		for _, wl := range []string{"Oracle", "DB2"} {
+			base := sharedRunner().Run(sim.Config{Workload: wl, Mechanism: sim.None})
+			with := sharedRunner().Run(sim.Config{Workload: wl, Mechanism: sim.Shotgun})
+			sizes, err := btb.ShotgunSizesNoRIB(2048)
+			if err != nil {
+				b.Fatal(err)
+			}
+			without := sharedRunner().Run(sim.Config{
+				Workload: wl, Mechanism: sim.Shotgun, ShotgunSizes: &sizes,
+			})
+			t.AddF(wl, "%.3f", with.Speedup(base), without.Speedup(base))
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+// BenchmarkAblationRDIP compares RDIP (Section 4.3's closest related
+// work: RAS-context L1-I prefetching, no BTB prefilling) against
+// Boomerang and Shotgun.
+func BenchmarkAblationRDIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := stats.NewTable("Ablation: RDIP vs BTB-directed prefetchers (speedup over no-prefetch)",
+			"Workload", "rdip", "boomerang", "shotgun")
+		for _, wl := range []string{"Apache", "Oracle", "DB2"} {
+			base := sharedRunner().Run(sim.Config{Workload: wl, Mechanism: sim.None})
+			var cells []float64
+			for _, m := range []sim.Mechanism{sim.RDIP, sim.Boomerang, sim.Shotgun} {
+				res := sharedRunner().Run(sim.Config{Workload: wl, Mechanism: m})
+				cells = append(cells, res.Speedup(base))
+			}
+			t.AddF(wl, "%.3f", cells...)
+		}
+		if i == 0 {
+			fmt.Println(t.String())
+		}
+	}
+}

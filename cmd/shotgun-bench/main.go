@@ -1,0 +1,67 @@
+// Command shotgun-bench regenerates every table and figure of the
+// paper's evaluation and prints them in order.
+//
+// Usage:
+//
+//	shotgun-bench                 # run everything at full scale
+//	shotgun-bench -quick          # short smoke-scale run
+//	shotgun-bench -only fig7,fig9 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"shotgun/internal/harness"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run at smoke-test scale")
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := harness.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	scale := harness.FullScale()
+	if *quick {
+		scale = harness.QuickScale()
+	}
+	runner := harness.NewRunner(scale)
+
+	start := time.Now()
+	ran := 0
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		t0 := time.Now()
+		out := e.Run(runner)
+		fmt.Println(out)
+		fmt.Printf("[%s done in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only; use -list")
+		os.Exit(2)
+	}
+	fmt.Printf("all experiments done in %.1fs\n", time.Since(start).Seconds())
+}

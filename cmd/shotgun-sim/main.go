@@ -1,0 +1,83 @@
+// Command shotgun-sim runs one simulation — a (workload, mechanism) pair
+// at a chosen BTB budget — and prints its statistics.
+//
+// Usage:
+//
+//	shotgun-sim -workload Oracle -mechanism shotgun -btb 2048 \
+//	    -warmup 2000000 -measure 3000000 -samples 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shotgun/internal/footprint"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/sim"
+	"shotgun/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
+		mech    = flag.String("mechanism", "shotgun", "mechanism: none, fdip, rdip, boomerang, confluence, shotgun, ideal")
+		btb     = flag.Int("btb", 2048, "conventional BTB entry budget")
+		warmup  = flag.Uint64("warmup", 2_000_000, "warmup instructions")
+		measure = flag.Uint64("measure", 3_000_000, "measured instructions")
+		samples = flag.Int("samples", 3, "measurement windows")
+		region  = flag.String("region", "vector", "shotgun region mode: vector, none, entire, 5blocks")
+		bits    = flag.Int("bits", 8, "footprint bit-vector width (8 or 32)")
+	)
+	flag.Parse()
+
+	cfg := sim.Config{
+		Workload:     *wl,
+		Mechanism:    sim.Mechanism(*mech),
+		BTBEntries:   *btb,
+		WarmupInstr:  *warmup,
+		MeasureInstr: *measure,
+		Samples:      *samples,
+	}
+	switch *region {
+	case "vector":
+		cfg.RegionMode = prefetch.RegionVector
+	case "none":
+		cfg.RegionMode = prefetch.RegionNone
+	case "entire":
+		cfg.RegionMode = prefetch.RegionEntire
+	case "5blocks":
+		cfg.RegionMode = prefetch.RegionFiveBlocks
+	default:
+		fmt.Fprintf(os.Stderr, "unknown region mode %q\n", *region)
+		os.Exit(2)
+	}
+	if *bits == 32 {
+		cfg.Layout = footprint.Layout32
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cs := res.Core
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("mechanism           %s\n", res.Mechanism)
+	fmt.Printf("instructions        %d\n", cs.Instructions)
+	fmt.Printf("cycles              %d\n", cs.Cycles)
+	fmt.Printf("IPC                 %.4f\n", res.IPC())
+	fmt.Printf("front-end stalls    %d (%.1f%% of cycles)\n", cs.FrontEndStallCycles,
+		100*float64(cs.FrontEndStallCycles)/float64(cs.Cycles))
+	fmt.Printf("back-end stalls     %d (%.1f%% of cycles)\n", cs.BackEndStallCycles,
+		100*float64(cs.BackEndStallCycles)/float64(cs.Cycles))
+	fmt.Printf("BTB MPKI            %.2f\n", res.BTBMPKI())
+	fmt.Printf("L1-I MPKI           %.2f\n", res.L1IMPKI())
+	fmt.Printf("decode redirects    %d (%.2f MPKI)\n", cs.DecodeRedirects, cs.MPKI(cs.DecodeRedirects))
+	fmt.Printf("exec redirects      %d (%.2f MPKI)\n", cs.ExecRedirects, cs.MPKI(cs.ExecRedirects))
+	fmt.Printf("prefetches issued   %d\n", res.Hier.PrefetchesIssued)
+	fmt.Printf("prefetch accuracy   %.3f\n", res.PrefetchAccuracy)
+	fmt.Printf("L1-D fill cycles    %.1f\n", res.AvgDataFillCycles())
+}

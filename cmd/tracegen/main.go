@@ -1,0 +1,119 @@
+// Command tracegen generates, inspects, and summarizes on-disk workload
+// traces.
+//
+// Usage:
+//
+//	tracegen -workload Oracle -blocks 1000000 -out oracle.sgtr
+//	tracegen -inspect oracle.sgtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"shotgun/internal/isa"
+	"shotgun/internal/trace"
+	"shotgun/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
+		blocks  = flag.Int("blocks", 1_000_000, "basic blocks to generate")
+		out     = flag.String("out", "", "output trace path (generation mode)")
+		inspect = flag.String("inspect", "", "trace path to summarize (inspection mode)")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *out != "":
+		if err := generate(*wl, *blocks, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -out (generate) or -inspect (summarize)")
+		os.Exit(2)
+	}
+}
+
+func generate(wl string, blocks int, path string) error {
+	prof, err := workload.Get(wl)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	w := prof.NewWalker()
+	for i := 0; i < blocks; i++ {
+		if err := tw.Write(w.Next()); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d blocks (%d instructions, %d requests) to %s (%.1f MB, %.2f B/block)\n",
+		blocks, w.Instructions, w.Requests, path,
+		float64(st.Size())/1e6, float64(st.Size())/float64(blocks))
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var blocks, instr uint64
+	kinds := map[isa.BranchKind]uint64{}
+	touched := map[isa.Addr]struct{}{}
+	for {
+		bb, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		blocks++
+		instr += uint64(bb.NumInstr)
+		kinds[bb.Kind]++
+		for _, cb := range bb.Blocks() {
+			touched[cb] = struct{}{}
+		}
+	}
+	fmt.Printf("blocks        %d\n", blocks)
+	fmt.Printf("instructions  %d\n", instr)
+	fmt.Printf("footprint     %d KB\n", len(touched)*isa.BlockBytes/1024)
+	for _, k := range []isa.BranchKind{isa.BranchCond, isa.BranchCall, isa.BranchRet,
+		isa.BranchJump, isa.BranchTrap, isa.BranchTrapRet, isa.BranchNone} {
+		if kinds[k] > 0 {
+			fmt.Printf("%-12s  %d (%.1f%%)\n", k, kinds[k], 100*float64(kinds[k])/float64(blocks))
+		}
+	}
+	return nil
+}

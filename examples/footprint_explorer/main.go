@@ -1,0 +1,73 @@
+// footprint_explorer: study the spatial locality of code regions (the
+// paper's Figure 3 insight) on a custom synthetic program, and show how
+// well different footprint encodings would capture it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"shotgun/internal/footprint"
+	"shotgun/internal/isa"
+	"shotgun/internal/program"
+	"shotgun/internal/workload"
+)
+
+func main() {
+	funcs := flag.Int("funcs", 400, "number of application functions")
+	fnBlocks := flag.Float64("fnblocks", 10, "median function size in basic blocks")
+	blocks := flag.Int("blocks", 300_000, "trace length in basic blocks")
+	flag.Parse()
+
+	prog := program.MustGenerate(program.GenParams{
+		NumAppFuncs:     *funcs,
+		NumKernelFuncs:  *funcs / 8,
+		FnBlocksLogMean: math.Log(*fnBlocks),
+	}, 7)
+	fmt.Printf("program: %d functions, %.0f KB code, %d static branches\n\n",
+		len(prog.Funcs), float64(prog.CodeBytes())/1024, prog.StaticBranches())
+
+	// Figure 3: where do region accesses land relative to the entry?
+	a := workload.Analyze(workload.NewWalker(prog, 1), *blocks)
+	cdf := a.RegionCDF()
+	fmt.Println("cumulative access probability vs block distance from region entry:")
+	for _, d := range []int{0, 1, 2, 3, 5, 8, 10, 16} {
+		bar := int(cdf[d] * 50)
+		fmt.Printf("  <=%2d  %5.1f%%  %s\n", d, 100*cdf[d], repeat('#', bar))
+	}
+
+	// How much of that locality does each encoding capture? Replay the
+	// trace through recorders and count dropped (non-encodable) accesses.
+	for _, layout := range []footprint.Layout{footprint.Layout8, footprint.Layout32} {
+		rec := footprint.NewRecorder(layout)
+		w := workload.NewWalker(prog, 1)
+		var commits uint64
+		var marked int
+		for i := 0; i < *blocks; i++ {
+			if c := rec.Observe(w.Next()); c != nil {
+				commits++
+				marked += c.Vector.PopCount()
+			}
+		}
+		total := float64(rec.Dropped) + float64(marked)
+		if total == 0 {
+			total = 1
+		}
+		fmt.Printf("\n%d-bit footprint (%d before / %d after): %d regions, "+
+			"%.2f blocks marked per region, %.1f%% of off-entry accesses beyond window",
+			layout.Bits(), layout.Before, layout.After, commits,
+			float64(marked)/float64(commits), 100*float64(rec.Dropped)/total)
+	}
+	fmt.Println()
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+var _ = isa.BlockBytes // keep the isa dependency explicit for readers

@@ -1,0 +1,39 @@
+// prefetcher_compare: a Figure 7-style head-to-head of every control-flow
+// delivery mechanism on one workload, printing speedup, stall coverage,
+// and the miss rates that explain them.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"shotgun/internal/sim"
+)
+
+func main() {
+	wl := flag.String("workload", "Oracle", "workload to compare on")
+	flag.Parse()
+
+	scale := sim.Config{
+		Workload:     *wl,
+		WarmupInstr:  800_000,
+		MeasureInstr: 1_200_000,
+		Samples:      2,
+	}
+
+	fmt.Printf("%-12s %-7s %-8s %-9s %-10s %-10s\n",
+		"mechanism", "IPC", "speedup", "coverage", "BTB MPKI", "L1-I MPKI")
+
+	var base sim.Result
+	for _, mech := range sim.Mechanisms() {
+		cfg := scale
+		cfg.Mechanism = mech
+		res := sim.MustRun(cfg)
+		if mech == sim.None {
+			base = res
+		}
+		fmt.Printf("%-12s %-7.3f %-8.3f %-9.3f %-10.2f %-10.2f\n",
+			mech, res.IPC(), res.Speedup(base), res.StallCoverage(base),
+			res.BTBMPKI(), res.L1IMPKI())
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: simulate one server workload under the no-prefetch
+// baseline and under Shotgun, and report the speedup — the smallest
+// useful use of the library.
+package main
+
+import (
+	"fmt"
+
+	"shotgun/internal/sim"
+)
+
+func main() {
+	base := sim.MustRun(sim.Config{
+		Workload:  "DB2",
+		Mechanism: sim.None,
+		// Short run so the example finishes in seconds; the reported
+		// experiments use longer windows (see cmd/shotgun-bench).
+		WarmupInstr:  500_000,
+		MeasureInstr: 1_000_000,
+		Samples:      2,
+	})
+	shotgun := sim.MustRun(sim.Config{
+		Workload:     "DB2",
+		Mechanism:    sim.Shotgun,
+		WarmupInstr:  500_000,
+		MeasureInstr: 1_000_000,
+		Samples:      2,
+	})
+
+	fmt.Printf("DB2 baseline:  IPC %.3f, BTB MPKI %.1f, L1-I MPKI %.1f\n",
+		base.IPC(), base.BTBMPKI(), base.L1IMPKI())
+	fmt.Printf("DB2 Shotgun:   IPC %.3f, BTB MPKI %.1f, L1-I MPKI %.1f\n",
+		shotgun.IPC(), shotgun.BTBMPKI(), shotgun.L1IMPKI())
+	fmt.Printf("speedup:       %.2fx\n", shotgun.Speedup(base))
+	fmt.Printf("stall covered: %.0f%%\n", 100*shotgun.StallCoverage(base))
+}

@@ -1,0 +1,216 @@
+package bpu
+
+import (
+	"testing"
+
+	"shotgun/internal/isa"
+	"shotgun/internal/xrand"
+)
+
+func TestTAGELearnsBias(t *testing.T) {
+	p := NewTAGE()
+	pc := isa.Addr(0x1000)
+	// Strongly taken branch: after warmup, prediction must be taken.
+	for i := 0; i < 100; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("did not learn always-taken branch")
+	}
+}
+
+func TestTAGELearnsPattern(t *testing.T) {
+	p := NewTAGE()
+	pc := isa.Addr(0x2000)
+	// Alternating pattern is history-predictable; a bimodal-only
+	// predictor would miss ~50%. TAGE should get well under 20% after
+	// warmup.
+	warm, measure := 2000, 2000
+	wrong := 0
+	for i := 0; i < warm+measure; i++ {
+		taken := i%2 == 0
+		got := p.Predict(pc)
+		if i >= warm && got != taken {
+			wrong++
+		}
+		p.Update(pc, taken)
+	}
+	rate := float64(wrong) / float64(measure)
+	if rate > 0.2 {
+		t.Fatalf("alternating-pattern mispredict rate = %.3f, want < 0.2", rate)
+	}
+}
+
+func TestTAGELoopPattern(t *testing.T) {
+	p := NewTAGE()
+	pc := isa.Addr(0x3000)
+	// Loop branch: taken 7 times, then not taken, repeating.
+	warm, measure := 4000, 4000
+	wrong := 0
+	for i := 0; i < warm+measure; i++ {
+		taken := i%8 != 7
+		got := p.Predict(pc)
+		if i >= warm && got != taken {
+			wrong++
+		}
+		p.Update(pc, taken)
+	}
+	rate := float64(wrong) / float64(measure)
+	if rate > 0.1 {
+		t.Fatalf("loop-pattern mispredict rate = %.3f, want < 0.1", rate)
+	}
+}
+
+func TestTAGERandomBranchBounded(t *testing.T) {
+	p := NewTAGE()
+	rng := xrand.New(7)
+	pc := isa.Addr(0x4000)
+	wrong, n := 0, 20000
+	for i := 0; i < n; i++ {
+		taken := rng.Bool(0.5)
+		if p.Predict(pc) != taken {
+			wrong++
+		}
+		p.Update(pc, taken)
+	}
+	rate := float64(wrong) / float64(n)
+	// A random branch cannot be predicted; the rate must hover near 50%
+	// (sanity that the predictor is not cheating via the test harness).
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("random-branch mispredict rate = %.3f, want ~0.5", rate)
+	}
+}
+
+func TestTAGEManyBranches(t *testing.T) {
+	// A mix of biased branches across many PCs should give a low overall
+	// misprediction rate (the regime the 8KB budget targets).
+	p := NewTAGE()
+	rng := xrand.New(11)
+	type br struct {
+		pc   isa.Addr
+		bias float64
+	}
+	branches := make([]br, 500)
+	for i := range branches {
+		bias := 0.05
+		if i%3 == 0 {
+			bias = 0.95
+		}
+		branches[i] = br{pc: isa.Addr(0x10000 + i*64), bias: bias}
+	}
+	wrong, n := 0, 200000
+	for i := 0; i < n; i++ {
+		b := branches[rng.Intn(len(branches))]
+		taken := rng.Bool(b.bias)
+		if p.Predict(b.pc) != taken {
+			wrong++
+		}
+		p.Update(b.pc, taken)
+	}
+	rate := float64(wrong) / float64(n)
+	if rate > 0.10 {
+		t.Fatalf("biased-mix mispredict rate = %.3f, want < 0.10", rate)
+	}
+}
+
+func TestTAGEStorageBudget(t *testing.T) {
+	p := NewTAGE()
+	bits := p.StorageBits()
+	// Must be within 10% of the paper's 8KB budget.
+	budget := 8 << 10 * 8
+	lo, hi := budget*9/10, budget*11/10
+	if bits < lo || bits > hi {
+		t.Fatalf("storage = %d bits, want within [%d, %d]", bits, lo, hi)
+	}
+}
+
+func TestTAGEStats(t *testing.T) {
+	p := NewTAGE()
+	p.Predict(0x100)
+	p.Update(0x100, true)
+	if p.Lookups == 0 {
+		t.Fatal("lookups not counted")
+	}
+	p.ResetStats()
+	if p.Lookups != 0 || p.Mispredicts != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(RASEntry{ReturnAddr: 0x100, CallBlock: 0x90})
+	r.Push(RASEntry{ReturnAddr: 0x200, CallBlock: 0x190})
+	e, ok := r.Pop()
+	if !ok || e.ReturnAddr != 0x200 || e.CallBlock != 0x190 {
+		t.Fatalf("pop = %+v ok=%v", e, ok)
+	}
+	e, ok = r.Pop()
+	if !ok || e.ReturnAddr != 0x100 {
+		t.Fatalf("pop = %+v ok=%v", e, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop succeeded on empty stack")
+	}
+	if r.Underflows != 1 {
+		t.Fatalf("underflows = %d", r.Underflows)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(RASEntry{ReturnAddr: 1})
+	r.Push(RASEntry{ReturnAddr: 2})
+	r.Push(RASEntry{ReturnAddr: 3}) // overwrites 1
+	if e, _ := r.Pop(); e.ReturnAddr != 3 {
+		t.Fatalf("got %v", e.ReturnAddr)
+	}
+	if e, _ := r.Pop(); e.ReturnAddr != 2 {
+		t.Fatalf("got %v", e.ReturnAddr)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("entry 1 should have been overwritten")
+	}
+}
+
+func TestRASPeek(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek on empty")
+	}
+	r.Push(RASEntry{ReturnAddr: 5})
+	e, ok := r.Peek()
+	if !ok || e.ReturnAddr != 5 || r.Depth() != 1 {
+		t.Fatal("peek wrong or destructive")
+	}
+}
+
+func TestRASCopyFrom(t *testing.T) {
+	a, b := NewRAS(4), NewRAS(4)
+	a.Push(RASEntry{ReturnAddr: 1})
+	a.Push(RASEntry{ReturnAddr: 2})
+	b.Push(RASEntry{ReturnAddr: 9})
+	b.CopyFrom(a)
+	if b.Depth() != 2 {
+		t.Fatalf("depth = %d", b.Depth())
+	}
+	if e, _ := b.Pop(); e.ReturnAddr != 2 {
+		t.Fatalf("copy broken: %+v", e)
+	}
+	// Copy must be deep: popping b must not affect a.
+	if a.Depth() != 2 {
+		t.Fatal("CopyFrom aliased storage")
+	}
+}
+
+func BenchmarkTAGEPredictUpdate(b *testing.B) {
+	p := NewTAGE()
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		pc := isa.Addr(0x1000 + (i%256)*20)
+		taken := rng.Bool(0.7)
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}

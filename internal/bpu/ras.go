@@ -1,0 +1,83 @@
+package bpu
+
+import "shotgun/internal/isa"
+
+// RASEntry is one return-address-stack frame. Besides the architectural
+// return address, Shotgun pushes the address of the basic block
+// containing the call (Section 4.2.3): on a RIB hit for a return, that
+// block address indexes the U-BTB to retrieve the Return Footprint.
+type RASEntry struct {
+	// ReturnAddr is the address execution resumes at after the return.
+	ReturnAddr isa.Addr
+	// CallBlock is the basic-block address of the corresponding call.
+	CallBlock isa.Addr
+}
+
+// RAS is a fixed-capacity circular return address stack. Overflow
+// overwrites the oldest frame; underflow returns ok=false — both are the
+// behaviours of a real hardware RAS.
+type RAS struct {
+	frames []RASEntry
+	top    int // index of the next free slot
+	depth  int // live frames, <= len(frames)
+
+	Pushes     uint64
+	Pops       uint64
+	Underflows uint64
+}
+
+// NewRAS builds a stack with the given capacity (paper: 8-32 is common;
+// the default config uses 32).
+func NewRAS(capacity int) *RAS {
+	if capacity <= 0 {
+		panic("bpu: RAS capacity must be positive")
+	}
+	return &RAS{frames: make([]RASEntry, capacity)}
+}
+
+// Push records a call.
+func (r *RAS) Push(e RASEntry) {
+	r.frames[r.top] = e
+	r.top = (r.top + 1) % len(r.frames)
+	if r.depth < len(r.frames) {
+		r.depth++
+	}
+	r.Pushes++
+}
+
+// Pop removes and returns the youngest frame. ok is false on underflow.
+func (r *RAS) Pop() (RASEntry, bool) {
+	r.Pops++
+	if r.depth == 0 {
+		r.Underflows++
+		return RASEntry{}, false
+	}
+	r.top = (r.top - 1 + len(r.frames)) % len(r.frames)
+	r.depth--
+	return r.frames[r.top], true
+}
+
+// Peek returns the youngest frame without removing it.
+func (r *RAS) Peek() (RASEntry, bool) {
+	if r.depth == 0 {
+		return RASEntry{}, false
+	}
+	return r.frames[(r.top-1+len(r.frames))%len(r.frames)], true
+}
+
+// Depth returns the number of live frames.
+func (r *RAS) Depth() int { return r.depth }
+
+// Capacity returns the stack capacity.
+func (r *RAS) Capacity() int { return len(r.frames) }
+
+// CopyFrom restores this RAS to a snapshot of another (pipeline-flush
+// repair from the retire-side architectural stack).
+func (r *RAS) CopyFrom(src *RAS) {
+	if len(r.frames) != len(src.frames) {
+		r.frames = make([]RASEntry, len(src.frames))
+	}
+	copy(r.frames, src.frames)
+	r.top = src.top
+	r.depth = src.depth
+}

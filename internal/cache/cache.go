@@ -1,0 +1,180 @@
+// Package cache implements the set-associative caches (L1-I, L1-D, LLC)
+// and the small fully-associative prefetch buffer used by the simulated
+// memory hierarchy. Caches track block presence only — the simulator is a
+// timing model, not a data model — with true-LRU replacement.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"shotgun/internal/isa"
+)
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+}
+
+// Cache is a set-associative, true-LRU, block-presence cache.
+type Cache struct {
+	name     string
+	ways     int
+	setMask  uint64
+	setShift uint
+	lines    []line // sets*ways, laid out set-major
+	tick     uint64
+	stats    Stats
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// New builds a cache of the given total size and associativity over
+// isa.BlockBytes blocks. Size must be a power-of-two multiple of
+// ways*BlockBytes.
+func New(name string, sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry", name)
+	}
+	blocks := sizeBytes / isa.BlockBytes
+	if blocks*isa.BlockBytes != sizeBytes {
+		return nil, fmt.Errorf("cache %s: size %d not a multiple of block size", name, sizeBytes)
+	}
+	sets := blocks / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
+	}
+	return &Cache{
+		name:     name,
+		ways:     ways,
+		setMask:  uint64(sets - 1),
+		setShift: uint(bits.TrailingZeros(uint(sets))),
+		lines:    make([]line, sets*ways),
+	}, nil
+}
+
+// MustNew is New for static geometry.
+func MustNew(name string, sizeBytes, ways int) *Cache {
+	c, err := New(name, sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.setMask) + 1 }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.Sets() * c.ways * isa.BlockBytes }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters (contents are preserved), used at the
+// warmup/measurement boundary.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) locate(addr isa.Addr) (setBase int, tag uint64) {
+	bi := addr.BlockIndex()
+	return int(bi&c.setMask) * c.ways, bi >> c.setShift
+}
+
+// Contains reports block presence without touching LRU state or counters.
+func (c *Cache) Contains(addr isa.Addr) bool {
+	base, tag := c.locate(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks the block up, updating LRU and hit/miss counters. It does
+// not allocate on miss; pair with Insert to model fills.
+func (c *Cache) Access(addr isa.Addr) bool {
+	c.tick++
+	base, tag := c.locate(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			c.lines[i].used = c.tick
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Insert fills the block, evicting the LRU way if the set is full. It
+// returns the evicted block address when an eviction happened. Inserting
+// a block that is already present refreshes its LRU state only.
+func (c *Cache) Insert(addr isa.Addr) (evicted isa.Addr, didEvict bool) {
+	c.tick++
+	base, tag := c.locate(addr)
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			c.lines[i].used = c.tick
+			return 0, false
+		}
+		if !c.lines[i].valid {
+			if victim == -1 || c.lines[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if c.lines[i].used < oldest && (victim == -1 || c.lines[victim].valid) {
+			oldest = c.lines[i].used
+			victim = i
+		}
+	}
+	c.stats.Inserts++
+	var ev isa.Addr
+	if c.lines[victim].valid {
+		c.stats.Evictions++
+		didEvict = true
+		set := uint64(base / c.ways)
+		ev = isa.Addr((c.lines[victim].tag<<c.setShift | set) * isa.BlockBytes)
+	}
+	c.lines[victim] = line{tag: tag, valid: true, used: c.tick}
+	return ev, didEvict
+}
+
+// Invalidate removes a block if present, returning whether it was there.
+func (c *Cache) Invalidate(addr isa.Addr) bool {
+	base, tag := c.locate(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			c.lines[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

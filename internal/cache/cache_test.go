@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shotgun/internal/isa"
+)
+
+func TestGeometry(t *testing.T) {
+	c := MustNew("l1i", 32<<10, 2)
+	if c.Sets() != 256 || c.Ways() != 2 || c.SizeBytes() != 32<<10 {
+		t.Fatalf("geometry: sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	if _, err := New("x", 0, 2); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New("x", 100, 2); err == nil {
+		t.Error("non-multiple size accepted")
+	}
+	if _, err := New("x", 3*64*2, 2); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c := MustNew("t", 4<<10, 4)
+	addr := isa.Addr(0x1000)
+	if c.Access(addr) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(addr)
+	if !c.Access(addr) {
+		t.Fatal("miss after insert")
+	}
+	// Same block, different offset, still hits.
+	if !c.Access(addr + 63) {
+		t.Fatal("miss within same block")
+	}
+	// Next block misses.
+	if c.Access(addr + 64) {
+		t.Fatal("hit on different block")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew("t", 2*64, 2) // 1 set, 2 ways
+	a, b, d := isa.Addr(0), isa.Addr(64), isa.Addr(128)
+	c.Insert(a)
+	c.Insert(b)
+	c.Access(a) // a now MRU
+	ev, did := c.Insert(d)
+	if !did || ev != b {
+		t.Fatalf("expected eviction of %v, got %v (did=%v)", b, ev, did)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestEvictedAddressRoundTrip(t *testing.T) {
+	// The reconstructed eviction address must map back to the same set
+	// and tag.
+	c := MustNew("t", 8<<10, 2)
+	if err := quick.Check(func(raw uint64) bool {
+		addr := isa.Addr(raw & ((1 << isa.VABits) - 1)).Block()
+		conflict := addr + isa.Addr(c.Sets()*isa.BlockBytes)
+		conflict2 := addr + isa.Addr(2*c.Sets()*isa.BlockBytes)
+		c.Insert(addr)
+		c.Insert(conflict)
+		ev, did := c.Insert(conflict2) // must evict addr (LRU)
+		if !did {
+			return false
+		}
+		return ev == addr
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertPresentRefreshes(t *testing.T) {
+	c := MustNew("t", 2*64, 2)
+	a, b, d := isa.Addr(0), isa.Addr(64), isa.Addr(128)
+	c.Insert(a)
+	c.Insert(b)
+	c.Insert(a) // refresh a; b becomes LRU
+	ev, _ := c.Insert(d)
+	if ev != b {
+		t.Fatalf("refresh did not update LRU: evicted %v", ev)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew("t", 4<<10, 4)
+	c.Insert(0x40)
+	if !c.Invalidate(0x40) {
+		t.Fatal("invalidate missed present block")
+	}
+	if c.Contains(0x40) {
+		t.Fatal("block survived invalidation")
+	}
+	if c.Invalidate(0x40) {
+		t.Fatal("invalidate hit absent block")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := MustNew("t", 4<<10, 4)
+	c.Access(0)       // miss
+	c.Insert(0)       // insert
+	c.Access(0)       // hit
+	c.Access(1 << 20) // miss
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Inserts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("reset failed")
+	}
+	if !c.Contains(0) {
+		t.Fatal("reset dropped contents")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := MustNew("t", 4<<10, 4)
+	if c.Occupancy() != 0 {
+		t.Fatal("fresh cache not empty")
+	}
+	for i := 0; i < 10; i++ {
+		c.Insert(isa.Addr(i * 64))
+	}
+	if c.Occupancy() != 10 {
+		t.Fatalf("occupancy = %d", c.Occupancy())
+	}
+}
+
+func TestCapacityProperty(t *testing.T) {
+	// Occupancy never exceeds capacity regardless of insert pattern.
+	c := MustNew("t", 1<<10, 2) // 16 blocks
+	for i := 0; i < 1000; i++ {
+		c.Insert(isa.Addr(i*64) * 7)
+	}
+	if c.Occupancy() > 16 {
+		t.Fatalf("occupancy %d exceeds capacity 16", c.Occupancy())
+	}
+}
+
+func TestPrefetchBufferFIFO(t *testing.T) {
+	b := NewPrefetchBuffer(2)
+	b.Insert(0)
+	b.Insert(64)
+	b.Insert(128) // evicts 0
+	if b.Contains(0) {
+		t.Fatal("FIFO did not evict oldest")
+	}
+	if !b.Contains(64) || !b.Contains(128) {
+		t.Fatal("wrong survivors")
+	}
+	if b.EvictedUnused != 1 {
+		t.Fatalf("EvictedUnused = %d", b.EvictedUnused)
+	}
+}
+
+func TestPrefetchBufferTake(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x1000)
+	if !b.Take(0x1000) {
+		t.Fatal("take missed")
+	}
+	if b.Contains(0x1000) || b.Len() != 0 {
+		t.Fatal("take did not remove")
+	}
+	if b.Take(0x1000) {
+		t.Fatal("double take")
+	}
+	if b.HitsCount != 1 {
+		t.Fatalf("HitsCount = %d", b.HitsCount)
+	}
+}
+
+func TestPrefetchBufferDupInsert(t *testing.T) {
+	b := NewPrefetchBuffer(2)
+	b.Insert(0)
+	b.Insert(0)
+	if b.Len() != 1 {
+		t.Fatalf("duplicate insert grew buffer: %d", b.Len())
+	}
+}
+
+func TestPrefetchBufferBlockAlias(t *testing.T) {
+	b := NewPrefetchBuffer(2)
+	b.Insert(0x1004) // non-aligned: stored as block
+	if !b.Contains(0x1000) || !b.Contains(0x103f) {
+		t.Fatal("block aliasing broken")
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := MustNew("bench", 32<<10, 2)
+	for i := 0; i < 512; i++ {
+		c.Insert(isa.Addr(i * 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(isa.Addr((i % 1024) * 64))
+	}
+}

@@ -1,0 +1,75 @@
+package cache
+
+import "shotgun/internal/isa"
+
+// PrefetchBuffer is the small fully-associative FIFO buffer that receives
+// prefetched instruction blocks before they are promoted into the L1-I on
+// first use (Table 3: 64-entry prefetch buffer). Keeping prefetches out
+// of the L1-I until they are referenced avoids polluting the cache with
+// inaccurate prefetches.
+type PrefetchBuffer struct {
+	capacity int
+	fifo     []isa.Addr
+	present  map[isa.Addr]bool
+
+	// HitsCount / EvictedUnused track prefetch usefulness: a block
+	// evicted without ever being promoted was a useless prefetch.
+	HitsCount     uint64
+	EvictedUnused uint64
+}
+
+// NewPrefetchBuffer builds a buffer holding up to capacity blocks.
+func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
+	if capacity <= 0 {
+		panic("cache: prefetch buffer capacity must be positive")
+	}
+	return &PrefetchBuffer{
+		capacity: capacity,
+		present:  make(map[isa.Addr]bool, capacity),
+	}
+}
+
+// Contains reports whether the block is buffered.
+func (b *PrefetchBuffer) Contains(addr isa.Addr) bool {
+	return b.present[addr.Block()]
+}
+
+// Insert adds a block, evicting the oldest entry when full. Inserting a
+// present block is a no-op (the FIFO position is kept).
+func (b *PrefetchBuffer) Insert(addr isa.Addr) {
+	blk := addr.Block()
+	if b.present[blk] {
+		return
+	}
+	if len(b.fifo) >= b.capacity {
+		victim := b.fifo[0]
+		b.fifo = b.fifo[1:]
+		delete(b.present, victim)
+		b.EvictedUnused++
+	}
+	b.fifo = append(b.fifo, blk)
+	b.present[blk] = true
+}
+
+// Take removes the block (promotion into the L1-I), reporting presence.
+func (b *PrefetchBuffer) Take(addr isa.Addr) bool {
+	blk := addr.Block()
+	if !b.present[blk] {
+		return false
+	}
+	delete(b.present, blk)
+	for i, a := range b.fifo {
+		if a == blk {
+			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
+			break
+		}
+	}
+	b.HitsCount++
+	return true
+}
+
+// Len returns the number of buffered blocks.
+func (b *PrefetchBuffer) Len() int { return len(b.fifo) }
+
+// Capacity returns the buffer's capacity.
+func (b *PrefetchBuffer) Capacity() int { return b.capacity }

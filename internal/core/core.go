@@ -1,0 +1,487 @@
+// Package core models one out-of-order server core (Table 3: 3-way OoO,
+// 128-entry ROB) with a decoupled front-end: a branch-prediction unit
+// that runs ahead of fetch filling a fetch target queue (FTQ), a fetch
+// engine that consumes the FTQ through the L1-I, and a retire-side
+// backend that exposes front-end stall cycles — the paper's primary
+// metric.
+//
+// The simulation is trace-driven: the workload walker supplies the
+// correct execution path, and the core charges the penalties the modeled
+// structures (BTB organization, TAGE, RAS, caches) would have incurred —
+// decode-time re-steers for undetected taken branches, execute-time
+// flushes for direction/return mispredictions, and fetch stalls for L1-I
+// misses. A control-flow delivery engine (package prefetch) supplies the
+// BTB organization and prefetching policy.
+package core
+
+import (
+	"shotgun/internal/bpu"
+	"shotgun/internal/isa"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/uncore"
+	"shotgun/internal/workload"
+	"shotgun/internal/xrand"
+)
+
+// Config sets the core's microarchitectural parameters. Zero fields
+// default to Table 3 values.
+type Config struct {
+	FetchWidth  int // 3 (3-way core)
+	RetireWidth int // 3
+	ROBEntries  int // 128
+	FTQEntries  int // 32 (Section 5.2)
+
+	// RunaheadPerCycle bounds BPU throughput in basic blocks per cycle.
+	RunaheadPerCycle int // 2
+
+	// DecodeRedirectCycles is the bubble for a taken branch undetected
+	// until decode (BTB miss); ExecRedirectCycles the flush penalty for
+	// direction/return-target mispredictions resolved at execute.
+	DecodeRedirectCycles int // 8
+	ExecRedirectCycles   int // 14
+
+	// ExecLatencyCycles is the dispatch-to-complete latency of ordinary
+	// instructions; loads add their memory latency.
+	ExecLatencyCycles int // 3
+
+	RASEntries int // 32
+
+	// Data-side behaviour (from the workload profile).
+	LoadFrac   float64
+	DataBlocks int
+	DataZipfS  float64
+	DataSeed   uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.FetchWidth == 0 {
+		c.FetchWidth = 3
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = 3
+	}
+	if c.ROBEntries == 0 {
+		c.ROBEntries = 128
+	}
+	if c.FTQEntries == 0 {
+		c.FTQEntries = 32
+	}
+	if c.RunaheadPerCycle == 0 {
+		c.RunaheadPerCycle = 2
+	}
+	if c.DecodeRedirectCycles == 0 {
+		c.DecodeRedirectCycles = 8
+	}
+	if c.ExecRedirectCycles == 0 {
+		c.ExecRedirectCycles = 14
+	}
+	if c.ExecLatencyCycles == 0 {
+		c.ExecLatencyCycles = 3
+	}
+	if c.RASEntries == 0 {
+		c.RASEntries = 32
+	}
+	if c.LoadFrac == 0 {
+		c.LoadFrac = 0.25
+	}
+	if c.DataBlocks == 0 {
+		c.DataBlocks = 8 << 10
+	}
+	if c.DataZipfS == 0 {
+		c.DataZipfS = 0.8
+	}
+	if c.DataSeed == 0 {
+		c.DataSeed = 0xdada
+	}
+}
+
+// dataBase places the synthetic data working set away from code.
+const dataBase = isa.Addr(0x2000_0000_0000)
+
+// Stats aggregates the core's measurement counters.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+
+	// FrontEndStallCycles counts cycles where retirement was starved by
+	// an empty ROB (nothing in flight: the front-end failed to supply
+	// instructions). BackEndStallCycles counts zero-retire cycles with a
+	// non-empty ROB (data stalls).
+	FrontEndStallCycles uint64
+	BackEndStallCycles  uint64
+
+	// FetchStallCycles counts cycles fetch waited on an L1-I fill.
+	FetchStallCycles uint64
+
+	DecodeRedirects uint64
+	ExecRedirects   uint64
+	DirMispredicts  uint64
+	RASMispredicts  uint64
+
+	CondBranches uint64
+	Branches     uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MPKI converts an event count to events per kilo-instruction.
+func (s Stats) MPKI(events uint64) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(events) / float64(s.Instructions) * 1000
+}
+
+// pblock is one trace block in the lookahead window with its cached BPU
+// evaluation (evaluated exactly once, in trace order, so TAGE and RAS see
+// a consistent in-order stream even across flush re-walks).
+type pblock struct {
+	bb             isa.BasicBlock
+	evaluated      bool
+	decodeRedirect bool
+	execRedirect   bool
+}
+
+// Core simulates one core running a basic-block trace under a control-
+// flow delivery engine.
+type Core struct {
+	cfg    Config
+	trace  workload.Stream
+	engine prefetch.Engine
+	hier   *uncore.Hierarchy
+
+	tage *bpu.TAGE
+	ras  *bpu.RAS
+
+	dataRNG  *xrand.Source
+	dataZipf *xrand.Zipf
+
+	now uint64
+
+	// pending is the lookahead window; pending[0:ftqLen] is the FTQ
+	// (evaluated, awaiting fetch); pending[ftqLen:] awaits evaluation.
+	pending []pblock
+	ftqLen  int
+
+	runStallUntil uint64
+	// wrongPath is set when the runahead evaluated a block whose branch
+	// re-steers the pipeline: until that block is dispatched (and the
+	// flush happens), the real BPU would be predicting down the wrong
+	// path, so no further correct-path blocks may be evaluated or
+	// prefetched.
+	wrongPath bool
+
+	fetchBusyUntil uint64
+	headIssued     bool
+	headReadyAt    uint64
+
+	// rob holds completion times; in-order retire from the head.
+	rob     []uint64
+	robHead int
+	robLen  int
+
+	stats Stats
+}
+
+// New builds a core over the given trace, engine and hierarchy.
+func New(cfg Config, trace workload.Stream, engine prefetch.Engine, hier *uncore.Hierarchy) *Core {
+	cfg.setDefaults()
+	rng := xrand.New(cfg.DataSeed)
+	return &Core{
+		cfg:      cfg,
+		trace:    trace,
+		engine:   engine,
+		hier:     hier,
+		tage:     bpu.NewTAGE(),
+		ras:      bpu.NewRAS(cfg.RASEntries),
+		dataRNG:  rng,
+		dataZipf: xrand.NewZipf(rng, cfg.DataBlocks, cfg.DataZipfS),
+		rob:      make([]uint64, cfg.ROBEntries),
+	}
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Stats returns a snapshot of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Hierarchy returns the memory hierarchy.
+func (c *Core) Hierarchy() *uncore.Hierarchy { return c.hier }
+
+// Engine returns the control-flow delivery engine.
+func (c *Core) Engine() prefetch.Engine { return c.engine }
+
+// ResetStats clears measurement counters at the warmup boundary without
+// touching microarchitectural state.
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	c.hier.ResetStats()
+	c.engine.ResetStats()
+	c.tage.ResetStats()
+}
+
+// Run advances the simulation until at least n instructions have retired
+// past the point this call was made, returning the cycle count consumed.
+func (c *Core) Run(n uint64) uint64 {
+	startCycles := c.stats.Cycles
+	target := c.stats.Instructions + n
+	for c.stats.Instructions < target {
+		c.Tick()
+	}
+	return c.stats.Cycles - startCycles
+}
+
+// Tick advances the simulation by one cycle.
+func (c *Core) Tick() {
+	// 1. Materialize completed fills; let the engine predecode them.
+	if arr := c.hier.PollArrivals(c.now); arr != nil {
+		c.engine.OnArrival(c.now, arr)
+	}
+
+	// 2. Branch-prediction unit runahead: evaluate blocks into the FTQ.
+	c.runahead()
+
+	// 3. Fetch: consume the FTQ head through the L1-I into the ROB.
+	c.fetch()
+
+	// 4. Retire up to RetireWidth completed instructions in order.
+	c.retire()
+
+	c.now++
+	c.stats.Cycles++
+}
+
+// ensurePending tops up the lookahead window from the trace.
+func (c *Core) ensurePending(n int) {
+	for len(c.pending) < n {
+		c.pending = append(c.pending, pblock{bb: c.trace.Next()})
+	}
+}
+
+// runahead advances the BPU: up to RunaheadPerCycle blocks are evaluated
+// (BTB lookup, direction/return prediction, engine prefetching) and
+// appended to the FTQ.
+func (c *Core) runahead() {
+	for i := 0; i < c.cfg.RunaheadPerCycle; i++ {
+		if c.now < c.runStallUntil {
+			return // reactive BTB-miss resolution in progress
+		}
+		if c.wrongPath {
+			return // runahead is down a wrong path until the flush
+		}
+		if c.ftqLen >= c.cfg.FTQEntries {
+			return // FTQ full
+		}
+		c.ensurePending(c.ftqLen + 1)
+		p := &c.pending[c.ftqLen]
+		if !p.evaluated {
+			stall := c.evaluate(p)
+			if stall > c.now {
+				c.runStallUntil = stall
+			}
+		}
+		if p.decodeRedirect || p.execRedirect {
+			c.wrongPath = true
+		}
+		c.ftqLen++
+	}
+}
+
+// evaluate performs the one-time BPU evaluation of a pending block,
+// returning a non-zero stall deadline for reactive resolutions.
+func (c *Core) evaluate(p *pblock) uint64 {
+	bb := p.bb
+	p.evaluated = true
+
+	// Returns consult the RAS (popped at predict time); Shotgun
+	// additionally uses the popped call-block address to locate the
+	// return footprint in the U-BTB.
+	var rasCallBlock, rasPredTarget isa.Addr
+	rasOK := false
+	rasWrong := false
+	if bb.Kind.IsReturn() {
+		e, ok := c.ras.Pop()
+		rasOK = ok
+		rasCallBlock = e.CallBlock
+		rasPredTarget = e.ReturnAddr
+		rasWrong = !ok || e.ReturnAddr != bb.Target
+	}
+
+	ev := c.engine.Evaluate(c.now, bb, rasCallBlock, rasOK)
+
+	if bb.Kind != isa.BranchNone {
+		c.stats.Branches++
+	}
+
+	switch {
+	case bb.Kind == isa.BranchCond:
+		c.stats.CondBranches++
+		pred := c.tage.Predict(bb.BranchPC())
+		c.tage.Update(bb.BranchPC(), bb.Taken)
+		if ev.BTBHit && pred != bb.Taken {
+			p.execRedirect = true
+			c.stats.DirMispredicts++
+			// The runahead chases the predicted (wrong) direction.
+			wrong := bb.Target
+			if !bb.Taken {
+				wrong = bb.FallThrough()
+			}
+			c.engine.OnMispredict(c.now, wrong)
+		}
+	case bb.Kind.IsCallLike():
+		c.ras.Push(bpu.RASEntry{ReturnAddr: bb.FallThrough(), CallBlock: bb.PC})
+		c.tage.NoteUncond()
+	case bb.Kind.IsReturn():
+		if ev.BTBHit && rasWrong {
+			p.execRedirect = true
+			c.stats.RASMispredicts++
+			if rasOK {
+				// The runahead chases the stale predicted return target.
+				c.engine.OnMispredict(c.now, rasPredTarget)
+			}
+		}
+		c.tage.NoteUncond()
+	case bb.Kind == isa.BranchJump:
+		c.tage.NoteUncond()
+	}
+
+	if ev.DecodeRedirect {
+		p.decodeRedirect = true
+	}
+	return ev.StallUntil
+}
+
+// fetch consumes the FTQ head: issue the demand fetch for its cache
+// blocks, wait for arrival, then dispatch its instructions into the ROB.
+func (c *Core) fetch() {
+	if c.now < c.fetchBusyUntil || c.ftqLen == 0 {
+		return
+	}
+	p := &c.pending[0]
+
+	if !c.headIssued {
+		ready := c.now
+		for _, blk := range p.bb.Blocks() {
+			r, src := c.hier.FetchBlock(c.now, blk)
+			c.engine.OnFetch(c.now, blk, src)
+			if src == uncore.SrcLLC || src == uncore.SrcMemory {
+				c.engine.OnDemandMiss(c.now, blk)
+			}
+			if r > ready {
+				ready = r
+			}
+		}
+		c.headIssued = true
+		c.headReadyAt = ready
+	}
+	if c.headReadyAt > c.now {
+		c.stats.FetchStallCycles++
+		return // L1-I fill in progress
+	}
+
+	// Dispatch into the ROB (all instructions of the block at once).
+	n := p.bb.NumInstr
+	if c.robFree() < n {
+		return // backend pressure
+	}
+	c.dispatch(p.bb)
+
+	// Fetch bandwidth: a 3-wide front-end needs ceil(n/width) cycles.
+	busy := uint64((n + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth)
+	c.fetchBusyUntil = c.now + busy
+
+	// Redirects: flush the FTQ beyond the branch and re-steer.
+	switch {
+	case p.decodeRedirect:
+		c.stats.DecodeRedirects++
+		c.redirect(c.cfg.DecodeRedirectCycles)
+	case p.execRedirect:
+		c.stats.ExecRedirects++
+		c.redirect(c.cfg.ExecRedirectCycles)
+	}
+
+	// Pop the dispatched block.
+	c.popPending()
+}
+
+// redirect models a pipeline re-steer: fetch emits a bubble and the FTQ
+// contents past the redirecting branch are discarded (the runahead
+// re-walks them; cached evaluations prevent double training).
+func (c *Core) redirect(penalty int) {
+	until := c.now + uint64(penalty)
+	if until > c.fetchBusyUntil {
+		c.fetchBusyUntil = until
+	}
+	c.ftqLen = 1 // keep only the block being dispatched
+	if c.runStallUntil > c.now {
+		// The pending resolution belongs to a flushed entry; the
+		// re-walk will find the BTB filled, so drop the stall.
+		c.runStallUntil = c.now
+	}
+	// The flush re-steers the BPU onto the correct path.
+	c.wrongPath = false
+}
+
+// popPending removes pending[0] after dispatch.
+func (c *Core) popPending() {
+	c.pending = c.pending[1:]
+	c.ftqLen--
+	c.headIssued = false
+	// Periodically compact the backing array.
+	if cap(c.pending) > 4*(c.cfg.FTQEntries+8) && len(c.pending) <= c.cfg.FTQEntries+8 {
+		fresh := make([]pblock, len(c.pending), c.cfg.FTQEntries+8)
+		copy(fresh, c.pending)
+		c.pending = fresh
+	}
+}
+
+// dispatch enters a block's instructions into the ROB and notifies the
+// engine of the retire-order stream (dispatch order equals retire order).
+func (c *Core) dispatch(bb isa.BasicBlock) {
+	for i := 0; i < bb.NumInstr; i++ {
+		complete := c.now + uint64(c.cfg.ExecLatencyCycles)
+		if c.dataRNG.Bool(c.cfg.LoadFrac) {
+			addr := dataBase + isa.Addr(c.dataZipf.Next()*isa.BlockBytes)
+			ready, _ := c.hier.DataAccess(c.now, addr)
+			if ready+uint64(c.cfg.ExecLatencyCycles) > complete {
+				complete = ready + uint64(c.cfg.ExecLatencyCycles)
+			}
+		}
+		c.robPush(complete)
+	}
+	c.engine.OnRetire(bb)
+}
+
+func (c *Core) robFree() int { return c.cfg.ROBEntries - c.robLen }
+
+func (c *Core) robPush(complete uint64) {
+	idx := (c.robHead + c.robLen) % c.cfg.ROBEntries
+	c.rob[idx] = complete
+	c.robLen++
+}
+
+// retire pops up to RetireWidth completed instructions in order and
+// classifies zero-retire cycles as front-end or back-end stalls.
+func (c *Core) retire() {
+	retired := 0
+	for retired < c.cfg.RetireWidth && c.robLen > 0 && c.rob[c.robHead] <= c.now {
+		c.robHead = (c.robHead + 1) % c.cfg.ROBEntries
+		c.robLen--
+		retired++
+	}
+	c.stats.Instructions += uint64(retired)
+	if retired == 0 {
+		if c.robLen == 0 {
+			c.stats.FrontEndStallCycles++
+		} else {
+			c.stats.BackEndStallCycles++
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"shotgun/internal/isa"
+	"shotgun/internal/noc"
+	"shotgun/internal/predecode"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/program"
+	"shotgun/internal/uncore"
+	"shotgun/internal/workload"
+)
+
+func testSetup(t testing.TB, mech string) (*Core, *uncore.Hierarchy) {
+	t.Helper()
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 100, NumKernelFuncs: 24}, 11)
+	walker := workload.NewWalker(prog, 3)
+	cfg := uncore.DefaultConfig()
+	cfg.Mesh = noc.Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 2}
+	hier := uncore.New(cfg)
+	ctx := prefetch.Context{Hier: hier, Dec: predecode.NewDecoder(prog)}
+	var engine prefetch.Engine
+	switch mech {
+	case "none":
+		engine = prefetch.NewNone(ctx, 2048)
+	case "ideal":
+		engine = prefetch.NewIdeal(ctx)
+	case "boomerang":
+		engine = prefetch.NewBoomerang(ctx, 2048)
+	default:
+		t.Fatalf("unknown mech %s", mech)
+	}
+	return New(Config{LoadFrac: 0.2, DataBlocks: 1 << 10, DataZipfS: 0.8}, walker, engine, hier), hier
+}
+
+func TestRunRetiresInstructions(t *testing.T) {
+	c, _ := testSetup(t, "none")
+	cycles := c.Run(100_000)
+	if cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	s := c.Stats()
+	if s.Instructions < 100_000 {
+		t.Fatalf("retired %d instructions", s.Instructions)
+	}
+	ipc := s.IPC()
+	if ipc <= 0 || ipc > 3 {
+		t.Fatalf("IPC = %v out of (0, 3]", ipc)
+	}
+}
+
+func TestStallClassificationExhaustive(t *testing.T) {
+	c, _ := testSetup(t, "none")
+	c.Run(50_000)
+	s := c.Stats()
+	// Every cycle either retires something or is classified as a stall.
+	retireCycles := s.Cycles - s.FrontEndStallCycles - s.BackEndStallCycles
+	if retireCycles <= 0 {
+		t.Fatalf("no retiring cycles: %+v", s)
+	}
+	if s.FrontEndStallCycles == 0 {
+		t.Fatal("baseline with cold caches must have front-end stalls")
+	}
+	if s.BackEndStallCycles == 0 {
+		t.Fatal("load misses must produce back-end stalls")
+	}
+}
+
+func TestIdealBeatsBaseline(t *testing.T) {
+	base, _ := testSetup(t, "none")
+	ideal, _ := testSetup(t, "ideal")
+	base.Run(150_000)
+	ideal.Run(150_000)
+	if ideal.Stats().IPC() <= base.Stats().IPC() {
+		t.Fatalf("ideal IPC %.3f not above baseline %.3f",
+			ideal.Stats().IPC(), base.Stats().IPC())
+	}
+	// The ideal front-end eliminates nearly all front-end stalls except
+	// redirect bubbles.
+	bi := float64(base.Stats().FrontEndStallCycles) / float64(base.Stats().Instructions)
+	ii := float64(ideal.Stats().FrontEndStallCycles) / float64(ideal.Stats().Instructions)
+	if ii >= bi {
+		t.Fatalf("ideal front-end stalls/instr %.4f not below baseline %.4f", ii, bi)
+	}
+}
+
+func TestMispredictsCharged(t *testing.T) {
+	c, _ := testSetup(t, "none")
+	c.Run(200_000)
+	s := c.Stats()
+	if s.CondBranches == 0 || s.Branches == 0 {
+		t.Fatal("no branches observed")
+	}
+	if s.DecodeRedirects == 0 {
+		t.Fatal("baseline must take decode redirects on BTB misses")
+	}
+	if s.DirMispredicts == 0 {
+		t.Fatal("TAGE cannot be perfect on this workload")
+	}
+	// Mispredict rate must be a plausible minority.
+	rate := float64(s.DirMispredicts) / float64(s.CondBranches)
+	if rate > 0.4 {
+		t.Fatalf("mispredict rate %.3f implausibly high", rate)
+	}
+}
+
+func TestResetStatsAtBoundary(t *testing.T) {
+	c, _ := testSetup(t, "none")
+	c.Run(30_000)
+	c.ResetStats()
+	if s := c.Stats(); s.Cycles != 0 || s.Instructions != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+	// Simulation continues seamlessly after a reset.
+	c.Run(10_000)
+	if c.Stats().Instructions < 10_000 {
+		t.Fatal("run after reset broken")
+	}
+}
+
+func TestBoomerangReducesFrontEndStalls(t *testing.T) {
+	base, _ := testSetup(t, "none")
+	boom, _ := testSetup(t, "boomerang")
+	base.Run(200_000)
+	boom.Run(200_000)
+	bs := float64(base.Stats().FrontEndStallCycles) / float64(base.Stats().Instructions)
+	os := float64(boom.Stats().FrontEndStallCycles) / float64(boom.Stats().Instructions)
+	if os >= bs {
+		t.Fatalf("Boomerang stalls/instr %.4f not below baseline %.4f", os, bs)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a, _ := testSetup(t, "boomerang")
+	b, _ := testSetup(t, "boomerang")
+	a.Run(60_000)
+	b.Run(60_000)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("simulation not deterministic:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestMPKIHelper(t *testing.T) {
+	s := Stats{Instructions: 2000}
+	if got := s.MPKI(10); got != 5 {
+		t.Fatalf("MPKI = %v", got)
+	}
+	var zero Stats
+	if zero.MPKI(10) != 0 || zero.IPC() != 0 {
+		t.Fatal("zero-stats helpers must not divide by zero")
+	}
+}
+
+// constStream feeds a fixed straight-line block pattern, for surgical
+// timing tests.
+type constStream struct {
+	pc isa.Addr
+}
+
+func (s *constStream) Next() isa.BasicBlock {
+	bb := isa.BasicBlock{PC: s.pc, NumInstr: 8, Kind: isa.BranchNone}
+	s.pc = s.pc.Add(8)
+	if s.pc > 0x4000_0000+1<<20 {
+		s.pc = 0x4000_0000
+	}
+	return bb
+}
+
+func TestStraightLineCodeNoRedirects(t *testing.T) {
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	cfg := uncore.DefaultConfig()
+	cfg.Mesh = noc.Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 100}
+	hier := uncore.New(cfg)
+	ctx := prefetch.Context{Hier: hier, Dec: predecode.NewDecoder(prog)}
+	c := New(Config{LoadFrac: 0.01, DataBlocks: 64, DataZipfS: 0.8},
+		&constStream{pc: 0x4000_0000}, prefetch.NewIdeal(ctx), hier)
+	c.Run(50_000)
+	s := c.Stats()
+	if s.DecodeRedirects != 0 || s.ExecRedirects != 0 {
+		t.Fatalf("straight-line code redirected: %+v", s)
+	}
+	// With an ideal front-end and almost no loads, IPC approaches the
+	// fetch bandwidth bound: 8-instruction blocks at ceil(8/3)=3 cycles
+	// per block ~ 2.67 IPC.
+	if s.IPC() < 2.0 {
+		t.Fatalf("straight-line ideal IPC = %.2f, want >= 2", s.IPC())
+	}
+}
+
+func BenchmarkCoreTick(b *testing.B) {
+	c, _ := testSetup(b, "boomerang")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+	}
+}

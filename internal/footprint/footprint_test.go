@@ -1,0 +1,218 @@
+package footprint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shotgun/internal/isa"
+)
+
+func TestLayoutSetContains(t *testing.T) {
+	l := Layout8
+	var v Vector
+	v = l.Set(v, 2)
+	v = l.Set(v, 5)
+	v = l.Set(v, -1)
+	for d := -l.Before; d <= l.After; d++ {
+		want := d == 2 || d == 5 || d == -1
+		if got := l.Contains(v, d); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestLayoutWindowDrops(t *testing.T) {
+	l := Layout8
+	var v Vector
+	v = l.Set(v, 7)  // beyond After=6
+	v = l.Set(v, -3) // beyond Before=2
+	v = l.Set(v, 0)  // target block: no bit
+	if v != 0 {
+		t.Fatalf("out-of-window sets must be dropped, got %b", v)
+	}
+}
+
+func TestLayoutRoundTripProperty(t *testing.T) {
+	l := Layout32
+	if err := quick.Check(func(raw uint8, neg bool) bool {
+		d := int(raw%24) + 1
+		if neg {
+			d = -(int(raw%8) + 1)
+		}
+		v := l.Set(0, d)
+		return l.Contains(v, d) && v.PopCount() == 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksExpansion(t *testing.T) {
+	l := Layout8
+	target := isa.Addr(0x10000)
+	var v Vector
+	v = l.Set(v, 2)
+	v = l.Set(v, 5)
+	v = l.Set(v, -1)
+	blocks := l.Blocks(v, target)
+	want := map[isa.Addr]bool{
+		target + 2*isa.BlockBytes: true,
+		target + 5*isa.BlockBytes: true,
+		target - 1*isa.BlockBytes: true,
+	}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for _, b := range blocks {
+		if !want[b] {
+			t.Fatalf("unexpected block %v", b)
+		}
+	}
+}
+
+func TestBlocksEmptyVector(t *testing.T) {
+	if got := Layout8.Blocks(0, 0x1000); got != nil {
+		t.Fatalf("empty vector expanded to %v", got)
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	bad := []Layout{{Before: -1, After: 3}, {}, {Before: 40, After: 40}}
+	for _, l := range bad {
+		if l.Validate() == nil {
+			t.Fatalf("layout %+v accepted", l)
+		}
+	}
+	if Layout8.Validate() != nil || Layout32.Validate() != nil {
+		t.Fatal("paper layouts rejected")
+	}
+	if Layout8.Bits() != 8 || Layout32.Bits() != 32 {
+		t.Fatal("paper layouts have wrong bit counts")
+	}
+}
+
+// mkBlock builds a basic block for recorder tests.
+func mkBlock(pc isa.Addr, n int, kind isa.BranchKind, target isa.Addr) isa.BasicBlock {
+	taken := kind != isa.BranchNone && kind != isa.BranchCond
+	return isa.BasicBlock{PC: pc, NumInstr: n, Kind: kind, Taken: taken, Target: target}
+}
+
+func TestRecorderCallRegion(t *testing.T) {
+	r := NewRecorder(Layout8)
+
+	// call at 0x1000 -> 0x8000; region covers 0x8000 and 0x8000+2 blocks;
+	// then a jump closes the region.
+	if c := r.Observe(mkBlock(0x1000, 4, isa.BranchCall, 0x8000)); c != nil {
+		t.Fatal("commit before any region closed")
+	}
+	r.Observe(mkBlock(0x8000, 4, isa.BranchCond, 0x8080)) // block 0
+	fall := isa.BasicBlock{PC: 0x8080, NumInstr: 4, Kind: isa.BranchCond, Taken: true, Target: 0x8010}
+	r.Observe(fall) // block +2
+	c := r.Observe(mkBlock(0x8010, 4, isa.BranchJump, 0x9000))
+	if c == nil {
+		t.Fatal("jump did not close region")
+	}
+	if c.Owner != 0x1000 || c.IsReturnRegion {
+		t.Fatalf("commit = %+v, want owner 0x1000 call region", c)
+	}
+	if !Layout8.Contains(c.Vector, 2) {
+		t.Fatalf("footprint missing +2: %b", c.Vector)
+	}
+	if Layout8.Contains(c.Vector, 1) {
+		t.Fatalf("footprint has spurious +1: %b", c.Vector)
+	}
+}
+
+func TestRecorderReturnRegionOwner(t *testing.T) {
+	r := NewRecorder(Layout8)
+	// call A (block 0x1000) -> callee at 0x8000; callee returns; the
+	// region after the return must be committed against the CALL block.
+	r.Observe(mkBlock(0x1000, 4, isa.BranchCall, 0x8000))
+	r.Observe(mkBlock(0x8000, 4, isa.BranchRet, 0x1010)) // closes call region, opens return region
+	r.Observe(mkBlock(0x1010, 4, isa.BranchCond, 0x1080))
+	c := r.Observe(mkBlock(0x1014, 4, isa.BranchJump, 0x9000))
+	if c == nil {
+		t.Fatal("no commit")
+	}
+	if c.Owner != 0x1000 || !c.IsReturnRegion {
+		t.Fatalf("return region misattributed: %+v", c)
+	}
+}
+
+func TestRecorderNestedCalls(t *testing.T) {
+	r := NewRecorder(Layout8)
+	r.Observe(mkBlock(0x1000, 4, isa.BranchCall, 0x8000)) // A calls B
+	r.Observe(mkBlock(0x8000, 4, isa.BranchCall, 0xa000)) // B calls C
+	r.Observe(mkBlock(0xa000, 4, isa.BranchRet, 0x8010))  // C returns -> B's call owns next region
+	c := r.Observe(mkBlock(0x8010, 4, isa.BranchRet, 0x1010))
+	if c == nil || c.Owner != 0x8000 || !c.IsReturnRegion {
+		t.Fatalf("nested return misattributed: %+v", c)
+	}
+	// The next return region belongs to A's call.
+	c2 := r.Observe(mkBlock(0x1010, 4, isa.BranchJump, 0x9000))
+	if c2 == nil || c2.Owner != 0x1000 || !c2.IsReturnRegion {
+		t.Fatalf("outer return misattributed: %+v", c2)
+	}
+}
+
+func TestRecorderUnmatchedReturn(t *testing.T) {
+	r := NewRecorder(Layout8)
+	// A return with an empty shadow stack must not panic and must not
+	// produce a return-region commit.
+	r.Observe(mkBlock(0x1000, 4, isa.BranchRet, 0x9000))
+	c := r.Observe(mkBlock(0x9000, 4, isa.BranchJump, 0xa000))
+	if c == nil {
+		t.Fatal("no commit")
+	}
+	if c.IsReturnRegion {
+		t.Fatal("unmatched return produced a return region")
+	}
+}
+
+func TestRecorderDistantAccessDropped(t *testing.T) {
+	r := NewRecorder(Layout8)
+	r.Observe(mkBlock(0x1000, 4, isa.BranchJump, 0x8000))
+	// Access 20 blocks away: outside the 8-bit window.
+	r.Observe(mkBlock(0x8000+20*isa.BlockBytes, 4, isa.BranchNone, 0))
+	if r.Dropped == 0 {
+		t.Fatal("distant access not counted as dropped")
+	}
+	c := r.Observe(mkBlock(0x8000+20*isa.BlockBytes+16, 4, isa.BranchJump, 0x9000))
+	if c == nil || c.Vector != 0 {
+		t.Fatalf("distant access leaked into vector: %+v", c)
+	}
+}
+
+func TestRecorderTrapLikeCall(t *testing.T) {
+	r := NewRecorder(Layout8)
+	r.Observe(mkBlock(0x1000, 4, isa.BranchTrap, 0x7f0000000000))
+	c := r.Observe(mkBlock(0x7f0000000000, 4, isa.BranchTrapRet, 0x1010))
+	if c == nil || c.Owner != 0x1000 || c.IsReturnRegion {
+		t.Fatalf("trap region misattributed: %+v", c)
+	}
+	// Trap-return region owned by the trap block (as return region).
+	c2 := r.Observe(mkBlock(0x1010, 4, isa.BranchJump, 0x9000))
+	if c2 == nil || c2.Owner != 0x1000 || !c2.IsReturnRegion {
+		t.Fatalf("trap-return region misattributed: %+v", c2)
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	if Vector(0).PopCount() != 0 || Vector(0b1011).PopCount() != 3 {
+		t.Fatal("PopCount broken")
+	}
+}
+
+func BenchmarkRecorderObserve(b *testing.B) {
+	r := NewRecorder(Layout8)
+	blocks := []isa.BasicBlock{
+		mkBlock(0x1000, 4, isa.BranchCall, 0x8000),
+		mkBlock(0x8000, 6, isa.BranchCond, 0x8100),
+		mkBlock(0x8018, 6, isa.BranchNone, 0),
+		mkBlock(0x8030, 4, isa.BranchRet, 0x1010),
+		mkBlock(0x1010, 4, isa.BranchJump, 0x1000),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe(blocks[i%len(blocks)])
+	}
+}

@@ -1,0 +1,501 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 6). Each ExperimentN function runs the simulations
+// it needs (sharing results through a memoizing Runner), returns the
+// structured series, and renders a text table with the same rows the
+// paper reports.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"shotgun/internal/btb"
+	"shotgun/internal/footprint"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/sim"
+	"shotgun/internal/stats"
+	"shotgun/internal/workload"
+)
+
+// Scale sets simulation length. Quick is for tests; Full for the
+// reported experiments.
+type Scale struct {
+	WarmupInstr  uint64
+	MeasureInstr uint64
+	Samples      int
+}
+
+// QuickScale runs short simulations for smoke tests.
+func QuickScale() Scale {
+	return Scale{WarmupInstr: 300_000, MeasureInstr: 400_000, Samples: 1}
+}
+
+// FullScale is the reported-experiment configuration.
+func FullScale() Scale {
+	return Scale{WarmupInstr: 2_000_000, MeasureInstr: 3_000_000, Samples: 3}
+}
+
+// Runner memoizes simulation results so experiments sharing
+// configurations (e.g. the no-prefetch baseline) run once.
+type Runner struct {
+	scale Scale
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// NewRunner builds a runner at the given scale.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{scale: scale, cache: make(map[string]sim.Result)}
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(cfg sim.Config) sim.Result {
+	cfg.WarmupInstr = r.scale.WarmupInstr
+	cfg.MeasureInstr = r.scale.MeasureInstr
+	cfg.Samples = r.scale.Samples
+
+	u, c2, ri := sizesKey(cfg.ShotgunSizes)
+	key := fmt.Sprintf("%s|%s|%d|%v|%d/%d|%d|%d/%d/%d",
+		cfg.Workload, cfg.Mechanism, cfg.BTBEntries, cfg.RegionMode,
+		cfg.Layout.Before, cfg.Layout.After,
+		cfg.WarmupInstr, u, c2, ri)
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return res
+	}
+	res = sim.MustRun(cfg)
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+func sizesKey(s *btb.Sizes) (int, int, int) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return s.UEntries, s.CEntries, s.REntries
+}
+
+// baseline returns the no-prefetch 2K-BTB result for a workload.
+func (r *Runner) baseline(wl string) sim.Result {
+	return r.Run(sim.Config{Workload: wl, Mechanism: sim.None})
+}
+
+// Workloads lists the evaluation suite in presentation order.
+func Workloads() []string { return workload.Names() }
+
+// ---------------------------------------------------------------------
+// Table 1: BTB MPKI of a 2K-entry BTB without prefetching.
+// ---------------------------------------------------------------------
+
+// Table1Row is one workload's miss rate.
+type Table1Row struct {
+	Workload string
+	BTBMPKI  float64
+}
+
+// Table1 regenerates Table 1.
+func Table1(r *Runner) ([]Table1Row, string) {
+	var rows []Table1Row
+	t := stats.NewTable("Table 1: BTB MPKI (2K-entry BTB, no prefetching)", "Workload", "MPKI")
+	for _, wl := range Workloads() {
+		res := r.baseline(wl)
+		rows = append(rows, Table1Row{Workload: wl, BTBMPKI: res.BTBMPKI()})
+		t.AddF(wl, "%.1f", res.BTBMPKI())
+	}
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: Confluence / Boomerang / Ideal speedups over no-prefetch.
+// ---------------------------------------------------------------------
+
+// SpeedupRow is one workload's speedups across mechanisms.
+type SpeedupRow struct {
+	Workload string
+	Speedup  map[string]float64
+}
+
+// Figure1 regenerates Figure 1.
+func Figure1(r *Runner) ([]SpeedupRow, string) {
+	mechs := []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Ideal}
+	return speedupFigure(r, "Figure 1: state-of-the-art vs ideal front-end (speedup over no-prefetch)", mechs)
+}
+
+func speedupFigure(r *Runner, title string, mechs []sim.Mechanism) ([]SpeedupRow, string) {
+	headers := []string{"Workload"}
+	for _, m := range mechs {
+		headers = append(headers, string(m))
+	}
+	t := stats.NewTable(title, headers...)
+	var rows []SpeedupRow
+	gmeans := make(map[string][]float64)
+	for _, wl := range Workloads() {
+		base := r.baseline(wl)
+		row := SpeedupRow{Workload: wl, Speedup: map[string]float64{}}
+		var cells []float64
+		for _, m := range mechs {
+			res := r.Run(sim.Config{Workload: wl, Mechanism: m})
+			s := res.Speedup(base)
+			row.Speedup[string(m)] = s
+			gmeans[string(m)] = append(gmeans[string(m)], s)
+			cells = append(cells, s)
+		}
+		rows = append(rows, row)
+		t.AddF(wl, "%.3f", cells...)
+	}
+	var gm []float64
+	grow := SpeedupRow{Workload: "Gmean", Speedup: map[string]float64{}}
+	for _, m := range mechs {
+		g := stats.GeoMean(gmeans[string(m)])
+		grow.Speedup[string(m)] = g
+		gm = append(gm, g)
+	}
+	rows = append(rows, grow)
+	t.AddF("Gmean", "%.3f", gm...)
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: instruction-cache block access distance inside code regions.
+// ---------------------------------------------------------------------
+
+// Figure3Row is one workload's cumulative access-probability curve.
+type Figure3Row struct {
+	Workload string
+	CDF      [workload.RegionDistBuckets]float64
+}
+
+// Figure3AnalysisBlocks is the trace length for the Figure 3/4 analyses.
+const Figure3AnalysisBlocks = 400_000
+
+// Figure3 regenerates Figure 3 (a pure trace analysis; no timing).
+func Figure3(*Runner) ([]Figure3Row, string) {
+	t := stats.NewTable("Figure 3: cumulative access probability vs distance from region entry",
+		"Workload", "d=0", "d=1", "d=2", "d=4", "d=6", "d=8", "d=10", "d=16", ">16")
+	var rows []Figure3Row
+	for _, wl := range Workloads() {
+		prof := workload.MustGet(wl)
+		a := workload.Analyze(prof.NewWalker(), Figure3AnalysisBlocks)
+		cdf := a.RegionCDF()
+		rows = append(rows, Figure3Row{Workload: wl, CDF: cdf})
+		t.AddF(wl, "%.2f", cdf[0], cdf[1], cdf[2], cdf[4], cdf[6], cdf[8], cdf[10], cdf[16], cdf[17])
+	}
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: dynamic-branch coverage vs hottest static branches.
+// ---------------------------------------------------------------------
+
+// Figure4Row is one coverage curve sample.
+type Figure4Row struct {
+	Workload string
+	K        int
+	All      float64
+	Uncond   float64
+}
+
+// Figure4Points are the static-branch counts sampled (the paper's x-axis
+// runs 1K..8K).
+var Figure4Points = []int{1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192}
+
+// Figure4 regenerates Figure 4 for Oracle and DB2.
+func Figure4(*Runner) ([]Figure4Row, string) {
+	t := stats.NewTable("Figure 4: dynamic branch coverage of K hottest static branches",
+		"Workload", "K", "all", "unconditional")
+	var rows []Figure4Row
+	for _, wl := range []string{"Oracle", "DB2"} {
+		prof := workload.MustGet(wl)
+		a := workload.Analyze(prof.NewWalker(), Figure3AnalysisBlocks)
+		for _, k := range Figure4Points {
+			all := a.CoverageAt(k, nil)
+			unc := a.CoverageAt(k, workload.UncondFilter)
+			rows = append(rows, Figure4Row{Workload: wl, K: k, All: all, Uncond: unc})
+			t.AddRow(wl, fmt.Sprintf("%d", k), fmt.Sprintf("%.3f", all), fmt.Sprintf("%.3f", unc))
+		}
+	}
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: front-end stall-cycle coverage.
+// ---------------------------------------------------------------------
+
+// CoverageRow is one workload's stall coverage across mechanisms.
+type CoverageRow struct {
+	Workload string
+	Coverage map[string]float64
+}
+
+// Figure6 regenerates Figure 6.
+func Figure6(r *Runner) ([]CoverageRow, string) {
+	mechs := []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Shotgun}
+	headers := []string{"Workload"}
+	for _, m := range mechs {
+		headers = append(headers, string(m))
+	}
+	t := stats.NewTable("Figure 6: front-end stall cycles covered (vs no-prefetch baseline)", headers...)
+	var rows []CoverageRow
+	avgs := map[string][]float64{}
+	for _, wl := range Workloads() {
+		base := r.baseline(wl)
+		row := CoverageRow{Workload: wl, Coverage: map[string]float64{}}
+		var cells []float64
+		for _, m := range mechs {
+			res := r.Run(sim.Config{Workload: wl, Mechanism: m})
+			c := res.StallCoverage(base)
+			row.Coverage[string(m)] = c
+			avgs[string(m)] = append(avgs[string(m)], c)
+			cells = append(cells, c)
+		}
+		rows = append(rows, row)
+		t.AddF(wl, "%.3f", cells...)
+	}
+	var av []float64
+	arow := CoverageRow{Workload: "Avg", Coverage: map[string]float64{}}
+	for _, m := range mechs {
+		a := stats.Mean(avgs[string(m)])
+		arow.Coverage[string(m)] = a
+		av = append(av, a)
+	}
+	rows = append(rows, arow)
+	t.AddF("Avg", "%.3f", av...)
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: speedups of the three mechanisms.
+// ---------------------------------------------------------------------
+
+// Figure7 regenerates Figure 7.
+func Figure7(r *Runner) ([]SpeedupRow, string) {
+	mechs := []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Shotgun}
+	return speedupFigure(r, "Figure 7: speedup over no-prefetch baseline", mechs)
+}
+
+// ---------------------------------------------------------------------
+// Figures 8-11: spatial-footprint variants.
+// ---------------------------------------------------------------------
+
+// Variant names one spatial-region prefetching mechanism of Section 6.3.
+type Variant struct {
+	Name   string
+	Mode   prefetch.RegionMode
+	Layout footprint.Layout
+}
+
+// Variants lists the Figure 8/9 ablation points in presentation order.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "no-bit-vector", Mode: prefetch.RegionNone, Layout: footprint.Layout8},
+		{Name: "8-bit-vector", Mode: prefetch.RegionVector, Layout: footprint.Layout8},
+		{Name: "32-bit-vector", Mode: prefetch.RegionVector, Layout: footprint.Layout32},
+		{Name: "entire-region", Mode: prefetch.RegionEntire, Layout: footprint.Layout32},
+		{Name: "5-blocks", Mode: prefetch.RegionFiveBlocks, Layout: footprint.Layout8},
+	}
+}
+
+// AccuracyVariants lists the Figure 10/11 subset.
+func AccuracyVariants() []Variant {
+	all := Variants()
+	return []Variant{all[1], all[3], all[4]}
+}
+
+func (r *Runner) runVariant(wl string, v Variant) sim.Result {
+	return r.Run(sim.Config{
+		Workload:   wl,
+		Mechanism:  sim.Shotgun,
+		RegionMode: v.Mode,
+		Layout:     v.Layout,
+	})
+}
+
+// VariantRow is one workload's metric across footprint variants.
+type VariantRow struct {
+	Workload string
+	Values   map[string]float64
+}
+
+func variantFigure(r *Runner, title string, variants []Variant,
+	metric func(res, base sim.Result) float64, avgGeo bool, format string) ([]VariantRow, string) {
+	headers := []string{"Workload"}
+	for _, v := range variants {
+		headers = append(headers, v.Name)
+	}
+	t := stats.NewTable(title, headers...)
+	var rows []VariantRow
+	agg := map[string][]float64{}
+	for _, wl := range Workloads() {
+		base := r.baseline(wl)
+		row := VariantRow{Workload: wl, Values: map[string]float64{}}
+		var cells []float64
+		for _, v := range variants {
+			res := r.runVariant(wl, v)
+			m := metric(res, base)
+			row.Values[v.Name] = m
+			agg[v.Name] = append(agg[v.Name], m)
+			cells = append(cells, m)
+		}
+		rows = append(rows, row)
+		t.AddF(wl, format, cells...)
+	}
+	label := "Avg"
+	if avgGeo {
+		label = "Gmean"
+	}
+	arow := VariantRow{Workload: label, Values: map[string]float64{}}
+	var cells []float64
+	for _, v := range variants {
+		var a float64
+		if avgGeo {
+			a = stats.GeoMean(agg[v.Name])
+		} else {
+			a = stats.Mean(agg[v.Name])
+		}
+		arow.Values[v.Name] = a
+		cells = append(cells, a)
+	}
+	rows = append(rows, arow)
+	t.AddF(label, format, cells...)
+	return rows, t.String()
+}
+
+// Figure8 regenerates Figure 8: stall coverage across footprint variants.
+func Figure8(r *Runner) ([]VariantRow, string) {
+	return variantFigure(r, "Figure 8: Shotgun stall-cycle coverage by spatial-region mechanism",
+		Variants(), func(res, base sim.Result) float64 { return res.StallCoverage(base) }, false, "%.3f")
+}
+
+// Figure9 regenerates Figure 9: speedup across footprint variants.
+func Figure9(r *Runner) ([]VariantRow, string) {
+	return variantFigure(r, "Figure 9: Shotgun speedup by spatial-region mechanism",
+		Variants(), func(res, base sim.Result) float64 { return res.Speedup(base) }, true, "%.3f")
+}
+
+// Figure10 regenerates Figure 10: prefetch accuracy.
+func Figure10(r *Runner) ([]VariantRow, string) {
+	return variantFigure(r, "Figure 10: Shotgun prefetch accuracy by spatial-region mechanism",
+		AccuracyVariants(), func(res, _ sim.Result) float64 { return res.PrefetchAccuracy }, false, "%.3f")
+}
+
+// Figure11 regenerates Figure 11: cycles to fill an L1-D miss.
+func Figure11(r *Runner) ([]VariantRow, string) {
+	return variantFigure(r, "Figure 11: cycles to fill an L1-D miss by spatial-region mechanism",
+		AccuracyVariants(), func(res, _ sim.Result) float64 { return res.AvgDataFillCycles() }, false, "%.1f")
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: C-BTB size sensitivity.
+// ---------------------------------------------------------------------
+
+// Figure12Sizes are the evaluated C-BTB capacities.
+var Figure12Sizes = []int{64, 128, 1024}
+
+// Figure12 regenerates Figure 12: Shotgun speedup vs C-BTB entries.
+func Figure12(r *Runner) ([]VariantRow, string) {
+	headers := []string{"Workload"}
+	for _, n := range Figure12Sizes {
+		headers = append(headers, fmt.Sprintf("%d-entry", n))
+	}
+	t := stats.NewTable("Figure 12: Shotgun speedup vs C-BTB size", headers...)
+	var rows []VariantRow
+	agg := map[int][]float64{}
+	for _, wl := range Workloads() {
+		base := r.baseline(wl)
+		row := VariantRow{Workload: wl, Values: map[string]float64{}}
+		var cells []float64
+		for _, n := range Figure12Sizes {
+			sizes := btb.MustShotgunSizesForBudget(2048)
+			sizes.CEntries = n
+			res := r.Run(sim.Config{
+				Workload: wl, Mechanism: sim.Shotgun, ShotgunSizes: &sizes,
+			})
+			s := res.Speedup(base)
+			row.Values[fmt.Sprintf("%d", n)] = s
+			agg[n] = append(agg[n], s)
+			cells = append(cells, s)
+		}
+		rows = append(rows, row)
+		t.AddF(wl, "%.3f", cells...)
+	}
+	arow := VariantRow{Workload: "Gmean", Values: map[string]float64{}}
+	var cells []float64
+	for _, n := range Figure12Sizes {
+		g := stats.GeoMean(agg[n])
+		arow.Values[fmt.Sprintf("%d", n)] = g
+		cells = append(cells, g)
+	}
+	rows = append(rows, arow)
+	t.AddF("Gmean", "%.3f", cells...)
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: BTB storage budget sensitivity (Oracle and DB2).
+// ---------------------------------------------------------------------
+
+// Figure13Budgets are the conventional-BTB-equivalent budgets swept.
+var Figure13Budgets = []int{512, 1024, 2048, 4096, 8192}
+
+// Figure13Row is one (workload, mechanism, budget) speedup.
+type Figure13Row struct {
+	Workload  string
+	Mechanism string
+	Budget    int
+	Speedup   float64
+}
+
+// Figure13 regenerates Figure 13.
+func Figure13(r *Runner) ([]Figure13Row, string) {
+	t := stats.NewTable("Figure 13: speedup vs BTB storage budget (budget = equivalent conventional entries)",
+		"Workload", "Mechanism", "512", "1K", "2K", "4K", "8K")
+	var rows []Figure13Row
+	for _, wl := range []string{"Oracle", "DB2"} {
+		base := r.baseline(wl)
+		for _, m := range []sim.Mechanism{sim.Boomerang, sim.Shotgun} {
+			var cells []string
+			for _, budget := range Figure13Budgets {
+				res := r.Run(sim.Config{Workload: wl, Mechanism: m, BTBEntries: budget})
+				s := res.Speedup(base)
+				rows = append(rows, Figure13Row{Workload: wl, Mechanism: string(m), Budget: budget, Speedup: s})
+				cells = append(cells, fmt.Sprintf("%.3f", s))
+			}
+			t.AddRow(append([]string{wl, string(m)}, cells...)...)
+		}
+	}
+	return rows, t.String()
+}
+
+// ---------------------------------------------------------------------
+// All experiments.
+// ---------------------------------------------------------------------
+
+// Experiment pairs an identifier with its render function.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(*Runner) string
+}
+
+// Experiments lists every reproduced table and figure.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "BTB MPKI without prefetching", func(r *Runner) string { _, s := Table1(r); return s }},
+		{"fig1", "State-of-the-art vs ideal speedups", func(r *Runner) string { _, s := Figure1(r); return s }},
+		{"fig3", "Region spatial locality", func(r *Runner) string { _, s := Figure3(r); return s }},
+		{"fig4", "Branch working-set coverage", func(r *Runner) string { _, s := Figure4(r); return s }},
+		{"fig6", "Front-end stall coverage", func(r *Runner) string { _, s := Figure6(r); return s }},
+		{"fig7", "Speedup over baseline", func(r *Runner) string { _, s := Figure7(r); return s }},
+		{"fig8", "Footprint-variant stall coverage", func(r *Runner) string { _, s := Figure8(r); return s }},
+		{"fig9", "Footprint-variant speedup", func(r *Runner) string { _, s := Figure9(r); return s }},
+		{"fig10", "Footprint-variant prefetch accuracy", func(r *Runner) string { _, s := Figure10(r); return s }},
+		{"fig11", "Footprint-variant L1-D fill latency", func(r *Runner) string { _, s := Figure11(r); return s }},
+		{"fig12", "C-BTB size sensitivity", func(r *Runner) string { _, s := Figure12(r); return s }},
+		{"fig13", "BTB budget sensitivity", func(r *Runner) string { _, s := Figure13(r); return s }},
+	}
+}

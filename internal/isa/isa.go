@@ -1,0 +1,192 @@
+// Package isa defines the architectural vocabulary shared by every layer of
+// the simulator: instruction addresses, cache-block arithmetic, branch
+// kinds, and the basic-block records that traces are made of.
+//
+// The modeled ISA follows the paper's setup: a 48-bit virtual address
+// space, fixed 4-byte instructions (SPARC-v9-like), and 64-byte cache
+// blocks.
+package isa
+
+import "fmt"
+
+// Architectural constants from the paper's methodology (Section 5).
+const (
+	// InstrBytes is the size of one instruction. SPARC v9 (the paper's
+	// ISA) uses fixed 4-byte instructions.
+	InstrBytes = 4
+
+	// BlockBytes is the L1-I / LLC cache block size.
+	BlockBytes = 64
+
+	// InstrPerBlock is the number of instructions per cache block.
+	InstrPerBlock = BlockBytes / InstrBytes
+
+	// VABits is the modeled virtual address width.
+	VABits = 48
+
+	// CondTargetOffsetBits bounds conditional-branch displacements:
+	// SPARC v9 limits PC-relative conditional offsets to 22 bits, which
+	// is why the paper's C-BTB stores only a 22-bit target offset.
+	CondTargetOffsetBits = 22
+)
+
+// Addr is a 48-bit virtual byte address. The top 16 bits are always zero.
+type Addr uint64
+
+// Block returns the cache-block address (block-aligned byte address).
+func (a Addr) Block() Addr { return a &^ (BlockBytes - 1) }
+
+// BlockIndex returns the block number (address / block size), convenient
+// for distance arithmetic between blocks.
+func (a Addr) BlockIndex() uint64 { return uint64(a) / BlockBytes }
+
+// Offset returns the byte offset of the address within its cache block.
+func (a Addr) Offset() uint64 { return uint64(a) & (BlockBytes - 1) }
+
+// Add returns the address advanced by n instructions.
+func (a Addr) Add(n int) Addr { return a + Addr(n*InstrBytes) }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%012x", uint64(a)) }
+
+// BlockDistance returns the signed distance in cache blocks from a to b
+// (positive when b is after a).
+func BlockDistance(a, b Addr) int {
+	return int(int64(b.BlockIndex()) - int64(a.BlockIndex()))
+}
+
+// BranchKind classifies the instruction that terminates a basic block.
+type BranchKind uint8
+
+const (
+	// BranchNone marks a block that ends by flowing into another region
+	// without a branch (used for trace segmentation artifacts, e.g. a
+	// block split at a sampling boundary).
+	BranchNone BranchKind = iota
+	// BranchCond is a conditional PC-relative branch (local control flow).
+	BranchCond
+	// BranchJump is an unconditional direct jump.
+	BranchJump
+	// BranchCall is a function call.
+	BranchCall
+	// BranchRet is a function return (target comes from the RAS).
+	BranchRet
+	// BranchTrap is a trap / system call (enters a kernel routine).
+	BranchTrap
+	// BranchTrapRet is a return from trap.
+	BranchTrapRet
+)
+
+var branchKindNames = [...]string{
+	BranchNone:    "none",
+	BranchCond:    "cond",
+	BranchJump:    "jump",
+	BranchCall:    "call",
+	BranchRet:     "ret",
+	BranchTrap:    "trap",
+	BranchTrapRet: "trapret",
+}
+
+func (k BranchKind) String() string {
+	if int(k) < len(branchKindNames) {
+		return branchKindNames[k]
+	}
+	return fmt.Sprintf("BranchKind(%d)", uint8(k))
+}
+
+// IsUnconditional reports whether the branch always transfers control.
+// Per the paper, calls, jumps, returns, and traps form the global control
+// flow; conditional branches form the local control flow.
+func (k BranchKind) IsUnconditional() bool {
+	switch k {
+	case BranchJump, BranchCall, BranchRet, BranchTrap, BranchTrapRet:
+		return true
+	}
+	return false
+}
+
+// IsReturn reports whether the branch reads its target from the RAS.
+func (k BranchKind) IsReturn() bool {
+	return k == BranchRet || k == BranchTrapRet
+}
+
+// IsCallLike reports whether the branch pushes a return address on the RAS.
+func (k BranchKind) IsCallLike() bool {
+	return k == BranchCall || k == BranchTrap
+}
+
+// BasicBlock is one retired (or fetched) basic block: a run of straight-line
+// instructions ending in a branch. This matches the paper's basic-block
+// definition (footnote 1): straight-line code terminated by a branch
+// instruction, which is what a basic-block-oriented BTB indexes.
+type BasicBlock struct {
+	// PC is the address of the first instruction in the block.
+	PC Addr
+	// NumInstr is the number of instructions in the block, including the
+	// terminating branch. The paper encodes this in a 5-bit Size field,
+	// so it is capped at MaxBlockInstrs.
+	NumInstr int
+	// Kind is the terminating branch's kind.
+	Kind BranchKind
+	// Taken reports the branch outcome (always true for unconditional
+	// branches; meaningful only for BranchCond).
+	Taken bool
+	// Target is the branch target when taken. For returns it still holds
+	// the actual target so the simulator can verify RAS behaviour.
+	Target Addr
+}
+
+// MaxBlockInstrs is the largest basic block representable in the BTB's
+// 5-bit size field (31 instructions). Workload generation never produces
+// larger blocks; longer straight-line runs are split.
+const MaxBlockInstrs = 31
+
+// BranchPC returns the address of the terminating branch instruction.
+func (b BasicBlock) BranchPC() Addr { return b.PC.Add(b.NumInstr - 1) }
+
+// FallThrough returns the address of the instruction after the block.
+func (b BasicBlock) FallThrough() Addr { return b.PC.Add(b.NumInstr) }
+
+// Next returns the address control flow actually moves to after the block.
+func (b BasicBlock) Next() Addr {
+	if b.Taken {
+		return b.Target
+	}
+	return b.FallThrough()
+}
+
+// Blocks returns the cache-block addresses the basic block touches, in
+// ascending order. A small block may touch one cache block; a long one may
+// straddle two or more.
+func (b BasicBlock) Blocks() []Addr {
+	first := b.PC.Block()
+	last := b.PC.Add(b.NumInstr - 1).Block()
+	n := int(last.BlockIndex()-first.BlockIndex()) + 1
+	out := make([]Addr, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, first+Addr(i*BlockBytes))
+	}
+	return out
+}
+
+// Validate checks the structural invariants of a basic block record.
+func (b BasicBlock) Validate() error {
+	if b.NumInstr <= 0 || b.NumInstr > MaxBlockInstrs {
+		return fmt.Errorf("isa: block at %v has invalid size %d", b.PC, b.NumInstr)
+	}
+	if b.PC.Offset()%InstrBytes != 0 {
+		return fmt.Errorf("isa: block PC %v not instruction aligned", b.PC)
+	}
+	if uint64(b.PC)>>VABits != 0 {
+		return fmt.Errorf("isa: block PC %v exceeds %d-bit VA", b.PC, VABits)
+	}
+	if b.Kind.IsUnconditional() && !b.Taken {
+		return fmt.Errorf("isa: unconditional %v at %v marked not-taken", b.Kind, b.PC)
+	}
+	if b.Kind == BranchNone && b.Taken {
+		return fmt.Errorf("isa: non-branch block at %v marked taken", b.PC)
+	}
+	if b.Taken && b.Target == 0 {
+		return fmt.Errorf("isa: taken branch at %v has zero target", b.PC)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAlignment(t *testing.T) {
+	cases := []struct {
+		addr  Addr
+		block Addr
+		off   uint64
+	}{
+		{0x0, 0x0, 0},
+		{0x3f, 0x0, 0x3f},
+		{0x40, 0x40, 0},
+		{0x1234, 0x1200, 0x34},
+	}
+	for _, c := range cases {
+		if got := c.addr.Block(); got != c.block {
+			t.Errorf("Block(%v) = %v, want %v", c.addr, got, c.block)
+		}
+		if got := c.addr.Offset(); got != c.off {
+			t.Errorf("Offset(%v) = %v, want %v", c.addr, got, c.off)
+		}
+	}
+}
+
+func TestBlockProperty(t *testing.T) {
+	// Block() is idempotent and always block-aligned.
+	if err := quick.Check(func(raw uint64) bool {
+		a := Addr(raw & ((1 << VABits) - 1))
+		b := a.Block()
+		return b.Offset() == 0 && b.Block() == b && b <= a && a-b < BlockBytes
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Addr(0x1000)
+	if got := a.Add(3); got != 0x100c {
+		t.Fatalf("Add(3) = %v", got)
+	}
+}
+
+func TestBlockDistance(t *testing.T) {
+	if d := BlockDistance(0x1000, 0x1000+5*BlockBytes); d != 5 {
+		t.Fatalf("distance = %d, want 5", d)
+	}
+	if d := BlockDistance(0x1000+5*BlockBytes, 0x1000); d != -5 {
+		t.Fatalf("distance = %d, want -5", d)
+	}
+	// Within the same block the distance is zero.
+	if d := BlockDistance(0x1000, 0x103f); d != 0 {
+		t.Fatalf("distance = %d, want 0", d)
+	}
+}
+
+func TestBranchKindClassification(t *testing.T) {
+	uncond := []BranchKind{BranchJump, BranchCall, BranchRet, BranchTrap, BranchTrapRet}
+	for _, k := range uncond {
+		if !k.IsUnconditional() {
+			t.Errorf("%v should be unconditional", k)
+		}
+	}
+	if BranchCond.IsUnconditional() || BranchNone.IsUnconditional() {
+		t.Error("cond/none must not be unconditional")
+	}
+	if !BranchRet.IsReturn() || !BranchTrapRet.IsReturn() {
+		t.Error("ret/trapret must be returns")
+	}
+	if BranchCall.IsReturn() {
+		t.Error("call is not a return")
+	}
+	if !BranchCall.IsCallLike() || !BranchTrap.IsCallLike() {
+		t.Error("call/trap must be call-like")
+	}
+	if BranchJump.IsCallLike() {
+		t.Error("jump is not call-like")
+	}
+}
+
+func TestBranchKindString(t *testing.T) {
+	if BranchCall.String() != "call" {
+		t.Fatalf("String = %q", BranchCall.String())
+	}
+	if BranchKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestBasicBlockGeometry(t *testing.T) {
+	b := BasicBlock{PC: 0x1000, NumInstr: 4, Kind: BranchCond, Taken: true, Target: 0x2000}
+	if got := b.BranchPC(); got != 0x100c {
+		t.Fatalf("BranchPC = %v", got)
+	}
+	if got := b.FallThrough(); got != 0x1010 {
+		t.Fatalf("FallThrough = %v", got)
+	}
+	if got := b.Next(); got != 0x2000 {
+		t.Fatalf("Next (taken) = %v", got)
+	}
+	b.Taken = false
+	if got := b.Next(); got != 0x1010 {
+		t.Fatalf("Next (not taken) = %v", got)
+	}
+}
+
+func TestBasicBlockBlocks(t *testing.T) {
+	// A block fully inside one cache block.
+	b := BasicBlock{PC: 0x1000, NumInstr: 4, Kind: BranchJump, Taken: true, Target: 0x4000}
+	if got := b.Blocks(); len(got) != 1 || got[0] != 0x1000 {
+		t.Fatalf("Blocks = %v", got)
+	}
+	// A block straddling a cache-block boundary.
+	b = BasicBlock{PC: 0x1038, NumInstr: 8, Kind: BranchJump, Taken: true, Target: 0x4000}
+	got := b.Blocks()
+	if len(got) != 2 || got[0] != 0x1000 || got[1] != 0x1040 {
+		t.Fatalf("straddling Blocks = %v", got)
+	}
+	// A max-size block starting at a block boundary spans two blocks
+	// (31 instructions * 4B = 124B > 64B).
+	b = BasicBlock{PC: 0x2000, NumInstr: MaxBlockInstrs, Kind: BranchJump, Taken: true, Target: 0x4000}
+	if got := b.Blocks(); len(got) != 2 {
+		t.Fatalf("max block spans %d cache blocks, want 2", len(got))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := BasicBlock{PC: 0x1000, NumInstr: 4, Kind: BranchCall, Taken: true, Target: 0x2000}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	bad := []BasicBlock{
+		{PC: 0x1000, NumInstr: 0, Kind: BranchCond},                              // empty
+		{PC: 0x1000, NumInstr: MaxBlockInstrs + 1, Kind: BranchCond},             // oversized
+		{PC: 0x1001, NumInstr: 2, Kind: BranchCond},                              // misaligned
+		{PC: 1 << 50, NumInstr: 2, Kind: BranchCond},                             // VA overflow
+		{PC: 0x1000, NumInstr: 2, Kind: BranchJump, Taken: false},                // uncond not taken
+		{PC: 0x1000, NumInstr: 2, Kind: BranchNone, Taken: true, Target: 0x2000}, // none taken
+		{PC: 0x1000, NumInstr: 2, Kind: BranchCond, Taken: true, Target: 0},      // zero target
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid block accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestValidateProperty(t *testing.T) {
+	// Any block built from sane components validates.
+	if err := quick.Check(func(pcRaw uint64, n uint8, takenBit bool) bool {
+		pc := Addr(pcRaw&((1<<40)-1)) &^ (InstrBytes - 1)
+		if pc == 0 {
+			pc = 0x1000
+		}
+		size := int(n%MaxBlockInstrs) + 1
+		b := BasicBlock{PC: pc, NumInstr: size, Kind: BranchCond, Taken: takenBit, Target: 0x4000}
+		return b.Validate() == nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

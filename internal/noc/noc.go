@@ -1,0 +1,129 @@
+// Package noc models the on-chip interconnect of the simulated CMP: a
+// 4x4 2D mesh with 3 cycles/hop (Table 3) and finite bandwidth.
+//
+// The model is an open fluid queue: every message adds one slot of work
+// to a shared backlog that drains at a fixed rate; a message's latency is
+// its hop latency plus the queueing delay it observes. This mechanically
+// produces the paper's Figure 11 effect — over-prefetching inflates LLC
+// access latency for everyone, including L1-D misses — without simulating
+// individual flits.
+package noc
+
+import "fmt"
+
+// Config describes the mesh.
+type Config struct {
+	// Rows, Cols give the mesh dimensions (Table 3: 4x4).
+	Rows, Cols int
+	// HopCycles is the per-hop latency (Table 3: 3 cycles).
+	HopCycles int
+	// SlotsPerCycle is the fabric's service rate in messages/cycle
+	// available to the modeled core after background traffic from the
+	// other 15 cores is accounted for.
+	SlotsPerCycle float64
+}
+
+// DefaultConfig mirrors Table 3.
+func DefaultConfig() Config {
+	return Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 0.32}
+}
+
+// Mesh is the interconnect model. The zero value is unusable; use New.
+type Mesh struct {
+	cfg     Config
+	avgHops float64
+
+	backlog   float64
+	lastCycle uint64
+
+	// Messages counts total traversals; QueueCycles accumulates queueing
+	// delay, so QueueCycles/Messages is the mean congestion penalty.
+	Messages    uint64
+	QueueCycles uint64
+}
+
+// New builds a mesh model.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.HopCycles <= 0 || cfg.SlotsPerCycle <= 0 {
+		return nil, fmt.Errorf("noc: invalid config %+v", cfg)
+	}
+	return &Mesh{cfg: cfg, avgHops: meanHops(cfg.Rows, cfg.Cols)}, nil
+}
+
+// MustNew is New for static configs.
+func MustNew(cfg Config) *Mesh {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// meanHops returns the expected Manhattan distance between a fixed corner
+// core and a uniformly random destination tile — the average route from
+// the modeled core to a NUCA slice.
+func meanHops(rows, cols int) float64 {
+	total, n := 0, 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			total += r + c
+			n++
+		}
+	}
+	h := float64(total) / float64(n)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// MeanHops exposes the average route length (used by tests and docs).
+func (m *Mesh) MeanHops() float64 { return m.avgHops }
+
+// UncongestedRoundTrip returns the queue-free request+response latency,
+// the floor every Traverse result sits on.
+func (m *Mesh) UncongestedRoundTrip() int {
+	return int(2 * m.avgHops * float64(m.cfg.HopCycles))
+}
+
+// drain retires backlog according to elapsed cycles.
+func (m *Mesh) drain(now uint64) {
+	if now > m.lastCycle {
+		m.backlog -= float64(now-m.lastCycle) * m.cfg.SlotsPerCycle
+		if m.backlog < 0 {
+			m.backlog = 0
+		}
+		m.lastCycle = now
+	}
+}
+
+// Traverse sends one message (request + response) across the mesh at the
+// given cycle and returns its total latency in cycles: two average routes
+// of hop latency plus the current queueing delay.
+func (m *Mesh) Traverse(now uint64) int {
+	m.drain(now)
+	queue := int(m.backlog / m.cfg.SlotsPerCycle)
+	m.backlog++
+	m.Messages++
+	m.QueueCycles += uint64(queue)
+	return int(2*m.avgHops*float64(m.cfg.HopCycles)) + queue
+}
+
+// Backlog exposes the current queued work (messages awaiting service).
+func (m *Mesh) Backlog() float64 {
+	return m.backlog
+}
+
+// AvgQueueCycles returns the mean queueing delay per message so far.
+func (m *Mesh) AvgQueueCycles() float64 {
+	if m.Messages == 0 {
+		return 0
+	}
+	return float64(m.QueueCycles) / float64(m.Messages)
+}
+
+// ResetStats clears counters but keeps the congestion state.
+func (m *Mesh) ResetStats() {
+	m.Messages = 0
+	m.QueueCycles = 0
+}

@@ -1,0 +1,81 @@
+package noc
+
+import "testing"
+
+func TestMeanHops(t *testing.T) {
+	// 4x4 mesh from corner: mean Manhattan distance = mean(r)+mean(c) = 1.5+1.5.
+	m := MustNew(DefaultConfig())
+	if got := m.MeanHops(); got != 3.0 {
+		t.Fatalf("MeanHops = %v, want 3.0", got)
+	}
+}
+
+func TestUncongestedLatency(t *testing.T) {
+	m := MustNew(Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 1})
+	lat := m.Traverse(0)
+	// Round trip: 2 * 3 hops * 3 cycles = 18, no queue.
+	if lat != 18 {
+		t.Fatalf("latency = %d, want 18", lat)
+	}
+}
+
+func TestCongestionGrowsLatency(t *testing.T) {
+	m := MustNew(Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 0.25})
+	// Slam the mesh with back-to-back messages in one cycle.
+	first := m.Traverse(100)
+	var last int
+	for i := 0; i < 40; i++ {
+		last = m.Traverse(100)
+	}
+	if last <= first {
+		t.Fatalf("burst did not raise latency: first=%d last=%d", first, last)
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	m := MustNew(Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 0.5})
+	for i := 0; i < 20; i++ {
+		m.Traverse(0)
+	}
+	congested := m.Traverse(1)
+	relaxed := m.Traverse(10000)
+	if relaxed >= congested {
+		t.Fatalf("backlog did not drain: congested=%d relaxed=%d", congested, relaxed)
+	}
+	if relaxed != 18 {
+		t.Fatalf("fully drained latency = %d, want 18", relaxed)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		m.Traverse(0)
+	}
+	if m.Messages != 10 {
+		t.Fatalf("Messages = %d", m.Messages)
+	}
+	if m.AvgQueueCycles() == 0 {
+		t.Fatal("expected queueing in a same-cycle burst")
+	}
+	m.ResetStats()
+	if m.Messages != 0 || m.QueueCycles != 0 {
+		t.Fatal("reset failed")
+	}
+	if m.Backlog() == 0 {
+		t.Fatal("reset must not clear congestion state")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func BenchmarkTraverse(b *testing.B) {
+	m := MustNew(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		m.Traverse(uint64(i))
+	}
+}

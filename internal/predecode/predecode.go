@@ -1,0 +1,76 @@
+// Package predecode models the predecoders Boomerang and Shotgun attach
+// to the L1-I fill path: given a fetched or prefetched cache block, they
+// extract the branch instructions it contains and produce BTB metadata
+// (basic-block start, size, branch kind, target).
+//
+// In hardware the predecoder decodes raw bytes; in this simulator the
+// Decoder is built from the synthetic program's static structure, which
+// yields exactly the same information.
+package predecode
+
+import (
+	"shotgun/internal/btb"
+	"shotgun/internal/isa"
+	"shotgun/internal/program"
+)
+
+// Branch is one predecoded branch: the BTB entry payload plus the basic
+// block's start address (the BTB index).
+type Branch struct {
+	BlockPC isa.Addr
+	Entry   btb.Entry
+}
+
+// Decoder maps cache-block addresses to the branches whose terminating
+// branch instruction lies inside that block.
+type Decoder struct {
+	byBlock map[isa.Addr][]Branch
+}
+
+// NewDecoder indexes every static branch in the program by the cache
+// block containing its branch instruction.
+func NewDecoder(prog *program.Program) *Decoder {
+	d := &Decoder{byBlock: make(map[isa.Addr][]Branch)}
+	for _, f := range prog.Funcs {
+		for bi := range f.Blocks {
+			sb := &f.Blocks[bi]
+			if sb.Kind == isa.BranchNone {
+				continue
+			}
+			branchPC := sb.PC.Add(sb.NumInstr - 1)
+			cb := branchPC.Block()
+			entry := btb.Entry{NumInstr: sb.NumInstr, Kind: sb.Kind}
+			switch sb.Kind {
+			case isa.BranchCond, isa.BranchJump:
+				entry.Target = f.Blocks[sb.TargetIdx].PC
+			case isa.BranchCall, isa.BranchTrap:
+				entry.Target = prog.Func(sb.Callee).Entry()
+			}
+			// Returns read targets from the RAS; no static target.
+			d.byBlock[cb] = append(d.byBlock[cb], Branch{BlockPC: sb.PC, Entry: entry})
+		}
+	}
+	return d
+}
+
+// Decode returns the branches whose branch instruction lies in the cache
+// block containing addr. The returned slice is shared; callers must not
+// mutate it.
+func (d *Decoder) Decode(addr isa.Addr) []Branch {
+	return d.byBlock[addr.Block()]
+}
+
+// DecodeFor returns the predecoded entry for the basic block starting at
+// blockPC, searching the cache block that holds its terminating branch.
+// Used by reactive BTB fills, which know which basic block missed.
+func (d *Decoder) DecodeFor(blockPC isa.Addr, branchPC isa.Addr) (Branch, bool) {
+	for _, br := range d.byBlock[branchPC.Block()] {
+		if br.BlockPC == blockPC {
+			return br, true
+		}
+	}
+	return Branch{}, false
+}
+
+// Blocks returns the number of distinct cache blocks with branches.
+func (d *Decoder) Blocks() int { return len(d.byBlock) }

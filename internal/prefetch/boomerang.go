@@ -1,0 +1,111 @@
+package prefetch
+
+import (
+	"shotgun/internal/btb"
+	"shotgun/internal/isa"
+	"shotgun/internal/uncore"
+)
+
+// Boomerang (Kumar et al., HPCA'17) is FDIP extended with reactive BTB
+// filling: when the runahead detects a BTB miss it stalls, fetches the
+// cache block containing the missing branch from the memory hierarchy,
+// predecodes it, installs the missing branch into the BTB and the rest of
+// the block's branches into a small BTB prefetch buffer. This avoids the
+// decode-time pipeline re-steer, at the price of pausing instruction
+// prefetching while each miss resolves — the limitation Shotgun removes.
+type Boomerang struct {
+	ctx  Context
+	btb  *btb.Conventional
+	pbuf *btb.PrefetchBuffer
+
+	misses uint64
+	// Resolutions counts reactive fills; ResolveStallCycles the total
+	// runahead cycles spent waiting on them.
+	Resolutions        uint64
+	ResolveStallCycles uint64
+}
+
+// NewBoomerang builds the engine with the given BTB entry count and a
+// 32-entry BTB prefetch buffer (Section 5.2).
+func NewBoomerang(ctx Context, btbEntries int) *Boomerang {
+	return &Boomerang{
+		ctx:  ctx,
+		btb:  btb.MustNewConventional(btbEntries),
+		pbuf: btb.NewPrefetchBuffer(32),
+	}
+}
+
+// Name implements Engine.
+func (e *Boomerang) Name() string { return "boomerang" }
+
+// Evaluate implements Engine.
+func (e *Boomerang) Evaluate(now uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval {
+	prefetchBlocks(e.ctx, now, bb)
+
+	if bb.Kind == isa.BranchNone {
+		return Eval{BTBHit: true}
+	}
+	if _, ok := e.btb.Lookup(bb.PC); ok {
+		return Eval{BTBHit: true}
+	}
+	// A BTB prefetch buffer hit promotes into the BTB without a stall.
+	if entry, ok := e.pbuf.Take(bb.PC); ok {
+		e.btb.Insert(bb.PC, entry)
+		return Eval{BTBHit: true}
+	}
+
+	// Reactive fill: fetch the block holding the branch, predecode it.
+	e.misses++
+	e.Resolutions++
+	ready := e.resolve(now, bb)
+	if ready > now {
+		e.ResolveStallCycles += ready - now
+	}
+	return Eval{BTBHit: true, StallUntil: ready}
+}
+
+// resolve fetches the branch's cache block and installs its predecoded
+// branches: the missing one into the BTB, the others into the prefetch
+// buffer (Section 4.2.3's description of Boomerang's fill mechanism).
+func (e *Boomerang) resolve(now uint64, bb isa.BasicBlock) uint64 {
+	branchBlock := bb.BranchPC().Block()
+	ready := e.ctx.Hier.BlockResidency(now, branchBlock)
+	for _, br := range e.ctx.Dec.Decode(branchBlock) {
+		if br.BlockPC == bb.PC {
+			e.btb.Insert(br.BlockPC, br.Entry)
+		} else {
+			e.pbuf.Insert(br.BlockPC, br.Entry)
+		}
+	}
+	return ready
+}
+
+// OnArrival implements Engine. Boomerang has no proactive fill path; BTB
+// filling happens reactively in Evaluate.
+func (e *Boomerang) OnArrival(uint64, []uncore.Arrival) {}
+
+// OnRetire implements Engine.
+func (e *Boomerang) OnRetire(isa.BasicBlock) {}
+
+// OnFetch implements Engine.
+func (e *Boomerang) OnFetch(uint64, isa.Addr, uncore.Source) {}
+
+// OnDemandMiss implements Engine.
+func (e *Boomerang) OnDemandMiss(uint64, isa.Addr) {}
+
+// BTBMisses implements Engine.
+func (e *Boomerang) BTBMisses() uint64 { return e.misses }
+
+// ResetStats implements Engine.
+func (e *Boomerang) ResetStats() {
+	e.misses = 0
+	e.Resolutions = 0
+	e.ResolveStallCycles = 0
+	e.btb.ResetStats()
+}
+
+// OnMispredict implements Engine: like FDIP, Boomerang's runahead chases
+// the predicted (wrong) path until the flush.
+func (e *Boomerang) OnMispredict(now uint64, wrongPath isa.Addr) {
+	chaseWrongPath(e.ctx, now, wrongPath)
+}

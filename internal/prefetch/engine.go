@@ -1,0 +1,106 @@
+// Package prefetch implements the six control-flow delivery mechanisms
+// the paper evaluates, behind one Engine interface driven by the core's
+// cycle loop:
+//
+//   - None: conventional 2K-entry BTB, no prefetching (the baseline).
+//   - FDIP: fetch-directed instruction prefetching (Reinman et al.);
+//     speculates straight-line through BTB misses.
+//   - Boomerang: FDIP + reactive BTB fill; stalls the runahead to
+//     resolve each BTB miss (Kumar et al., HPCA'17).
+//   - Confluence: temporal-streaming unified prefetcher over SHIFT
+//     history with a 16K-entry BTB (Kaynak et al., MICRO'15).
+//   - Shotgun: this paper — U-BTB/C-BTB/RIB with spatial footprints.
+//   - Ideal: BTB and L1-I never miss (the opportunity bound).
+package prefetch
+
+import (
+	"shotgun/internal/isa"
+	"shotgun/internal/predecode"
+	"shotgun/internal/uncore"
+)
+
+// Context gives engines access to the shared substrate.
+type Context struct {
+	Hier *uncore.Hierarchy
+	Dec  *predecode.Decoder
+}
+
+// Eval is the outcome of the first-encounter BTB evaluation of a basic
+// block in the branch-prediction unit's runahead.
+type Eval struct {
+	// BTBHit reports that some BTB structure described the block, so the
+	// front-end can follow the branch without a decode-time redirect.
+	BTBHit bool
+	// DecodeRedirect reports an undetected taken branch: the front-end
+	// fetches past it and is re-steered at decode (bubble).
+	DecodeRedirect bool
+	// StallUntil, when non-zero, pauses the runahead until the given
+	// cycle (Boomerang-style reactive BTB-miss resolution).
+	StallUntil uint64
+}
+
+// Engine is one control-flow delivery mechanism. The core calls Evaluate
+// exactly once per dynamic basic block (in trace order) as the runahead
+// first reaches it; the remaining hooks observe fetch and retire events.
+type Engine interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+
+	// Evaluate performs BTB lookup/fill and issues this mechanism's
+	// prefetch probes for the block bb. For return blocks, rasCallBlock
+	// is the basic-block address of the matching call popped from the
+	// RAS (Shotgun's extension) and rasOK reports whether the RAS had a
+	// frame.
+	Evaluate(now uint64, bb isa.BasicBlock, rasCallBlock isa.Addr, rasOK bool) Eval
+
+	// OnArrival observes completed instruction-side fills (for
+	// predecode-driven proactive BTB filling).
+	OnArrival(now uint64, arrivals []uncore.Arrival)
+
+	// OnRetire observes the retire-order basic-block stream (for
+	// footprint recording and temporal-history training).
+	OnRetire(bb isa.BasicBlock)
+
+	// OnFetch observes each demand-fetched cache block and where it was
+	// found (for stream-replay advancement).
+	OnFetch(now uint64, block isa.Addr, src uncore.Source)
+
+	// OnDemandMiss observes L1-I demand misses that reached the LLC (the
+	// temporal-streaming restart trigger).
+	OnDemandMiss(now uint64, block isa.Addr)
+
+	// OnMispredict tells the engine the runahead has gone down a wrong
+	// path starting at wrongPath (the not-taken successor of a branch
+	// that was actually taken, or vice versa). FDIP-style engines chase
+	// it with prefetch probes that pollute the L1-I — the wrong-path
+	// cost of decoupled prefetching.
+	OnMispredict(now uint64, wrongPath isa.Addr)
+
+	// BTBMisses returns the number of first-encounter BTB misses on real
+	// branches (the Table 1 MPKI numerator).
+	BTBMisses() uint64
+
+	// ResetStats clears the engine's counters at the warmup boundary.
+	ResetStats()
+}
+
+// prefetchBlocks issues FDIP-style L1-I probes for every cache block a
+// basic block spans.
+func prefetchBlocks(ctx Context, now uint64, bb isa.BasicBlock) {
+	for _, blk := range bb.Blocks() {
+		ctx.Hier.PrefetchBlock(now, blk)
+	}
+}
+
+// wrongPathDepth is how many sequential blocks an FDIP-style runahead
+// chases down a mispredicted path before the execute-time flush.
+const wrongPathDepth = 3
+
+// chaseWrongPath issues the wrong-path probes shared by the FDIP-derived
+// engines.
+func chaseWrongPath(ctx Context, now uint64, start isa.Addr) {
+	base := start.Block()
+	for i := 0; i < wrongPathDepth; i++ {
+		ctx.Hier.PrefetchBlock(now, base+isa.Addr(i*isa.BlockBytes))
+	}
+}

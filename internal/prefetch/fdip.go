@@ -1,0 +1,88 @@
+package prefetch
+
+import (
+	"shotgun/internal/btb"
+	"shotgun/internal/isa"
+	"shotgun/internal/uncore"
+)
+
+// FDIP is fetch-directed instruction prefetching (Reinman, Calder &
+// Austin '99): the branch-prediction unit runs ahead of fetch, and every
+// fetch address entering the FTQ triggers an L1-I prefetch probe. On a
+// BTB miss FDIP speculates through: it keeps prefetching straight-line
+// code, which is wrong whenever the undetected branch was taken — the
+// limitation Section 3.2 describes.
+type FDIP struct {
+	ctx Context
+	btb *btb.Conventional
+
+	misses uint64
+	// WrongPathPrefetches counts the straight-line probes issued past an
+	// undetected taken branch.
+	WrongPathPrefetches uint64
+}
+
+// fdipSpecDepth is how many sequential blocks FDIP prefetches past an
+// undetected taken branch before the decode re-steer catches up.
+const fdipSpecDepth = 2
+
+// NewFDIP builds the engine with the given BTB entry count.
+func NewFDIP(ctx Context, btbEntries int) *FDIP {
+	return &FDIP{ctx: ctx, btb: btb.MustNewConventional(btbEntries)}
+}
+
+// Name implements Engine.
+func (e *FDIP) Name() string { return "fdip" }
+
+// Evaluate implements Engine.
+func (e *FDIP) Evaluate(now uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval {
+	prefetchBlocks(e.ctx, now, bb)
+
+	if bb.Kind == isa.BranchNone {
+		return Eval{BTBHit: true}
+	}
+	if _, ok := e.btb.Lookup(bb.PC); ok {
+		return Eval{BTBHit: true}
+	}
+	e.misses++
+	e.btb.Insert(bb.PC, btb.EntryFromBlock(bb))
+	if bb.Taken {
+		// Speculate straight-line: prefetch the fall-through blocks the
+		// real FDIP would have chased before the decode redirect.
+		next := bb.FallThrough().Block()
+		for i := 1; i <= fdipSpecDepth; i++ {
+			e.ctx.Hier.PrefetchBlock(now, next+isa.Addr(i*isa.BlockBytes))
+			e.WrongPathPrefetches++
+		}
+		return Eval{DecodeRedirect: true}
+	}
+	return Eval{}
+}
+
+// OnArrival implements Engine.
+func (e *FDIP) OnArrival(uint64, []uncore.Arrival) {}
+
+// OnRetire implements Engine.
+func (e *FDIP) OnRetire(isa.BasicBlock) {}
+
+// OnFetch implements Engine.
+func (e *FDIP) OnFetch(uint64, isa.Addr, uncore.Source) {}
+
+// OnDemandMiss implements Engine.
+func (e *FDIP) OnDemandMiss(uint64, isa.Addr) {}
+
+// BTBMisses implements Engine.
+func (e *FDIP) BTBMisses() uint64 { return e.misses }
+
+// ResetStats implements Engine.
+func (e *FDIP) ResetStats() {
+	e.misses = 0
+	e.WrongPathPrefetches = 0
+	e.btb.ResetStats()
+}
+
+// OnMispredict implements Engine: FDIP chases the predicted (wrong) path.
+func (e *FDIP) OnMispredict(now uint64, wrongPath isa.Addr) {
+	chaseWrongPath(e.ctx, now, wrongPath)
+	e.WrongPathPrefetches += wrongPathDepth
+}

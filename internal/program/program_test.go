@@ -1,0 +1,222 @@
+package program
+
+import (
+	"testing"
+
+	"shotgun/internal/isa"
+)
+
+func smallParams() GenParams {
+	return GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}
+}
+
+func TestGenerateValid(t *testing.T) {
+	p, err := Generate(smallParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallParams(), 42)
+	b := MustGenerate(smallParams(), 42)
+	if len(a.Funcs) != len(b.Funcs) {
+		t.Fatalf("function counts differ: %d vs %d", len(a.Funcs), len(b.Funcs))
+	}
+	for i := range a.Funcs {
+		fa, fb := a.Funcs[i], b.Funcs[i]
+		if fa.Entry() != fb.Entry() || len(fa.Blocks) != len(fb.Blocks) {
+			t.Fatalf("function %d differs between runs", i)
+		}
+		for j := range fa.Blocks {
+			if fa.Blocks[j] != fb.Blocks[j] {
+				t.Fatalf("function %d block %d differs: %+v vs %+v", i, j, fa.Blocks[j], fb.Blocks[j])
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(smallParams(), 1)
+	b := MustGenerate(smallParams(), 2)
+	same := true
+	for i := range a.Funcs {
+		if a.Funcs[i].Entry() != b.Funcs[i].Entry() || len(a.Funcs[i].Blocks) != len(b.Funcs[i].Blocks) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestGenerateManySeedsValidate(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p, err := Generate(smallParams(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !p.WeakestLayerPreserved() {
+			t.Fatalf("seed %d: trap entries not above kernel internals", seed)
+		}
+	}
+}
+
+func TestLayoutDisjoint(t *testing.T) {
+	p := MustGenerate(smallParams(), 7)
+	type span struct{ lo, hi isa.Addr }
+	var spans []span
+	for _, f := range p.Funcs {
+		spans = append(spans, span{f.Entry(), f.End()})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("functions %d and %d overlap: [%v,%v) vs [%v,%v)", i, j, a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+func TestKernelAddressSeparation(t *testing.T) {
+	params := smallParams()
+	p := MustGenerate(params, 3)
+	for _, f := range p.Funcs {
+		inKernel := f.Entry() >= 0x7f00_0000_0000
+		wantKernel := f.Role != RoleApp
+		if inKernel != wantKernel {
+			t.Fatalf("function %d (%v) at %v: wrong address space", f.ID, f.Role, f.Entry())
+		}
+	}
+}
+
+func TestMaxCallDepthBounded(t *testing.T) {
+	p := MustGenerate(smallParams(), 5)
+	d := p.MaxCallDepth()
+	// Defaults: 6 app layers + trap + 3 kernel layers + 1.
+	if d <= 0 || d > 6+1+3+1 {
+		t.Fatalf("MaxCallDepth = %d, want in (0, 11]", d)
+	}
+}
+
+func TestStaticBranchesCounted(t *testing.T) {
+	p := MustGenerate(smallParams(), 9)
+	n := p.StaticBranches()
+	total := 0
+	for _, f := range p.Funcs {
+		total += len(f.Blocks)
+	}
+	if n <= 0 || n > total {
+		t.Fatalf("StaticBranches = %d, total blocks = %d", n, total)
+	}
+	// Nearly every block ends in a branch (BranchNone is rare).
+	if float64(n) < 0.7*float64(total) {
+		t.Fatalf("too few branches: %d of %d blocks", n, total)
+	}
+}
+
+func TestFunctionGeometry(t *testing.T) {
+	p := MustGenerate(smallParams(), 11)
+	for _, f := range p.Funcs {
+		if f.SizeBlocks() < 1 {
+			t.Fatalf("function %d has %d cache blocks", f.ID, f.SizeBlocks())
+		}
+		if f.End() <= f.Entry() {
+			t.Fatalf("function %d empty range", f.ID)
+		}
+	}
+	if p.CodeBytes() == 0 {
+		t.Fatal("zero code bytes")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Program { return MustGenerate(smallParams(), 13) }
+
+	p := fresh()
+	p.Funcs[0].Blocks[0].NumInstr = 0
+	if p.Validate() == nil {
+		t.Error("zero-size block accepted")
+	}
+
+	p = fresh()
+	p.Funcs[0].Blocks[len(p.Funcs[0].Blocks)-1].Kind = isa.BranchJump
+	if p.Validate() == nil {
+		t.Error("function not ending in return accepted")
+	}
+
+	p = fresh()
+	// Find a call block and cross-wire it to a trap entry.
+	done := false
+	for _, f := range p.Funcs {
+		for i, b := range f.Blocks {
+			if b.Kind == isa.BranchCall {
+				f.Blocks[i].Callee = p.TrapEntries[0]
+				done = true
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if done && p.Validate() == nil {
+		t.Error("call to trap entry accepted")
+	}
+
+	p = fresh()
+	// Break layering: find a call and point it at a same-layer function.
+	done = false
+	for _, f := range p.Funcs {
+		if f.Role != RoleApp {
+			continue
+		}
+		for i, b := range f.Blocks {
+			if b.Kind != isa.BranchCall {
+				continue
+			}
+			for _, g := range p.Funcs {
+				if g.Role == RoleApp && g.Layer == f.Layer && g.ID != f.ID {
+					f.Blocks[i].Callee = g.ID
+					done = true
+					break
+				}
+			}
+			break
+		}
+		if done {
+			break
+		}
+	}
+	if done && p.Validate() == nil {
+		t.Error("same-layer call accepted")
+	}
+}
+
+func TestGenerateRejectsTinyPrograms(t *testing.T) {
+	_, err := Generate(GenParams{NumAppFuncs: 2, AppLayers: 6, NumKernelFuncs: 4}, 1)
+	if err == nil {
+		t.Fatal("expected error for fewer app functions than layers")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleApp.String() != "app" || RoleTrapEntry.String() != "trap-entry" || RoleKernelInternal.String() != "kernel" {
+		t.Fatal("role names wrong")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	params := GenParams{NumAppFuncs: 800, NumKernelFuncs: 120}
+	for i := 0; i < b.N; i++ {
+		MustGenerate(params, uint64(i))
+	}
+}

@@ -1,0 +1,319 @@
+// Package sim assembles complete simulations: it wires a workload
+// profile, a control-flow delivery mechanism, and the Table 3 memory
+// hierarchy into a core, runs SMARTS-style warmup+measurement sampling,
+// and returns the statistics every experiment in the paper is built
+// from.
+package sim
+
+import (
+	"fmt"
+
+	"shotgun/internal/btb"
+	"shotgun/internal/core"
+	"shotgun/internal/footprint"
+	"shotgun/internal/predecode"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/uncore"
+	"shotgun/internal/workload"
+)
+
+// Mechanism names a control-flow delivery scheme.
+type Mechanism string
+
+// The mechanisms of the evaluation plus the related work discussed in
+// Section 4.3 (RDIP).
+const (
+	None       Mechanism = "none"
+	FDIP       Mechanism = "fdip"
+	RDIP       Mechanism = "rdip"
+	Boomerang  Mechanism = "boomerang"
+	Confluence Mechanism = "confluence"
+	Shotgun    Mechanism = "shotgun"
+	Ideal      Mechanism = "ideal"
+)
+
+// Mechanisms lists every scheme in presentation order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{None, FDIP, RDIP, Boomerang, Confluence, Shotgun, Ideal}
+}
+
+// Config describes one simulation.
+type Config struct {
+	// Workload is the profile name (workload.Names()).
+	Workload string
+	// Mechanism selects the control-flow delivery scheme.
+	Mechanism Mechanism
+
+	// BTBEntries is the conventional BTB budget (default 2048). Shotgun
+	// derives its three structure sizes from the equivalent budget.
+	BTBEntries int
+	// ShotgunSizes overrides the derived sizes (C-BTB sensitivity).
+	ShotgunSizes *btb.Sizes
+	// Layout is the footprint geometry (default 8-bit: 2 before/6 after).
+	Layout footprint.Layout
+	// RegionMode is Shotgun's region-prefetch variant.
+	RegionMode prefetch.RegionMode
+
+	// WarmupInstr instructions warm the structures before measurement;
+	// MeasureInstr instructions are measured, split into Samples windows
+	// separated by warm (unmeasured) gaps of SkipInstr each.
+	WarmupInstr  uint64
+	MeasureInstr uint64
+	SkipInstr    uint64
+	Samples      int
+}
+
+func (c *Config) setDefaults() {
+	if c.BTBEntries == 0 {
+		c.BTBEntries = 2048
+	}
+	if c.Layout.Bits() == 0 {
+		c.Layout = footprint.Layout8
+	}
+	if c.WarmupInstr == 0 {
+		c.WarmupInstr = 2_000_000
+	}
+	if c.MeasureInstr == 0 {
+		c.MeasureInstr = 3_000_000
+	}
+	if c.Samples == 0 {
+		c.Samples = 3
+	}
+	if c.SkipInstr == 0 {
+		c.SkipInstr = 200_000
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Workload  string
+	Mechanism Mechanism
+
+	Core core.Stats
+	Hier uncore.Stats
+
+	// BTBMisses is the engine's first-encounter miss count.
+	BTBMisses uint64
+	// PrefetchAccuracy is Figure 10's metric.
+	PrefetchAccuracy float64
+}
+
+// IPC returns the measured instructions per cycle.
+func (r Result) IPC() float64 { return r.Core.IPC() }
+
+// BTBMPKI returns BTB misses per kilo-instruction (Table 1).
+func (r Result) BTBMPKI() float64 { return r.Core.MPKI(r.BTBMisses) }
+
+// L1IMPKI returns demand L1-I misses per kilo-instruction.
+func (r Result) L1IMPKI() float64 {
+	return r.Core.MPKI(r.Hier.DemandFetches - r.Hier.DemandL1IHits - r.Hier.DemandPrefBufHits)
+}
+
+// AvgDataFillCycles returns the mean L1-D miss fill latency (Figure 11).
+func (r Result) AvgDataFillCycles() float64 { return r.Hier.AvgDataFillCycles() }
+
+// Speedup returns this result's IPC relative to a baseline result.
+func (r Result) Speedup(baseline Result) float64 {
+	b := baseline.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+// StallCoverage returns the fraction of the baseline's front-end stall
+// cycles this mechanism removed, normalized per instruction (Figure 6's
+// metric).
+func (r Result) StallCoverage(baseline Result) float64 {
+	if baseline.Core.Instructions == 0 || r.Core.Instructions == 0 {
+		return 0
+	}
+	base := float64(baseline.Core.FrontEndStallCycles) / float64(baseline.Core.Instructions)
+	mine := float64(r.Core.FrontEndStallCycles) / float64(r.Core.Instructions)
+	if base == 0 {
+		return 0
+	}
+	cov := 1 - mine/base
+	if cov < 0 {
+		cov = 0
+	}
+	return cov
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (Result, error) {
+	cfg.setDefaults()
+
+	prof, err := workload.Get(cfg.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	prog := prof.Program()
+	walker := workload.NewWalkerConfig(prog, prof.WalkSeed, prof.Walk)
+	dec := predecode.NewDecoder(prog)
+
+	ucfg := uncore.DefaultConfig()
+	if cfg.Mechanism == Confluence {
+		// SHIFT's virtualized history and index displace LLC capacity.
+		ucfg.LLCReserveBytes = prefetch.ConfluenceLLCReserveBytes
+	}
+	hier := uncore.New(ucfg)
+
+	ctx := prefetch.Context{Hier: hier, Dec: dec}
+	engine, err := buildEngine(ctx, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ccfg := core.Config{
+		LoadFrac:   prof.LoadFrac,
+		DataBlocks: prof.DataBlocks,
+		DataZipfS:  prof.DataZipfS,
+		DataSeed:   prof.WalkSeed ^ 0xd00d,
+	}
+	c := core.New(ccfg, walker, engine, hier)
+
+	// Warmup: populate caches, BTBs, predictor, history.
+	c.Run(cfg.WarmupInstr)
+
+	// SMARTS-style sampling: Samples measurement windows separated by
+	// unmeasured gaps.
+	res := Result{Workload: cfg.Workload, Mechanism: cfg.Mechanism}
+	perWindow := cfg.MeasureInstr / uint64(cfg.Samples)
+	for s := 0; s < cfg.Samples; s++ {
+		if s > 0 && cfg.SkipInstr > 0 {
+			c.Run(cfg.SkipInstr)
+		}
+		c.ResetStats()
+		c.Run(perWindow)
+		accumulate(&res, c, engine)
+	}
+	res.PrefetchAccuracy = prefetchAccuracy(res.Hier)
+	return res, nil
+}
+
+// MustRun is Run for static configurations.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func accumulate(res *Result, c *core.Core, engine prefetch.Engine) {
+	cs := c.Stats()
+	res.Core = addCoreStats(res.Core, cs)
+	res.Hier = addHierStats(res.Hier, c.Hierarchy().Stats())
+	res.BTBMisses += engine.BTBMisses()
+}
+
+func addCoreStats(a, b core.Stats) core.Stats {
+	a.Cycles += b.Cycles
+	a.Instructions += b.Instructions
+	a.FrontEndStallCycles += b.FrontEndStallCycles
+	a.BackEndStallCycles += b.BackEndStallCycles
+	a.FetchStallCycles += b.FetchStallCycles
+	a.DecodeRedirects += b.DecodeRedirects
+	a.ExecRedirects += b.ExecRedirects
+	a.DirMispredicts += b.DirMispredicts
+	a.RASMispredicts += b.RASMispredicts
+	a.CondBranches += b.CondBranches
+	a.Branches += b.Branches
+	return a
+}
+
+func addHierStats(a, b uncore.Stats) uncore.Stats {
+	a.DemandFetches += b.DemandFetches
+	a.DemandL1IHits += b.DemandL1IHits
+	a.DemandPrefBufHits += b.DemandPrefBufHits
+	a.DemandInflight += b.DemandInflight
+	a.DemandLLCHits += b.DemandLLCHits
+	a.DemandMemFills += b.DemandMemFills
+	a.PrefetchesIssued += b.PrefetchesIssued
+	a.PrefetchesRedundant += b.PrefetchesRedundant
+	a.PrefetchLLCHits += b.PrefetchLLCHits
+	a.PrefetchMemFills += b.PrefetchMemFills
+	a.PrefetchUsefulInflight += b.PrefetchUsefulInflight
+	a.DataAccesses += b.DataAccesses
+	a.DataL1DHits += b.DataL1DHits
+	a.DataLLCHits += b.DataLLCHits
+	a.DataMemFills += b.DataMemFills
+	a.DataFillCycles += b.DataFillCycles
+	a.DataFillSamples += b.DataFillSamples
+	return a
+}
+
+// prefetchAccuracy computes Figure 10's metric: the fraction of issued
+// prefetches later used by a demand fetch (from the buffer or in flight).
+func prefetchAccuracy(acc uncore.Stats) float64 {
+	if acc.PrefetchesIssued == 0 {
+		return 0
+	}
+	useful := acc.DemandPrefBufHits + acc.PrefetchUsefulInflight
+	return float64(useful) / float64(acc.PrefetchesIssued)
+}
+
+func buildEngine(ctx prefetch.Context, cfg Config) (prefetch.Engine, error) {
+	switch cfg.Mechanism {
+	case None:
+		return prefetch.NewNone(ctx, cfg.BTBEntries), nil
+	case FDIP:
+		return prefetch.NewFDIP(ctx, cfg.BTBEntries), nil
+	case RDIP:
+		return prefetch.NewRDIP(ctx, cfg.BTBEntries), nil
+	case Boomerang:
+		return prefetch.NewBoomerang(ctx, cfg.BTBEntries), nil
+	case Confluence:
+		return prefetch.NewConfluence(ctx), nil
+	case Ideal:
+		return prefetch.NewIdeal(ctx), nil
+	case Shotgun:
+		sizes := cfg.ShotgunSizes
+		if sizes == nil {
+			s, err := btb.ShotgunSizesForBudget(cfg.BTBEntries)
+			if err != nil {
+				return nil, err
+			}
+			sizes = &s
+		}
+		sz := *sizes
+		if cfg.RegionMode == prefetch.RegionNone {
+			// "No bit vector": the footprint bits buy more U-BTB
+			// entries at equal storage (Section 6.3).
+			sz.UEntries = scaleNoVectorEntries(sz.UEntries, cfg.Layout.Bits())
+		}
+		return prefetch.NewShotgun(ctx, prefetch.ShotgunConfig{
+			Sizes:  sz,
+			Layout: cfg.Layout,
+			Mode:   cfg.RegionMode,
+		}), nil
+	}
+	return nil, fmt.Errorf("sim: unknown mechanism %q", cfg.Mechanism)
+}
+
+// scaleNoVectorEntries grows the U-BTB entry count to spend the removed
+// footprint bits, rounding down to a factorable geometry.
+func scaleNoVectorEntries(entries, footBits int) int {
+	full := btb.UEntryBaseBits + 2*footBits
+	scaled := entries * full / btb.UEntryBaseBits
+	for n := scaled; n > entries; n-- {
+		if factorable(n) {
+			return n
+		}
+	}
+	return entries
+}
+
+func factorable(n int) bool {
+	for _, w := range []int{4, 8, 6, 3, 2, 12, 16, 5, 7, 9, 11, 13, 1} {
+		if n%w != 0 {
+			continue
+		}
+		s := n / w
+		if s > 0 && s&(s-1) == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Fatalf("GeoMean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{3, 3, 3}); math.Abs(g-3) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 3", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("empty gmean must be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Fatal("negative gmean must be NaN")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		g := GeoMean([]float64{x, y})
+		return g >= math.Min(x, y)-1e-9 && g <= math.Max(x, y)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean must be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "Name", "X", "Y")
+	tab.AddRow("alpha", "1", "2")
+	tab.AddF("beta", "%.2f", 1.5, 2.25)
+	out := tab.String()
+	for _, want := range []string{"Title", "Name", "alpha", "beta", "1.50", "2.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("xxxxxxxx", "1")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header "B" must start at the same column as value "1".
+	h, r := lines[0], lines[2]
+	if strings.Index(h, "B") != strings.Index(r, "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

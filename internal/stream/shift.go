@@ -1,0 +1,135 @@
+// Package stream implements the temporal-streaming substrate behind
+// Confluence: SHIFT's shared instruction history (Kaynak et al.,
+// MICRO'13/'15). A circular history buffer records the retire-order L1-I
+// block access stream; an index table maps a block address to its most
+// recent history position. On an L1-I miss the prefetcher looks the block
+// up in the index and replays the blocks that followed it last time.
+//
+// In the real design both structures are virtualized into the LLC; the
+// capacity they displace and the LLC round-trip on every stream restart
+// are modeled by the Confluence engine (package prefetch), not here.
+package stream
+
+import "shotgun/internal/isa"
+
+// SHIFT is the shared history + index table.
+type SHIFT struct {
+	ring []isa.Addr
+	head uint64 // total records; next write position is head % len(ring)
+
+	index    map[isa.Addr]uint64
+	indexCap int
+
+	// recent is a small recency window implementing spatio-temporal
+	// compaction: re-touches of a just-recorded block (loops, straddling
+	// basic blocks) are not re-recorded, so the history span covers the
+	// footprint rather than the raw access count.
+	recent    [compactWindow]isa.Addr
+	recentPos int
+
+	Records uint64
+	Probes  uint64
+	Found   uint64
+}
+
+// compactWindow is the compaction recency depth.
+const compactWindow = 8
+
+// New builds a SHIFT history of historyEntries blocks with an index table
+// bounded at indexEntries (the paper models 32K history + 8K index).
+func New(historyEntries, indexEntries int) *SHIFT {
+	if historyEntries <= 0 || indexEntries <= 0 {
+		panic("stream: non-positive SHIFT geometry")
+	}
+	return &SHIFT{
+		ring:     make([]isa.Addr, historyEntries),
+		index:    make(map[isa.Addr]uint64, indexEntries),
+		indexCap: indexEntries,
+	}
+}
+
+// Record appends a block access to the history (recently recorded blocks
+// are compacted away, as SHIFT's spatio-temporal compaction would) and
+// points the index at it.
+func (s *SHIFT) Record(block isa.Addr) {
+	block = block.Block()
+	for _, r := range s.recent {
+		if r == block && s.head > 0 {
+			return
+		}
+	}
+	s.recent[s.recentPos] = block
+	s.recentPos = (s.recentPos + 1) % compactWindow
+
+	pos := s.head % uint64(len(s.ring))
+	// The overwritten block's index entry may now be stale; it is
+	// detected lazily on lookup (position out of the live window).
+	s.ring[pos] = block
+	s.head++
+	s.Records++
+
+	if len(s.index) >= s.indexCap {
+		if _, ok := s.index[block]; !ok {
+			// Index full: evict an arbitrary entry (hardware would
+			// overwrite a set way; stale entries die anyway).
+			for k := range s.index {
+				delete(s.index, k)
+				break
+			}
+		}
+	}
+	s.index[block] = s.head - 1
+}
+
+// live reports whether a history position has not been overwritten.
+func (s *SHIFT) live(pos uint64) bool {
+	return pos < s.head && s.head-pos <= uint64(len(s.ring))
+}
+
+// Find returns the most recent history position of block, if it is still
+// within the live window.
+func (s *SHIFT) Find(block isa.Addr) (uint64, bool) {
+	s.Probes++
+	pos, ok := s.index[block.Block()]
+	if !ok || !s.live(pos) {
+		return 0, false
+	}
+	s.Found++
+	return pos, true
+}
+
+// At returns the block at an absolute history position.
+func (s *SHIFT) At(pos uint64) (isa.Addr, bool) {
+	if !s.live(pos) {
+		return 0, false
+	}
+	return s.ring[pos%uint64(len(s.ring))], true
+}
+
+// Successors returns up to n blocks recorded after pos (exclusive).
+func (s *SHIFT) Successors(pos uint64, n int) []isa.Addr {
+	var out []isa.Addr
+	for i := uint64(1); i <= uint64(n); i++ {
+		b, ok := s.At(pos + i)
+		if !ok {
+			break
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Head returns the number of records so far (the next write position).
+func (s *SHIFT) Head() uint64 { return s.head }
+
+// StorageBits returns the modeled metadata cost: 42-bit block addresses
+// in the history plus (42-bit tag + pointer) index entries — the hundreds
+// of kilobytes per the temporal-streaming literature.
+func (s *SHIFT) StorageBits() int {
+	const blockAddrBits = isa.VABits - 6 // 42-bit block address
+	ptrBits := 1
+	for 1<<ptrBits < len(s.ring) {
+		ptrBits++
+	}
+	return len(s.ring)*blockAddrBits + s.indexCap*(blockAddrBits+ptrBits)
+}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"testing"
+
+	"shotgun/internal/isa"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	s := New(64, 32)
+	seq := []isa.Addr{0x1000, 0x2000, 0x3000, 0x4000, 0x5000}
+	for _, b := range seq {
+		s.Record(b)
+	}
+	pos, ok := s.Find(0x2000)
+	if !ok {
+		t.Fatal("trigger not found")
+	}
+	succ := s.Successors(pos, 3)
+	want := []isa.Addr{0x3000, 0x4000, 0x5000}
+	if len(succ) != 3 {
+		t.Fatalf("successors = %v", succ)
+	}
+	for i := range want {
+		if succ[i] != want[i] {
+			t.Fatalf("successors = %v, want %v", succ, want)
+		}
+	}
+}
+
+func TestConsecutiveDedup(t *testing.T) {
+	s := New(64, 32)
+	s.Record(0x1000)
+	s.Record(0x1000)
+	s.Record(0x1000)
+	s.Record(0x2000)
+	if s.Head() != 2 {
+		t.Fatalf("head = %d, want 2 (deduped)", s.Head())
+	}
+}
+
+func TestStaleIndexEntryDies(t *testing.T) {
+	s := New(4, 32) // tiny history: 4 entries
+	s.Record(0x1000)
+	for i := 1; i <= 8; i++ {
+		s.Record(isa.Addr(0x2000 + i*0x40))
+	}
+	// 0x1000's history slot has been overwritten.
+	if _, ok := s.Find(0x1000); ok {
+		t.Fatal("stale index entry returned")
+	}
+}
+
+func TestRepeatedStreamUpdatesIndex(t *testing.T) {
+	s := New(64, 64)
+	// First pass: A B C, then unrelated blocks push A out of the
+	// compaction window; second pass: A D E. Replay of A must give D E.
+	seq := []isa.Addr{0xa000, 0xb000, 0xc000}
+	for i := 0; i < compactWindow+1; i++ {
+		seq = append(seq, isa.Addr(0x100000+i*0x40))
+	}
+	seq = append(seq, 0xa000, 0xd000, 0xe000)
+	for _, b := range seq {
+		s.Record(b)
+	}
+	pos, ok := s.Find(0xa000)
+	if !ok {
+		t.Fatal("not found")
+	}
+	succ := s.Successors(pos, 2)
+	if len(succ) != 2 || succ[0] != 0xd000 || succ[1] != 0xe000 {
+		t.Fatalf("successors = %v, want [0xd000 0xe000]", succ)
+	}
+}
+
+func TestCompactionSuppressesLoopRetouch(t *testing.T) {
+	s := New(64, 32)
+	// A tight loop alternating two blocks must not flood the history.
+	for i := 0; i < 20; i++ {
+		s.Record(0x1000)
+		s.Record(0x2000)
+	}
+	if s.Head() != 2 {
+		t.Fatalf("head = %d, want 2 (loop compacted)", s.Head())
+	}
+}
+
+func TestIndexCapacityBounded(t *testing.T) {
+	s := New(1<<16, 16)
+	for i := 0; i < 1000; i++ {
+		s.Record(isa.Addr(i * 0x40))
+	}
+	if len(s.index) > 16 {
+		t.Fatalf("index grew to %d, cap 16", len(s.index))
+	}
+}
+
+func TestSuccessorsTruncatedAtHead(t *testing.T) {
+	s := New(64, 32)
+	s.Record(0x1000)
+	s.Record(0x2000)
+	pos, _ := s.Find(0x1000)
+	succ := s.Successors(pos, 10)
+	if len(succ) != 1 || succ[0] != 0x2000 {
+		t.Fatalf("successors = %v", succ)
+	}
+}
+
+func TestStorageBitsRealistic(t *testing.T) {
+	// The paper's Confluence configuration: 32K-entry history + 8K-entry
+	// index — hundreds of KB of metadata.
+	s := New(32<<10, 8<<10)
+	kb := float64(s.StorageBits()) / 8 / 1024
+	if kb < 150 || kb > 300 {
+		t.Fatalf("SHIFT metadata = %.0fKB, expected hundreds of KB", kb)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	s := New(32<<10, 8<<10)
+	for i := 0; i < b.N; i++ {
+		s.Record(isa.Addr((i % 5000) * 64))
+	}
+}

@@ -1,0 +1,167 @@
+// Package trace defines the on-disk basic-block trace format used by
+// cmd/tracegen: a varint-delta-encoded binary stream of retired basic
+// blocks. Traces are a convenience for inspecting and exchanging
+// workloads; simulations normally generate blocks on the fly from the
+// deterministic walker.
+//
+// Format:
+//
+//	magic "SGTR" | version u8 | records...
+//	record: flags u8 | pcDelta zigzag-varint | numInstr u8 |
+//	        targetDelta zigzag-varint (only if taken)
+//
+// flags: bits 0-2 = BranchKind, bit 3 = taken. Deltas are relative to
+// the previous block's PC, which compresses the mostly-local instruction
+// stream well.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shotgun/internal/isa"
+)
+
+var magic = [4]byte{'S', 'G', 'T', 'R'}
+
+// Version is the current format version.
+const Version = 1
+
+// Writer streams basic blocks to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC isa.Addr
+	n      uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+	began  bool
+}
+
+// NewWriter builds a writer and emits the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Write appends one basic block.
+func (t *Writer) Write(bb isa.BasicBlock) error {
+	if err := bb.Validate(); err != nil {
+		return err
+	}
+	flags := byte(bb.Kind) & 0x7
+	if bb.Taken {
+		flags |= 0x8
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(t.buf[:], zigzag(int64(bb.PC)-int64(t.prevPC)))
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return err
+	}
+	if err := t.w.WriteByte(byte(bb.NumInstr)); err != nil {
+		return err
+	}
+	if bb.Taken {
+		n = binary.PutUvarint(t.buf[:], zigzag(int64(bb.Target)-int64(bb.PC)))
+		if _, err := t.w.Write(t.buf[:n]); err != nil {
+			return err
+		}
+	}
+	t.prevPC = bb.PC
+	t.n++
+	t.began = true
+	return nil
+}
+
+// Blocks returns the number of blocks written.
+func (t *Writer) Blocks() uint64 { return t.n }
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader streams basic blocks from an io.Reader. It implements the
+// workload.Stream contract except that it is finite: Next reports io.EOF
+// through Err after the stream ends.
+type Reader struct {
+	r      *bufio.Reader
+	prevPC isa.Addr
+	err    error
+}
+
+// NewReader validates the header and builds a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if [4]byte{hdr[0], hdr[1], hdr[2], hdr[3]} != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// Read returns the next block, or an error (io.EOF at end of stream).
+func (t *Reader) Read() (isa.BasicBlock, error) {
+	if t.err != nil {
+		return isa.BasicBlock{}, t.err
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		t.err = err
+		return isa.BasicBlock{}, err
+	}
+	var bb isa.BasicBlock
+	bb.Kind = isa.BranchKind(flags & 0x7)
+	bb.Taken = flags&0x8 != 0
+	d, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.err = fail(err)
+		return isa.BasicBlock{}, t.err
+	}
+	bb.PC = isa.Addr(int64(t.prevPC) + unzigzag(d))
+	size, err := t.r.ReadByte()
+	if err != nil {
+		t.err = fail(err)
+		return isa.BasicBlock{}, t.err
+	}
+	bb.NumInstr = int(size)
+	if bb.Taken {
+		d, err = binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fail(err)
+			return isa.BasicBlock{}, t.err
+		}
+		bb.Target = isa.Addr(int64(bb.PC) + unzigzag(d))
+	}
+	t.prevPC = bb.PC
+	if err := bb.Validate(); err != nil {
+		t.err = err
+		return isa.BasicBlock{}, err
+	}
+	return bb, nil
+}
+
+// fail maps unexpected EOFs mid-record to a corruption error.
+func fail(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"shotgun/internal/program"
+	"shotgun/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	w := workload.NewWalker(prog, 2)
+
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	ref := workload.NewWalker(prog, 2)
+	for i := 0; i < n; i++ {
+		if err := tw.Write(w.Next()); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Blocks() != n {
+		t.Fatalf("Blocks = %d", tw.Blocks())
+	}
+
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := tr.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := ref.Next()
+		if got != want {
+			t.Fatalf("block %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := tr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	w := workload.NewWalker(prog, 3)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tw.Write(w.Next())
+	}
+	tw.Flush()
+	perBlock := float64(buf.Len()) / n
+	// Delta encoding should keep records small (well under 8 bytes each).
+	if perBlock > 8 {
+		t.Fatalf("trace too large: %.1f bytes/block", perBlock)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE0"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("SGTR\x63"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	w := workload.NewWalker(prog, 4)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		tw.Write(w.Next())
+	}
+	tw.Flush()
+	trunc := buf.Bytes()[:buf.Len()-1]
+	tr, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, lastErr = tr.Read()
+		if lastErr != nil {
+			break
+		}
+	}
+	if lastErr == io.EOF {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	bad := workload.NewWalker(program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1), 1).Next()
+	bad.NumInstr = 0
+	if err := tw.Write(bad); err == nil {
+		t.Fatal("invalid block accepted")
+	}
+}

@@ -1,0 +1,386 @@
+// Package uncore assembles the simulated memory hierarchy: private L1-I
+// (with its prefetch buffer) and L1-D, a shared NUCA LLC reached across
+// the mesh interconnect, and main memory. All parameters default to the
+// paper's Table 3.
+//
+// The hierarchy exposes a timed request API: callers pass the current
+// cycle and receive the cycle at which the request's block is available.
+// Instruction-side fills are tracked in-flight so that a demand fetch
+// arriving while a prefetch for the same block is outstanding observes
+// only the residual latency — exactly the "in-flight prefetch" partial
+// coverage the paper's stall-cycle metric is designed to capture.
+package uncore
+
+import (
+	"fmt"
+	"sort"
+
+	"shotgun/internal/cache"
+	"shotgun/internal/isa"
+	"shotgun/internal/noc"
+)
+
+// Config sizes the hierarchy. Zero fields default to Table 3 values.
+type Config struct {
+	L1ISizeBytes, L1IWays int // 32KB, 2-way
+	L1DSizeBytes, L1DWays int // 32KB, 2-way
+	L1LatencyCycles       int // 2
+
+	LLCSizeBytes, LLCWays int // modeled share of the 8MB NUCA cache
+	// LLCReserveBytes shrinks the effective LLC, modeling capacity
+	// carved out for virtualized prefetcher metadata (Confluence/SHIFT
+	// pins its history table in the LLC).
+	LLCReserveBytes  int
+	LLCLatencyCycles int // 5 (bank access; mesh adds route+queue)
+
+	MemLatencyCycles int // 90 (45ns at 2GHz)
+
+	PrefetchBufferEntries int // 64
+
+	Mesh noc.Config
+}
+
+// DefaultConfig mirrors Table 3.
+func DefaultConfig() Config {
+	return Config{
+		L1ISizeBytes: 32 << 10, L1IWays: 2,
+		L1DSizeBytes: 32 << 10, L1DWays: 2,
+		L1LatencyCycles: 2,
+		LLCSizeBytes:    1 << 20, LLCWays: 16,
+		LLCLatencyCycles:      5,
+		MemLatencyCycles:      90,
+		PrefetchBufferEntries: 64,
+		Mesh:                  noc.DefaultConfig(),
+	}
+}
+
+func (c *Config) setDefaults() {
+	d := DefaultConfig()
+	if c.L1ISizeBytes == 0 {
+		c.L1ISizeBytes, c.L1IWays = d.L1ISizeBytes, d.L1IWays
+	}
+	if c.L1DSizeBytes == 0 {
+		c.L1DSizeBytes, c.L1DWays = d.L1DSizeBytes, d.L1DWays
+	}
+	if c.L1LatencyCycles == 0 {
+		c.L1LatencyCycles = d.L1LatencyCycles
+	}
+	if c.LLCSizeBytes == 0 {
+		c.LLCSizeBytes, c.LLCWays = d.LLCSizeBytes, d.LLCWays
+	}
+	if c.LLCLatencyCycles == 0 {
+		c.LLCLatencyCycles = d.LLCLatencyCycles
+	}
+	if c.MemLatencyCycles == 0 {
+		c.MemLatencyCycles = d.MemLatencyCycles
+	}
+	if c.PrefetchBufferEntries == 0 {
+		c.PrefetchBufferEntries = d.PrefetchBufferEntries
+	}
+	if c.Mesh.Rows == 0 {
+		c.Mesh = d.Mesh
+	}
+}
+
+// Source identifies where a request was satisfied.
+type Source uint8
+
+const (
+	// SrcL1 means the private cache hit.
+	SrcL1 Source = iota
+	// SrcPrefetchBuffer means the L1-I prefetch buffer held the block.
+	SrcPrefetchBuffer
+	// SrcInflight means an outstanding fill for the block was joined.
+	SrcInflight
+	// SrcLLC means the shared cache supplied the block.
+	SrcLLC
+	// SrcMemory means main memory supplied the block.
+	SrcMemory
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcPrefetchBuffer:
+		return "prefetch-buffer"
+	case SrcInflight:
+		return "inflight"
+	case SrcLLC:
+		return "LLC"
+	case SrcMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("Source(%d)", uint8(s))
+}
+
+// Arrival reports a completed instruction-side fill.
+type Arrival struct {
+	Block isa.Addr
+	// Ready is the cycle the block became available.
+	Ready uint64
+	// Demand is true when a demand fetch is waiting on the block (it is
+	// installed in the L1-I); prefetch-only fills go to the buffer.
+	Demand bool
+}
+
+// Stats aggregates hierarchy counters beyond the per-cache ones.
+type Stats struct {
+	DemandFetches     uint64
+	DemandL1IHits     uint64
+	DemandPrefBufHits uint64
+	DemandInflight    uint64
+	DemandLLCHits     uint64
+	DemandMemFills    uint64
+
+	PrefetchesIssued    uint64
+	PrefetchesRedundant uint64
+	PrefetchLLCHits     uint64
+	PrefetchMemFills    uint64
+	// PrefetchUsefulInflight counts prefetch-initiated fills joined by a
+	// demand fetch before arrival (timely enough to hide part of the
+	// latency; counted as useful for Figure 10's accuracy metric).
+	PrefetchUsefulInflight uint64
+
+	DataAccesses    uint64
+	DataL1DHits     uint64
+	DataLLCHits     uint64
+	DataMemFills    uint64
+	DataFillCycles  uint64 // total cycles to fill L1-D misses (Figure 11)
+	DataFillSamples uint64
+}
+
+// AvgDataFillCycles returns the mean L1-D miss fill latency (Figure 11).
+func (s Stats) AvgDataFillCycles() float64 {
+	if s.DataFillSamples == 0 {
+		return 0
+	}
+	return float64(s.DataFillCycles) / float64(s.DataFillSamples)
+}
+
+// Hierarchy is the assembled memory system for one core.
+type Hierarchy struct {
+	cfg Config
+
+	L1I     *cache.Cache
+	L1D     *cache.Cache
+	LLC     *cache.Cache
+	PrefBuf *cache.PrefetchBuffer
+	Mesh    *noc.Mesh
+
+	inflight map[isa.Addr]*flight
+	stats    Stats
+}
+
+type flight struct {
+	block    isa.Addr
+	ready    uint64
+	demand   bool
+	prefetch bool
+}
+
+// New builds a hierarchy from cfg (zero fields defaulted).
+func New(cfg Config) *Hierarchy {
+	cfg.setDefaults()
+	// The LLC reserve (virtualized prefetcher metadata) is charged by
+	// trimming associativity: the set count stays a power of two while
+	// whole ways are given up, mirroring way-partitioned pinning.
+	sets := 1
+	for sets*2 <= cfg.LLCSizeBytes/isa.BlockBytes/cfg.LLCWays {
+		sets *= 2
+	}
+	ways := (cfg.LLCSizeBytes - cfg.LLCReserveBytes) / (sets * isa.BlockBytes)
+	if ways < 1 {
+		ways = 1
+	}
+	llcSize := sets * ways * isa.BlockBytes
+	return &Hierarchy{
+		cfg:      cfg,
+		L1I:      cache.MustNew("L1-I", cfg.L1ISizeBytes, cfg.L1IWays),
+		L1D:      cache.MustNew("L1-D", cfg.L1DSizeBytes, cfg.L1DWays),
+		LLC:      cache.MustNew("LLC", llcSize, ways),
+		PrefBuf:  cache.NewPrefetchBuffer(cfg.PrefetchBufferEntries),
+		Mesh:     noc.MustNew(cfg.Mesh),
+		inflight: make(map[isa.Addr]*flight),
+	}
+}
+
+// Config returns the effective configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats clears counters at the warmup/measurement boundary without
+// touching cache contents or in-flight state.
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{}
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.LLC.ResetStats()
+	h.Mesh.ResetStats()
+	h.PrefBuf.HitsCount = 0
+	h.PrefBuf.EvictedUnused = 0
+}
+
+// llcFill performs an LLC lookup (and fill from memory on miss),
+// returning the completion cycle and source.
+func (h *Hierarchy) llcFill(now uint64, block isa.Addr) (uint64, Source) {
+	lat := h.cfg.LLCLatencyCycles + h.Mesh.Traverse(now)
+	if h.LLC.Access(block) {
+		return now + uint64(lat), SrcLLC
+	}
+	h.LLC.Insert(block)
+	return now + uint64(lat+h.cfg.MemLatencyCycles), SrcMemory
+}
+
+// FetchBlock is a demand instruction fetch for the block containing addr.
+// It returns the cycle at which the block is usable and where it came
+// from. Hits in the L1-I or prefetch buffer are usable immediately (the
+// L1 pipeline latency is hidden by the fetch pipeline).
+func (h *Hierarchy) FetchBlock(now uint64, addr isa.Addr) (uint64, Source) {
+	block := addr.Block()
+	h.stats.DemandFetches++
+
+	if h.L1I.Access(block) {
+		h.stats.DemandL1IHits++
+		return now, SrcL1
+	}
+	if h.PrefBuf.Take(block) {
+		// Promote into the L1-I on first use.
+		h.L1I.Insert(block)
+		h.stats.DemandPrefBufHits++
+		return now, SrcPrefetchBuffer
+	}
+	if fl, ok := h.inflight[block]; ok {
+		// Join the outstanding fill; only residual latency is exposed.
+		if fl.prefetch && !fl.demand {
+			h.stats.PrefetchUsefulInflight++
+		}
+		fl.demand = true
+		h.stats.DemandInflight++
+		ready := fl.ready
+		if ready < now {
+			ready = now
+		}
+		return ready, SrcInflight
+	}
+	ready, src := h.llcFill(now, block)
+	if src == SrcLLC {
+		h.stats.DemandLLCHits++
+	} else {
+		h.stats.DemandMemFills++
+	}
+	h.inflight[block] = &flight{block: block, ready: ready, demand: true}
+	return ready, src
+}
+
+// PrefetchBlock issues an instruction prefetch probe for the block
+// containing addr. Redundant probes (block already present or in flight)
+// are filtered and generate no traffic. It returns the cycle the block
+// will be (or already is) available, and whether a new fill was started.
+func (h *Hierarchy) PrefetchBlock(now uint64, addr isa.Addr) (uint64, bool) {
+	block := addr.Block()
+	if h.L1I.Contains(block) || h.PrefBuf.Contains(block) {
+		h.stats.PrefetchesRedundant++
+		return now, false
+	}
+	if fl, ok := h.inflight[block]; ok {
+		h.stats.PrefetchesRedundant++
+		ready := fl.ready
+		if ready < now {
+			ready = now
+		}
+		return ready, false
+	}
+	ready, src := h.llcFill(now, block)
+	if src == SrcLLC {
+		h.stats.PrefetchLLCHits++
+	} else {
+		h.stats.PrefetchMemFills++
+	}
+	h.stats.PrefetchesIssued++
+	h.inflight[block] = &flight{block: block, ready: ready, prefetch: true}
+	return ready, true
+}
+
+// BlockResidency reports how quickly an instruction block can be examined
+// by a predecoder-driven resolution (Boomerang's reactive BTB fill): a
+// block already in the L1-I or prefetch buffer costs only the L1 latency.
+// Otherwise a fill is started (or joined) and its completion returned.
+func (h *Hierarchy) BlockResidency(now uint64, addr isa.Addr) uint64 {
+	block := addr.Block()
+	if h.L1I.Contains(block) || h.PrefBuf.Contains(block) {
+		return now + uint64(h.cfg.L1LatencyCycles)
+	}
+	ready, _ := h.PrefetchBlock(now, block)
+	return ready
+}
+
+// PrefetchAccuracy returns the fraction of issued prefetches that were
+// used: promoted from the prefetch buffer by a demand fetch, or joined by
+// a demand fetch while still in flight (Figure 10's metric).
+func (h *Hierarchy) PrefetchAccuracy() float64 {
+	if h.stats.PrefetchesIssued == 0 {
+		return 0
+	}
+	useful := h.PrefBuf.HitsCount + h.stats.PrefetchUsefulInflight
+	return float64(useful) / float64(h.stats.PrefetchesIssued)
+}
+
+// PollArrivals materializes all instruction-side fills that have
+// completed by now: demand fills go into the L1-I, prefetch fills into
+// the prefetch buffer. Arrivals are returned in completion order so the
+// caller (e.g. Shotgun's predecoder) can process them.
+func (h *Hierarchy) PollArrivals(now uint64) []Arrival {
+	var out []Arrival
+	for block, fl := range h.inflight {
+		if fl.ready <= now {
+			out = append(out, Arrival{Block: block, Ready: fl.ready, Demand: fl.demand})
+			delete(h.inflight, block)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ready != out[j].Ready {
+			return out[i].Ready < out[j].Ready
+		}
+		return out[i].Block < out[j].Block
+	})
+	for _, a := range out {
+		if a.Demand {
+			h.L1I.Insert(a.Block)
+		} else {
+			h.PrefBuf.Insert(a.Block)
+		}
+	}
+	return out
+}
+
+// InflightCount returns the number of outstanding instruction fills.
+func (h *Hierarchy) InflightCount() int { return len(h.inflight) }
+
+// DataAccess is a load/store to the data side. It returns the cycle the
+// data is available and whether the L1-D hit. Misses traverse the mesh to
+// the LLC (sharing bandwidth with instruction prefetches — the coupling
+// behind Figure 11) and fill both levels.
+func (h *Hierarchy) DataAccess(now uint64, addr isa.Addr) (uint64, bool) {
+	block := addr.Block()
+	h.stats.DataAccesses++
+	if h.L1D.Access(block) {
+		h.stats.DataL1DHits++
+		return now, true
+	}
+	ready, src := h.llcFill(now, block)
+	if src == SrcLLC {
+		h.stats.DataLLCHits++
+	} else {
+		h.stats.DataMemFills++
+	}
+	h.L1D.Insert(block)
+	h.stats.DataFillCycles += ready - now
+	h.stats.DataFillSamples++
+	return ready, false
+}

@@ -1,0 +1,217 @@
+package uncore
+
+import (
+	"testing"
+
+	"shotgun/internal/isa"
+	"shotgun/internal/noc"
+)
+
+func fastMesh() noc.Config {
+	return noc.Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 100}
+}
+
+func newTestHierarchy() *Hierarchy {
+	cfg := DefaultConfig()
+	cfg.Mesh = fastMesh()
+	return New(cfg)
+}
+
+func TestDemandMissAndRefill(t *testing.T) {
+	h := newTestHierarchy()
+	addr := isa.Addr(0x40000)
+
+	ready, src := h.FetchBlock(100, addr)
+	if src != SrcMemory {
+		t.Fatalf("first fetch source = %v, want memory", src)
+	}
+	wantLat := uint64(5 + 18 + 90) // LLC + mesh round trip + memory
+	if ready != 100+wantLat {
+		t.Fatalf("ready = %d, want %d", ready, 100+wantLat)
+	}
+
+	// Until the fill arrives, re-fetches join the in-flight entry.
+	ready2, src2 := h.FetchBlock(110, addr)
+	if src2 != SrcInflight || ready2 != ready {
+		t.Fatalf("second fetch = (%d, %v), want (%d, inflight)", ready2, src2, ready)
+	}
+
+	h.PollArrivals(ready)
+	ready3, src3 := h.FetchBlock(ready+1, addr)
+	if src3 != SrcL1 || ready3 != ready+1 {
+		t.Fatalf("post-fill fetch = (%d, %v), want L1 hit", ready3, src3)
+	}
+}
+
+func TestLLCHitLatency(t *testing.T) {
+	h := newTestHierarchy()
+	addr := isa.Addr(0x40000)
+	ready, _ := h.FetchBlock(0, addr)
+	h.PollArrivals(ready)
+	// Evict from L1-I by invalidation, then refetch: should hit LLC.
+	h.L1I.Invalidate(addr)
+	now := ready + 10
+	ready2, src := h.FetchBlock(now, addr)
+	if src != SrcLLC {
+		t.Fatalf("source = %v, want LLC", src)
+	}
+	if ready2 != now+5+18 {
+		t.Fatalf("LLC hit ready = %d, want %d", ready2, now+5+18)
+	}
+}
+
+func TestPrefetchFlow(t *testing.T) {
+	h := newTestHierarchy()
+	addr := isa.Addr(0x80000)
+
+	if _, issued := h.PrefetchBlock(0, addr); !issued {
+		t.Fatal("prefetch not issued")
+	}
+	// Redundant prefetch filtered, but the residual ready time is shared.
+	ready2, issued := h.PrefetchBlock(1, addr)
+	if issued {
+		t.Fatal("duplicate prefetch issued")
+	}
+	if ready2 != 5+18+90 {
+		t.Fatalf("joined prefetch ready = %d", ready2)
+	}
+
+	arr := h.PollArrivals(10000)
+	if len(arr) != 1 || arr[0].Block != addr.Block() || arr[0].Demand {
+		t.Fatalf("arrivals = %+v", arr)
+	}
+	if !h.PrefBuf.Contains(addr) {
+		t.Fatal("prefetch did not land in buffer")
+	}
+
+	// Demand fetch promotes from the buffer at zero cost.
+	ready, src := h.FetchBlock(10001, addr)
+	if src != SrcPrefetchBuffer || ready != 10001 {
+		t.Fatalf("fetch = (%d, %v), want buffer hit", ready, src)
+	}
+	if !h.L1I.Contains(addr) {
+		t.Fatal("promotion did not install in L1-I")
+	}
+}
+
+func TestPrefetchJoinedByDemand(t *testing.T) {
+	h := newTestHierarchy()
+	addr := isa.Addr(0xc0000)
+	h.PrefetchBlock(0, addr)
+
+	// Demand arrives mid-flight: it must see only residual latency and
+	// the arrival must install into the L1-I, not the buffer.
+	ready, src := h.FetchBlock(50, addr)
+	if src != SrcInflight {
+		t.Fatalf("source = %v, want inflight", src)
+	}
+	if ready <= 50 || ready != 5+18+90 {
+		t.Fatalf("residual ready = %d", ready)
+	}
+	h.PollArrivals(ready)
+	if !h.L1I.Contains(addr) {
+		t.Fatal("joined fill must install in L1-I")
+	}
+	if h.PrefBuf.Contains(addr) {
+		t.Fatal("joined fill must skip the buffer")
+	}
+}
+
+func TestPrefetchRedundantWithL1(t *testing.T) {
+	h := newTestHierarchy()
+	addr := isa.Addr(0x100000)
+	ready, _ := h.FetchBlock(0, addr)
+	h.PollArrivals(ready)
+	if _, issued := h.PrefetchBlock(ready+1, addr); issued {
+		t.Fatal("prefetch issued for L1-resident block")
+	}
+	if h.Stats().PrefetchesRedundant == 0 {
+		t.Fatal("redundant prefetch not counted")
+	}
+}
+
+func TestDataAccess(t *testing.T) {
+	h := newTestHierarchy()
+	addr := isa.Addr(0x200000)
+	ready, hit := h.DataAccess(0, addr)
+	if hit {
+		t.Fatal("hit in cold L1-D")
+	}
+	if ready != 5+18+90 {
+		t.Fatalf("data fill ready = %d", ready)
+	}
+	_, hit2 := h.DataAccess(ready, addr)
+	if !hit2 {
+		t.Fatal("L1-D miss after fill")
+	}
+	s := h.Stats()
+	if s.DataFillSamples != 1 || s.DataFillCycles != 5+18+90 {
+		t.Fatalf("fill stats = %+v", s)
+	}
+	if s.AvgDataFillCycles() != float64(5+18+90) {
+		t.Fatalf("avg fill = %v", s.AvgDataFillCycles())
+	}
+}
+
+func TestLLCReserveShrinksCache(t *testing.T) {
+	cfg := DefaultConfig()
+	full := New(cfg)
+	cfg.LLCReserveBytes = 512 << 10
+	reserved := New(cfg)
+	if reserved.LLC.SizeBytes() >= full.LLC.SizeBytes() {
+		t.Fatalf("reserve did not shrink LLC: %d vs %d", reserved.LLC.SizeBytes(), full.LLC.SizeBytes())
+	}
+}
+
+func TestArrivalOrdering(t *testing.T) {
+	h := newTestHierarchy()
+	// Two fills started at different times must arrive in ready order.
+	h.PrefetchBlock(100, 0x1000)
+	h.PrefetchBlock(0, 0x2000)
+	arr := h.PollArrivals(100000)
+	if len(arr) != 2 {
+		t.Fatalf("arrivals = %d", len(arr))
+	}
+	if arr[0].Ready > arr[1].Ready {
+		t.Fatal("arrivals out of order")
+	}
+	if arr[0].Block != 0x2000 {
+		t.Fatalf("first arrival %v, want 0x2000", arr[0].Block)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := newTestHierarchy()
+	ready, _ := h.FetchBlock(0, 0x5000)
+	h.PollArrivals(ready)
+	h.ResetStats()
+	if h.Stats().DemandFetches != 0 {
+		t.Fatal("stats not reset")
+	}
+	if _, src := h.FetchBlock(ready+1, 0x5000); src != SrcL1 {
+		t.Fatal("reset dropped cache contents")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	names := map[Source]string{
+		SrcL1: "L1", SrcPrefetchBuffer: "prefetch-buffer",
+		SrcInflight: "inflight", SrcLLC: "LLC", SrcMemory: "memory",
+	}
+	for src, want := range names {
+		if src.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", src, src.String(), want)
+		}
+	}
+}
+
+func BenchmarkFetchBlock(b *testing.B) {
+	h := newTestHierarchy()
+	for i := 0; i < b.N; i++ {
+		now := uint64(i * 4)
+		ready, _ := h.FetchBlock(now, isa.Addr((i%4096)*64))
+		if i%64 == 0 {
+			h.PollArrivals(ready)
+		}
+	}
+}

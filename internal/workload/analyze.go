@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"sort"
+
+	"shotgun/internal/isa"
+)
+
+// RegionDistBuckets is the number of buckets in the region-distance
+// histogram: distances 0..16 plus a final ">16" bucket, matching the
+// x-axis of the paper's Figure 3.
+const RegionDistBuckets = 18
+
+// Analysis summarizes a finite prefix of a basic-block stream. It
+// provides everything Figures 3 and 4 need: the spatial distribution of
+// instruction-cache accesses inside code regions and per-static-branch
+// dynamic execution counts.
+type Analysis struct {
+	Blocks       uint64
+	Instructions uint64
+	Requests     uint64
+
+	// DynBranches / DynUncond count dynamic branch executions.
+	DynBranches uint64
+	DynUncond   uint64
+	// DynByKind breaks dynamic branches down by kind.
+	DynByKind map[isa.BranchKind]uint64
+
+	// RegionDist[d] counts instruction-cache-block accesses at absolute
+	// distance d (in blocks) from the current region's entry point;
+	// RegionDist[17] aggregates distances beyond 16.
+	RegionDist [RegionDistBuckets]uint64
+
+	// TouchedBlocks is the number of distinct instruction cache blocks
+	// accessed (the instruction footprint).
+	TouchedBlocks int
+
+	branchCount map[isa.Addr]branchStat
+}
+
+type branchStat struct {
+	kind  isa.BranchKind
+	count uint64
+}
+
+// Analyze consumes n blocks from s and returns their summary.
+func Analyze(s Stream, n int) *Analysis {
+	a := &Analysis{
+		DynByKind:   make(map[isa.BranchKind]uint64),
+		branchCount: make(map[isa.Addr]branchStat),
+	}
+	touched := make(map[isa.Addr]struct{})
+
+	var regionEntry isa.Addr
+	haveRegion := false
+
+	for i := 0; i < n; i++ {
+		bb := s.Next()
+		a.Blocks++
+		a.Instructions += uint64(bb.NumInstr)
+
+		for _, cb := range bb.Blocks() {
+			touched[cb] = struct{}{}
+			if haveRegion {
+				d := isa.BlockDistance(regionEntry, cb)
+				if d < 0 {
+					d = -d
+				}
+				if d >= RegionDistBuckets-1 {
+					d = RegionDistBuckets - 1
+				}
+				a.RegionDist[d]++
+			}
+		}
+
+		if bb.Kind != isa.BranchNone {
+			a.DynBranches++
+			a.DynByKind[bb.Kind]++
+			if bb.Kind.IsUnconditional() {
+				a.DynUncond++
+			}
+			st := a.branchCount[bb.BranchPC()]
+			st.kind = bb.Kind
+			st.count++
+			a.branchCount[bb.BranchPC()] = st
+		}
+
+		// An unconditional branch ends the current region; its target
+		// opens the next one (Section 3.1's region definition).
+		if bb.Kind.IsUnconditional() {
+			regionEntry = bb.Target.Block()
+			haveRegion = true
+		}
+	}
+	a.TouchedBlocks = len(touched)
+	if w, ok := s.(*Walker); ok {
+		a.Requests = w.Requests
+	}
+	return a
+}
+
+// RegionCDF returns the cumulative access-probability curve of Figure 3:
+// entry d is the probability that an access falls within d blocks of the
+// region entry point.
+func (a *Analysis) RegionCDF() [RegionDistBuckets]float64 {
+	var out [RegionDistBuckets]float64
+	var total uint64
+	for _, c := range a.RegionDist {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	var cum uint64
+	for i, c := range a.RegionDist {
+		cum += c
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// StaticBranchCount returns the number of distinct static branches that
+// executed at least once.
+func (a *Analysis) StaticBranchCount(filter func(isa.BranchKind) bool) int {
+	n := 0
+	for _, st := range a.branchCount {
+		if filter == nil || filter(st.kind) {
+			n++
+		}
+	}
+	return n
+}
+
+// CoverageCurve returns Figure 4's cumulative-coverage curve: entry k-1 is
+// the fraction of dynamic branch executions covered by the k hottest
+// static branches, among branches passing the filter (nil = all). The
+// curve is truncated/padded to maxK entries.
+func (a *Analysis) CoverageCurve(maxK int, filter func(isa.BranchKind) bool) []float64 {
+	var counts []uint64
+	var total uint64
+	for _, st := range a.branchCount {
+		if filter == nil || filter(st.kind) {
+			counts = append(counts, st.count)
+			total += st.count
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	out := make([]float64, maxK)
+	var cum uint64
+	for k := 0; k < maxK; k++ {
+		if k < len(counts) {
+			cum += counts[k]
+		}
+		if total > 0 {
+			out[k] = float64(cum) / float64(total)
+		}
+	}
+	return out
+}
+
+// CoverageAt returns the fraction of dynamic executions covered by the k
+// hottest static branches passing the filter.
+func (a *Analysis) CoverageAt(k int, filter func(isa.BranchKind) bool) float64 {
+	curve := a.CoverageCurve(k, filter)
+	if k <= 0 {
+		return 0
+	}
+	return curve[k-1]
+}
+
+// UncondFilter selects global-control-flow branches.
+func UncondFilter(k isa.BranchKind) bool { return k.IsUnconditional() }
+
+// UncondFraction returns the share of dynamic branches that are
+// unconditional.
+func (a *Analysis) UncondFraction() float64 {
+	if a.DynBranches == 0 {
+		return 0
+	}
+	return float64(a.DynUncond) / float64(a.DynBranches)
+}
+
+// BranchMPKI converts a miss count into misses per kilo-instruction
+// relative to this analysis window.
+func (a *Analysis) BranchMPKI(misses uint64) float64 {
+	if a.Instructions == 0 {
+		return 0
+	}
+	return float64(misses) / float64(a.Instructions) * 1000
+}

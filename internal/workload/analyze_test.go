@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+
+	"shotgun/internal/isa"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	w := NewWalker(testProgram(t), 1)
+	a := Analyze(w, 50000)
+	if a.Blocks != 50000 {
+		t.Fatalf("Blocks = %d", a.Blocks)
+	}
+	if a.Instructions == 0 || a.DynBranches == 0 || a.DynUncond == 0 {
+		t.Fatalf("degenerate analysis: %+v", a)
+	}
+	if a.DynUncond >= a.DynBranches {
+		t.Fatal("unconditional branches must be a minority")
+	}
+	if a.TouchedBlocks == 0 {
+		t.Fatal("no instruction blocks touched")
+	}
+}
+
+func TestUncondFractionRange(t *testing.T) {
+	// Section 3.1: conditional branches dominate; the unconditional
+	// (global control flow) share is a modest minority.
+	w := NewWalker(testProgram(t), 2)
+	a := Analyze(w, 100000)
+	f := a.UncondFraction()
+	if f < 0.05 || f > 0.5 {
+		t.Fatalf("unconditional fraction = %.3f, want 0.05..0.5", f)
+	}
+}
+
+func TestRegionCDFMonotone(t *testing.T) {
+	w := NewWalker(testProgram(t), 3)
+	a := Analyze(w, 100000)
+	cdf := a.RegionCDF()
+	prev := 0.0
+	for i, v := range cdf {
+		if v < prev {
+			t.Fatalf("CDF not monotone at %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	if cdf[RegionDistBuckets-1] < 0.999 {
+		t.Fatalf("CDF does not reach 1: %v", cdf[RegionDistBuckets-1])
+	}
+}
+
+func TestRegionSpatialLocality(t *testing.T) {
+	// Figure 3's headline: ~90% of region accesses fall within 10 blocks
+	// of the region entry. Require at least 80% for every profile.
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			a := Analyze(p.NewWalker(), 150000)
+			cdf := a.RegionCDF()
+			if cdf[10] < 0.80 {
+				t.Fatalf("%s: only %.1f%% of accesses within 10 blocks of region entry",
+					p.Name, 100*cdf[10])
+			}
+			if cdf[0] < 0.15 {
+				t.Fatalf("%s: entry block underrepresented: %.1f%%", p.Name, 100*cdf[0])
+			}
+		})
+	}
+}
+
+func TestCoverageCurveShape(t *testing.T) {
+	w := NewWalker(testProgram(t), 4)
+	a := Analyze(w, 200000)
+	curve := a.CoverageCurve(1000, nil)
+	prev := 0.0
+	for i, v := range curve {
+		if v < prev || v > 1.0000001 {
+			t.Fatalf("coverage curve broken at %d: %v (prev %v)", i, v, prev)
+		}
+		prev = v
+	}
+	// The hottest handful of branches must carry noticeable weight.
+	if curve[99] < 0.1 {
+		t.Fatalf("top-100 coverage only %.3f", curve[99])
+	}
+}
+
+func TestUncondWorkingSetSmaller(t *testing.T) {
+	// Figure 4's insight: the unconditional branch working set is far
+	// smaller than the total. At equal K, unconditional coverage must
+	// exceed all-branch coverage on the large workloads.
+	for _, name := range []string{"Oracle", "DB2"} {
+		p := MustGet(name)
+		a := Analyze(p.NewWalker(), 400000)
+		k := 2000
+		all := a.CoverageAt(k, nil)
+		unc := a.CoverageAt(k, UncondFilter)
+		if unc <= all {
+			t.Fatalf("%s: uncond coverage %.3f not above all-branch coverage %.3f at K=%d",
+				name, unc, all, k)
+		}
+		if all > 0.95 {
+			t.Fatalf("%s: branch working set too small (%.3f covered by 2K branches)", name, all)
+		}
+	}
+}
+
+func TestStaticBranchCountFilter(t *testing.T) {
+	w := NewWalker(testProgram(t), 5)
+	a := Analyze(w, 50000)
+	all := a.StaticBranchCount(nil)
+	unc := a.StaticBranchCount(UncondFilter)
+	cond := a.StaticBranchCount(func(k isa.BranchKind) bool { return k == isa.BranchCond })
+	if unc+cond > all {
+		t.Fatalf("filtered counts exceed total: %d + %d > %d", unc, cond, all)
+	}
+	if unc == 0 || cond == 0 {
+		t.Fatal("missing branch kinds in analysis")
+	}
+}
+
+func TestBranchMPKI(t *testing.T) {
+	a := &Analysis{Instructions: 10000}
+	if got := a.BranchMPKI(50); got != 5 {
+		t.Fatalf("BranchMPKI = %v, want 5", got)
+	}
+	empty := &Analysis{}
+	if got := empty.BranchMPKI(50); got != 0 {
+		t.Fatalf("BranchMPKI on empty = %v, want 0", got)
+	}
+}
+
+func TestProfilesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range Profiles() {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.Gen.NumAppFuncs == 0 || p.LoadFrac == 0 || p.DataBlocks == 0 {
+			t.Fatalf("profile %s underspecified", p.Name)
+		}
+	}
+	for _, n := range Names() {
+		if !names[n] {
+			t.Fatalf("Names() lists %s but Profiles() lacks it", n)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("NoSuchWorkload"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+func TestSortedByName(t *testing.T) {
+	ps := SortedByName()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Name >= ps[i].Name {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestWorkingSetOrdering(t *testing.T) {
+	// Table 1's ordering driver: the dynamic branch working set (static
+	// branches needed for 90% coverage) must rank
+	// Oracle > DB2 > Apache > {Zeus, Streaming} > Nutch.
+	ws := map[string]int{}
+	for _, p := range Profiles() {
+		a := Analyze(p.NewWalker(), 300000)
+		curve := a.CoverageCurve(30000, nil)
+		k := len(curve)
+		for i, v := range curve {
+			if v >= 0.9 {
+				k = i + 1
+				break
+			}
+		}
+		ws[p.Name] = k
+	}
+	t.Logf("static branches for 90%% dynamic coverage: %v", ws)
+	if !(ws["Oracle"] > ws["DB2"] && ws["DB2"] > ws["Apache"] && ws["Apache"] > ws["Nutch"]) {
+		t.Fatalf("working-set ordering broken: %v", ws)
+	}
+	if !(ws["Zeus"] > ws["Nutch"] && ws["Streaming"] > ws["Nutch"]) {
+		t.Fatalf("Zeus/Streaming should exceed Nutch: %v", ws)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	p := testProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(NewWalker(p, uint64(i)), 20000)
+	}
+}

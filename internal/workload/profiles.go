@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"shotgun/internal/program"
+)
+
+// Profile describes one synthetic server workload: the program-generation
+// parameters plus the data-side behaviour the backend model needs. The six
+// profiles mirror the paper's Table 2 suite; their parameters are tuned so
+// the *relative* front-end behaviour (Table 1 BTB MPKI ordering, Figure 3
+// region locality, Figure 4 working-set curves) matches the paper.
+type Profile struct {
+	// Name is the workload's short name (matches the paper).
+	Name string
+	// Description mirrors the paper's Table 2 entry.
+	Description string
+
+	// Gen parameterizes the synthetic program; Seed fixes its identity.
+	Gen  program.GenParams
+	Seed uint64
+	// WalkSeed seeds the CFG walk (independent of program identity).
+	WalkSeed uint64
+	// Walk tunes request dispatch (root layers, request-mix skew).
+	Walk WalkerConfig
+
+	// LoadFrac is the fraction of instructions that access the L1-D.
+	LoadFrac float64
+	// DataBlocks is the size of the synthetic data working set in cache
+	// blocks; it determines the L1-D miss rate mechanically.
+	DataBlocks int
+	// DataZipfS skews data-block popularity.
+	DataZipfS float64
+}
+
+// NewWalker builds the deterministic walker for this profile.
+func (p Profile) NewWalker() *Walker {
+	return NewWalkerConfig(p.Program(), p.WalkSeed, p.Walk)
+}
+
+// Program generates (deterministically) the profile's code image.
+func (p Profile) Program() *program.Program {
+	return program.MustGenerate(p.Gen, p.Seed)
+}
+
+// Names lists the workloads in the paper's presentation order.
+func Names() []string {
+	return []string{"Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2"}
+}
+
+// Get returns the profile with the given name.
+func Get(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q (have %v)", name, Names())
+}
+
+// MustGet is Get for static names.
+func MustGet(name string) Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Profiles returns all six workload profiles in presentation order.
+//
+// Tuning rationale (all relative to the paper's Table 1 / Figures 3-4):
+//   - Nutch: small instruction and branch working set; a 2K BTB nearly
+//     captures it (paper: 2.5 BTB MPKI).
+//   - Streaming: moderate branch working set but a large, flat
+//     instruction footprint from big media-handling functions
+//     (paper: 14.5 MPKI, high L1-I pressure).
+//   - Apache: large branch working set (paper: 23.7 MPKI).
+//   - Zeus: like Apache but smaller (paper: 14.6 MPKI).
+//   - Oracle: the largest, flattest working set — deep stacks, heavy
+//     kernel interaction (paper: 45.1 MPKI; 2K hottest static branches
+//     cover only ~65% of dynamic branches).
+//   - DB2: slightly smaller than Oracle (paper: 40.2 MPKI).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:        "Nutch",
+			Description: "Apache Nutch v1.2 web search: 230 clients, 1.4GB index",
+			Gen: program.GenParams{
+				NumAppFuncs:     300,
+				NumKernelFuncs:  50,
+				AppLayers:       5,
+				FnBlocksLogMean: math.Log(8), FnBlocksLogSigma: 0.7,
+				ZipfS:    0.9,
+				TrapFrac: 0.006,
+			},
+			Seed: 0x5eed_0001, WalkSeed: 0x3a1c_0001,
+			Walk:     WalkerConfig{RootLayers: 2, RootZipfS: 0.7},
+			LoadFrac: 0.22, DataBlocks: 3 << 10, DataZipfS: 0.9,
+		},
+		{
+			Name:        "Streaming",
+			Description: "Darwin Streaming Server 6.0.3: 7500 clients, 60GB dataset",
+			Gen: program.GenParams{
+				NumAppFuncs:     650,
+				NumKernelFuncs:  90,
+				AppLayers:       7,
+				FnBlocksLogMean: math.Log(15), FnBlocksLogSigma: 0.9,
+				BlockInstrMean: 7.0,
+				ZipfS:          0.55,
+				TrapFrac:       0.012,
+			},
+			Seed: 0x5eed_0002, WalkSeed: 0x3a1c_0002,
+			Walk:     WalkerConfig{RootLayers: 3, RootZipfS: 0.5},
+			LoadFrac: 0.25, DataBlocks: 12 << 10, DataZipfS: 0.7,
+		},
+		{
+			Name:        "Apache",
+			Description: "Apache HTTP Server v2.0 (SPECweb99): 16K connections, fastCGI",
+			Gen: program.GenParams{
+				NumAppFuncs:     2200,
+				NumKernelFuncs:  180,
+				AppLayers:       8,
+				FnBlocksLogMean: math.Log(8), FnBlocksLogSigma: 0.8,
+				ZipfS:    0.3,
+				CallFrac: 0.16,
+				TrapFrac: 0.012,
+			},
+			Seed: 0x5eed_0003, WalkSeed: 0x3a1c_0003,
+			Walk:     WalkerConfig{RootLayers: 2, RootZipfS: 0.2},
+			LoadFrac: 0.23, DataBlocks: 6 << 10, DataZipfS: 0.85,
+		},
+		{
+			Name:        "Zeus",
+			Description: "Zeus Web Server (SPECweb99): 16K connections, fastCGI",
+			Gen: program.GenParams{
+				NumAppFuncs:     700,
+				NumKernelFuncs:  100,
+				AppLayers:       7,
+				FnBlocksLogMean: math.Log(9), FnBlocksLogSigma: 0.8,
+				ZipfS:    0.6,
+				TrapFrac: 0.012,
+			},
+			Seed: 0x5eed_0004, WalkSeed: 0x3a1c_0004,
+			Walk:     WalkerConfig{RootLayers: 3, RootZipfS: 0.5},
+			LoadFrac: 0.23, DataBlocks: 6 << 10, DataZipfS: 0.85,
+		},
+		{
+			Name:        "Oracle",
+			Description: "Oracle 10g Enterprise Database (TPC-C): 100 warehouses, 1.4GB SGA",
+			Gen: program.GenParams{
+				NumAppFuncs:     6000,
+				NumKernelFuncs:  300,
+				AppLayers:       12,
+				FnBlocksLogMean: math.Log(13), FnBlocksLogSigma: 0.85,
+				ZipfS:         0.12,
+				CallFrac:      0.22,
+				EarlyRetFrac:  0.01,
+				TrapFrac:      0.02,
+				LoopFrac:      0.12,
+				LoopMeanIters: 3,
+			},
+			Seed: 0x5eed_0005, WalkSeed: 0x3a1c_0005,
+			// TPC-C-like: a handful of hot transaction types, each
+			// sweeping an enormous, repetitive call tree.
+			Walk:     WalkerConfig{RootLayers: 1, RootZipfS: 1.1},
+			LoadFrac: 0.28, DataBlocks: 12 << 10, DataZipfS: 0.75,
+		},
+		{
+			Name:        "DB2",
+			Description: "IBM DB2 v8 ESE Database (TPC-C): 100 warehouses, 2GB buffer pool",
+			Gen: program.GenParams{
+				NumAppFuncs:     4400,
+				NumKernelFuncs:  260,
+				AppLayers:       11,
+				FnBlocksLogMean: math.Log(12), FnBlocksLogSigma: 0.85,
+				ZipfS:         0.25,
+				CallFrac:      0.22,
+				EarlyRetFrac:  0.01,
+				TrapFrac:      0.018,
+				LoopFrac:      0.12,
+				LoopMeanIters: 3,
+			},
+			Seed: 0x5eed_0006, WalkSeed: 0x3a1c_0006,
+			Walk:     WalkerConfig{RootLayers: 1, RootZipfS: 1.2},
+			LoadFrac: 0.28, DataBlocks: 10 << 10, DataZipfS: 0.75,
+		},
+	}
+}
+
+// SortedByName returns the profiles sorted alphabetically (useful for
+// stable iteration in tools).
+func SortedByName() []Profile {
+	ps := Profiles()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
