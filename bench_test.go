@@ -18,6 +18,7 @@ import (
 	"shotgun/internal/harness"
 	"shotgun/internal/sim"
 	"shotgun/internal/stats"
+	"shotgun/internal/workload"
 )
 
 // benchScale balances fidelity and suite runtime.
@@ -54,6 +55,34 @@ func benchExperiment(b *testing.B, id string) {
 			fmt.Println(out)
 		}
 	}
+}
+
+// BenchmarkSimThroughput measures raw single-simulation speed as
+// simulated (retired) instructions per second on one representative
+// configuration — the paper's flagship workload under the paper's
+// mechanism. The shared program/predecode artifacts are warmed first so
+// the number characterizes the cycle simulator itself, not one-time
+// program generation.
+func BenchmarkSimThroughput(b *testing.B) {
+	cfg := sim.Config{
+		Workload:     "Oracle",
+		Mechanism:    sim.Shotgun,
+		WarmupInstr:  200_000,
+		MeasureInstr: 800_000,
+		Samples:      1,
+	}
+	prof := workload.MustGet(cfg.Workload)
+	prof.Program()
+	prof.Decoder()
+	instrPerRun := cfg.WarmupInstr + cfg.MeasureInstr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.MustRun(cfg)
+		if res.Core.Instructions == 0 {
+			b.Fatal("simulation retired no instructions")
+		}
+	}
+	b.ReportMetric(float64(uint64(b.N)*instrPerRun)/b.Elapsed().Seconds(), "instr/s")
 }
 
 // BenchmarkTable1 regenerates Table 1 (BTB MPKI without prefetching).

@@ -1,17 +1,26 @@
 // Command shotgun-bench regenerates every table and figure of the
 // paper's evaluation and prints them in order.
 //
+// Simulations are distributed over a worker pool (one worker per CPU by
+// default) and memoized, so configurations shared between experiments run
+// once; the full config set of the selected experiments is prefetched up
+// front to keep every core busy across experiment boundaries.
+//
 // Usage:
 //
 //	shotgun-bench                 # run everything at full scale
 //	shotgun-bench -quick          # short smoke-scale run
 //	shotgun-bench -only fig7,fig9 # a subset
+//	shotgun-bench -parallel 1     # serial (seed-equivalent) execution
+//	shotgun-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,9 +29,12 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run at smoke-test scale")
-		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick      = flag.Bool("quick", false, "run at smoke-test scale")
+		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -34,10 +46,45 @@ func main() {
 		return
 	}
 
+	// Validate everything that can fail — experiment selection, profile
+	// output files — before any (potentially minutes-long, profiled)
+	// simulation work, so no exit path can discard it.
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
 			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	var run []harness.Experiment
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		run = append(run, e)
+	}
+	if len(run) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only; use -list")
+		os.Exit(2)
+	}
+
+	var memf *os.File
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		memf = f
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 
@@ -45,23 +92,33 @@ func main() {
 	if *quick {
 		scale = harness.QuickScale()
 	}
-	runner := harness.NewRunner(scale)
+	runner := harness.NewRunnerWorkers(scale, *parallel)
 
 	start := time.Now()
-	ran := 0
-	for _, e := range exps {
-		if len(selected) > 0 && !selected[e.ID] {
-			continue
-		}
+	// Saturate the pool with every selected experiment's simulations
+	// before any table is assembled; assembly then reads memoized
+	// results, so output is identical at any worker count.
+	runner.Prefetch(harness.AllConfigs(run))
+	for _, e := range run {
 		t0 := time.Now()
 		out := e.Run(runner)
 		fmt.Println(out)
-		fmt.Printf("[%s done in %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
-		ran++
+		// Simulations were paid in the upfront Prefetch; this window
+		// measures only table assembly from memoized results.
+		fmt.Printf("[%s assembled in %.2fs]\n\n", e.ID, time.Since(t0).Seconds())
 	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched -only; use -list")
-		os.Exit(2)
+	fmt.Printf("all experiments done in %.1fs (%d workers)\n",
+		time.Since(start).Seconds(), runner.Workers())
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
 	}
-	fmt.Printf("all experiments done in %.1fs\n", time.Since(start).Seconds())
+	if memf != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		memf.Close()
+	}
 }

@@ -1,0 +1,3 @@
+module shotgun
+
+go 1.24

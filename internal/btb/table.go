@@ -118,21 +118,24 @@ func (t *table[V]) Peek(pc isa.Addr) (V, bool) {
 func (t *table[V]) Update(pc isa.Addr, v V) {
 	t.tick++
 	base := t.index(pc)
-	victim := -1
-	var oldest uint64 = ^uint64(0)
+	// Tag match first — LRU victim bookkeeping is hoisted out of the
+	// match loop and only runs on actual insertions.
 	for i := base; i < base+t.ways; i++ {
 		if t.slots[i].valid && t.slots[i].key == pc {
 			t.slots[i].val = v
 			t.slots[i].used = t.tick
 			return
 		}
+	}
+	// Victim: the first invalid way, else the least recently used.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+t.ways; i++ {
 		if !t.slots[i].valid {
-			if victim == -1 || t.slots[victim].valid {
-				victim = i
-			}
-			continue
+			victim = i
+			break
 		}
-		if t.slots[i].used < oldest && (victim == -1 || t.slots[victim].valid) {
+		if t.slots[i].used < oldest {
 			oldest = t.slots[i].used
 			victim = i
 		}

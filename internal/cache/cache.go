@@ -126,20 +126,23 @@ func (c *Cache) Access(addr isa.Addr) bool {
 func (c *Cache) Insert(addr isa.Addr) (evicted isa.Addr, didEvict bool) {
 	c.tick++
 	base, tag := c.locate(addr)
-	victim := -1
-	var oldest uint64 = ^uint64(0)
+	// Tag match first — the LRU victim scan only runs on actual fills,
+	// not on the (common) refresh of an already-present block.
 	for i := base; i < base+c.ways; i++ {
 		if c.lines[i].valid && c.lines[i].tag == tag {
 			c.lines[i].used = c.tick
 			return 0, false
 		}
+	}
+	// Victim: the first invalid way, else the least recently used.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
 		if !c.lines[i].valid {
-			if victim == -1 || c.lines[victim].valid {
-				victim = i
-			}
-			continue
+			victim = i
+			break
 		}
-		if c.lines[i].used < oldest && (victim == -1 || c.lines[victim].valid) {
+		if c.lines[i].used < oldest {
 			oldest = c.lines[i].used
 			victim = i
 		}

@@ -161,6 +161,13 @@ type Core struct {
 
 	dataRNG  *xrand.Source
 	dataZipf *xrand.Zipf
+	// loadDraw is the LoadFrac Bernoulli with its threshold precomputed;
+	// it consumes the same draws as dataRNG.Bool(LoadFrac) so results are
+	// unchanged.
+	loadDraw xrand.Bernoulli
+	// loadSched is dispatch's reusable per-block load schedule: the data
+	// addresses the block's instructions access, drawn in one pass.
+	loadSched []isa.Addr
 
 	now uint64
 
@@ -194,15 +201,17 @@ func New(cfg Config, trace workload.Stream, engine prefetch.Engine, hier *uncore
 	cfg.setDefaults()
 	rng := xrand.New(cfg.DataSeed)
 	return &Core{
-		cfg:      cfg,
-		trace:    trace,
-		engine:   engine,
-		hier:     hier,
-		tage:     bpu.NewTAGE(),
-		ras:      bpu.NewRAS(cfg.RASEntries),
-		dataRNG:  rng,
-		dataZipf: xrand.NewZipf(rng, cfg.DataBlocks, cfg.DataZipfS),
-		rob:      make([]uint64, cfg.ROBEntries),
+		cfg:       cfg,
+		trace:     trace,
+		engine:    engine,
+		hier:      hier,
+		tage:      bpu.NewTAGE(),
+		ras:       bpu.NewRAS(cfg.RASEntries),
+		dataRNG:   rng,
+		dataZipf:  xrand.NewZipf(rng, cfg.DataBlocks, cfg.DataZipfS),
+		loadDraw:  xrand.NewBernoulli(cfg.LoadFrac),
+		loadSched: make([]isa.Addr, 0, isa.MaxBlockInstrs),
+		rob:       make([]uint64, cfg.ROBEntries),
 	}
 }
 
@@ -368,7 +377,8 @@ func (c *Core) fetch() {
 
 	if !c.headIssued {
 		ready := c.now
-		for _, blk := range p.bb.Blocks() {
+		first, last := p.bb.BlockSpan()
+		for blk := first; blk <= last; blk += isa.BlockBytes {
 			r, src := c.hier.FetchBlock(c.now, blk)
 			c.engine.OnFetch(c.now, blk, src)
 			if src == uncore.SrcLLC || src == uncore.SrcMemory {
@@ -444,14 +454,33 @@ func (c *Core) popPending() {
 
 // dispatch enters a block's instructions into the ROB and notifies the
 // engine of the retire-order stream (dispatch order equals retire order).
+//
+// The data side runs off a per-block schedule: one pass draws which
+// instructions load and from where (the Bernoulli/Zipf draws, in the same
+// per-instruction order as ever, so the random stream and therefore every
+// result is unchanged), then the hierarchy is charged and the ROB filled
+// from the schedule. Non-load instructions take the scheduling fast path:
+// one RNG draw, no hierarchy call.
 func (c *Core) dispatch(bb isa.BasicBlock) {
+	execLat := uint64(c.cfg.ExecLatencyCycles)
+	// Pass 1: the load schedule. A sentinel address marks non-loads so
+	// pass 2 preserves instruction order without a second draw.
+	sched := c.loadSched[:0]
 	for i := 0; i < bb.NumInstr; i++ {
-		complete := c.now + uint64(c.cfg.ExecLatencyCycles)
-		if c.dataRNG.Bool(c.cfg.LoadFrac) {
-			addr := dataBase + isa.Addr(c.dataZipf.Next()*isa.BlockBytes)
+		if c.loadDraw.Draw(c.dataRNG) {
+			sched = append(sched, dataBase+isa.Addr(c.dataZipf.Next()*isa.BlockBytes))
+		} else {
+			sched = append(sched, 0)
+		}
+	}
+	c.loadSched = sched
+	// Pass 2: charge the hierarchy and fill the ROB.
+	for _, addr := range sched {
+		complete := c.now + execLat
+		if addr != 0 {
 			ready, _ := c.hier.DataAccess(c.now, addr)
-			if ready+uint64(c.cfg.ExecLatencyCycles) > complete {
-				complete = ready + uint64(c.cfg.ExecLatencyCycles)
+			if ready+execLat > complete {
+				complete = ready + execLat
 			}
 		}
 		c.robPush(complete)
@@ -462,7 +491,12 @@ func (c *Core) dispatch(bb isa.BasicBlock) {
 func (c *Core) robFree() int { return c.cfg.ROBEntries - c.robLen }
 
 func (c *Core) robPush(complete uint64) {
-	idx := (c.robHead + c.robLen) % c.cfg.ROBEntries
+	// robHead+robLen < 2*ROBEntries always, so a compare-subtract wraps
+	// the ring without the general modulo.
+	idx := c.robHead + c.robLen
+	if idx >= c.cfg.ROBEntries {
+		idx -= c.cfg.ROBEntries
+	}
 	c.rob[idx] = complete
 	c.robLen++
 }
@@ -472,7 +506,10 @@ func (c *Core) robPush(complete uint64) {
 func (c *Core) retire() {
 	retired := 0
 	for retired < c.cfg.RetireWidth && c.robLen > 0 && c.rob[c.robHead] <= c.now {
-		c.robHead = (c.robHead + 1) % c.cfg.ROBEntries
+		c.robHead++
+		if c.robHead == c.cfg.ROBEntries {
+			c.robHead = 0
+		}
 		c.robLen--
 		retired++
 	}

@@ -168,7 +168,8 @@ func (r *Recorder) Layout() Layout { return r.layout }
 func (r *Recorder) Observe(bb isa.BasicBlock) *Commit {
 	// Accumulate this block's cache-block accesses into the open region.
 	if r.active {
-		for _, cb := range bb.Blocks() {
+		first, last := bb.BlockSpan()
+		for cb := first; cb <= last; cb += isa.BlockBytes {
 			d := isa.BlockDistance(r.entry, cb)
 			if d < r.minD {
 				r.minD = d

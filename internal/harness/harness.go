@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"shotgun/internal/btb"
@@ -35,54 +36,184 @@ func FullScale() Scale {
 	return Scale{WarmupInstr: 2_000_000, MeasureInstr: 3_000_000, Samples: 3}
 }
 
+// cacheKey is the comparable identity of one simulation. It is derived
+// from the *normalized* config (every default made explicit), so two
+// configs that would run the same simulation always collide on purpose,
+// and two that would not never do — there is no string formatting and no
+// field left out (the seed runner omitted SkipInstr and conflated a nil
+// ShotgunSizes with an explicit zero one).
+type cacheKey struct {
+	workload   string
+	mechanism  sim.Mechanism
+	btbEntries int
+	regionMode prefetch.RegionMode
+	layout     footprint.Layout
+
+	hasSizes bool
+	sizes    btb.Sizes
+
+	warmup, measure, skip uint64
+	samples               int
+}
+
+// keyOf builds the cache key for a normalized config.
+func keyOf(cfg sim.Config) cacheKey {
+	k := cacheKey{
+		workload:   cfg.Workload,
+		mechanism:  cfg.Mechanism,
+		btbEntries: cfg.BTBEntries,
+		regionMode: cfg.RegionMode,
+		layout:     cfg.Layout,
+		warmup:     cfg.WarmupInstr,
+		measure:    cfg.MeasureInstr,
+		skip:       cfg.SkipInstr,
+		samples:    cfg.Samples,
+	}
+	if cfg.ShotgunSizes != nil {
+		k.hasSizes = true
+		k.sizes = *cfg.ShotgunSizes
+	}
+	return k
+}
+
+// flight is one memoized simulation. The sync.Once gives per-key
+// single-flight semantics: concurrent callers of the same config block on
+// the one in-progress computation instead of duplicating it.
+type flight struct {
+	once sync.Once
+	res  sim.Result
+}
+
 // Runner memoizes simulation results so experiments sharing
-// configurations (e.g. the no-prefetch baseline) run once.
+// configurations (e.g. the no-prefetch baseline) run once, and executes
+// independent simulations on a bounded worker pool. Results are
+// deterministic and independent of worker count or completion order: each
+// simulation is self-contained, so a table assembled from memoized
+// results is byte-identical whether it ran on one worker or many.
 type Runner struct {
-	scale Scale
+	scale   Scale
+	workers int
 
 	mu    sync.Mutex
-	cache map[string]sim.Result
+	cache map[cacheKey]*flight
 }
 
-// NewRunner builds a runner at the given scale.
+// NewRunner builds a runner at the given scale with one worker per
+// available CPU.
 func NewRunner(scale Scale) *Runner {
-	return &Runner{scale: scale, cache: make(map[string]sim.Result)}
+	return NewRunnerWorkers(scale, runtime.GOMAXPROCS(0))
 }
 
-// Run executes (or recalls) one simulation.
-func (r *Runner) Run(cfg sim.Config) sim.Result {
+// NewRunnerWorkers builds a runner with an explicit worker-pool size
+// (values below 1 mean 1). One worker reproduces the serial seed
+// behaviour exactly.
+func NewRunnerWorkers(scale Scale, workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{
+		scale:   scale,
+		workers: workers,
+		cache:   make(map[cacheKey]*flight),
+	}
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// normalize pins the runner's scale onto cfg and makes every simulation
+// default explicit, so keying and execution agree.
+func (r *Runner) normalize(cfg sim.Config) sim.Config {
 	cfg.WarmupInstr = r.scale.WarmupInstr
 	cfg.MeasureInstr = r.scale.MeasureInstr
 	cfg.Samples = r.scale.Samples
-
-	u, c2, ri := sizesKey(cfg.ShotgunSizes)
-	key := fmt.Sprintf("%s|%s|%d|%v|%d/%d|%d|%d/%d/%d",
-		cfg.Workload, cfg.Mechanism, cfg.BTBEntries, cfg.RegionMode,
-		cfg.Layout.Before, cfg.Layout.After,
-		cfg.WarmupInstr, u, c2, ri)
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res
-	}
-	res = sim.MustRun(cfg)
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res
+	return cfg.Normalized()
 }
 
-func sizesKey(s *btb.Sizes) (int, int, int) {
-	if s == nil {
-		return 0, 0, 0
+// flightFor returns the (created-once) flight for a normalized config.
+func (r *Runner) flightFor(cfg sim.Config) *flight {
+	key := keyOf(cfg)
+	r.mu.Lock()
+	f, ok := r.cache[key]
+	if !ok {
+		f = &flight{}
+		r.cache[key] = f
 	}
-	return s.UEntries, s.CEntries, s.REntries
+	r.mu.Unlock()
+	return f
+}
+
+// Run executes (or recalls) one simulation. Concurrent callers of the
+// same config share a single execution.
+func (r *Runner) Run(cfg sim.Config) sim.Result {
+	cfg = r.normalize(cfg)
+	f := r.flightFor(cfg)
+	f.once.Do(func() { f.res = sim.MustRun(cfg) })
+	return f.res
+}
+
+// Prefetch runs every given config on the worker pool and returns when
+// all results are memoized. Duplicate configs (and configs already cached
+// or in flight) cost nothing extra. Each ExperimentN declares its full
+// config set through Prefetch before assembling its table, so the pool
+// saturates every core while assembly stays simple and serial.
+func (r *Runner) Prefetch(cfgs []sim.Config) {
+	type job struct {
+		cfg sim.Config
+		f   *flight
+	}
+	// Deduplicate up front so the pool only sees distinct simulations.
+	seen := make(map[cacheKey]bool, len(cfgs))
+	var jobs []job
+	for _, cfg := range cfgs {
+		cfg = r.normalize(cfg)
+		key := keyOf(cfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		jobs = append(jobs, job{cfg: cfg, f: r.flightFor(cfg)})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	workers := r.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		// Serial path: identical to the seed runner's execution order.
+		for _, j := range jobs {
+			j.f.once.Do(func() { j.f.res = sim.MustRun(j.cfg) })
+		}
+		return
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				j.f.once.Do(func() { j.f.res = sim.MustRun(j.cfg) })
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// baselineConfig is the no-prefetch 2K-BTB configuration for a workload.
+func baselineConfig(wl string) sim.Config {
+	return sim.Config{Workload: wl, Mechanism: sim.None}
 }
 
 // baseline returns the no-prefetch 2K-BTB result for a workload.
 func (r *Runner) baseline(wl string) sim.Result {
-	return r.Run(sim.Config{Workload: wl, Mechanism: sim.None})
+	return r.Run(baselineConfig(wl))
 }
 
 // Workloads lists the evaluation suite in presentation order.
@@ -98,8 +229,18 @@ type Table1Row struct {
 	BTBMPKI  float64
 }
 
+// Table1Configs declares every simulation Table 1 needs.
+func Table1Configs() []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range Workloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+	}
+	return cfgs
+}
+
 // Table1 regenerates Table 1.
 func Table1(r *Runner) ([]Table1Row, string) {
+	r.Prefetch(Table1Configs())
 	var rows []Table1Row
 	t := stats.NewTable("Table 1: BTB MPKI (2K-entry BTB, no prefetching)", "Workload", "MPKI")
 	for _, wl := range Workloads() {
@@ -122,11 +263,29 @@ type SpeedupRow struct {
 
 // Figure1 regenerates Figure 1.
 func Figure1(r *Runner) ([]SpeedupRow, string) {
-	mechs := []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Ideal}
-	return speedupFigure(r, "Figure 1: state-of-the-art vs ideal front-end (speedup over no-prefetch)", mechs)
+	return speedupFigure(r, "Figure 1: state-of-the-art vs ideal front-end (speedup over no-prefetch)", Figure1Mechs())
+}
+
+// Figure1Mechs lists Figure 1's mechanisms.
+func Figure1Mechs() []sim.Mechanism {
+	return []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Ideal}
+}
+
+// mechConfigs declares the baseline plus per-mechanism simulations every
+// speedup/coverage figure needs.
+func mechConfigs(mechs []sim.Mechanism) []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range Workloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+		for _, m := range mechs {
+			cfgs = append(cfgs, sim.Config{Workload: wl, Mechanism: m})
+		}
+	}
+	return cfgs
 }
 
 func speedupFigure(r *Runner, title string, mechs []sim.Mechanism) ([]SpeedupRow, string) {
+	r.Prefetch(mechConfigs(mechs))
 	headers := []string{"Workload"}
 	for _, m := range mechs {
 		headers = append(headers, string(m))
@@ -232,9 +391,15 @@ type CoverageRow struct {
 	Coverage map[string]float64
 }
 
+// Figure6Mechs lists Figure 6's mechanisms.
+func Figure6Mechs() []sim.Mechanism {
+	return []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Shotgun}
+}
+
 // Figure6 regenerates Figure 6.
 func Figure6(r *Runner) ([]CoverageRow, string) {
-	mechs := []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Shotgun}
+	mechs := Figure6Mechs()
+	r.Prefetch(mechConfigs(mechs))
 	headers := []string{"Workload"}
 	for _, m := range mechs {
 		headers = append(headers, string(m))
@@ -272,10 +437,14 @@ func Figure6(r *Runner) ([]CoverageRow, string) {
 // Figure 7: speedups of the three mechanisms.
 // ---------------------------------------------------------------------
 
+// Figure7Mechs lists Figure 7's mechanisms.
+func Figure7Mechs() []sim.Mechanism {
+	return []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Shotgun}
+}
+
 // Figure7 regenerates Figure 7.
 func Figure7(r *Runner) ([]SpeedupRow, string) {
-	mechs := []sim.Mechanism{sim.Confluence, sim.Boomerang, sim.Shotgun}
-	return speedupFigure(r, "Figure 7: speedup over no-prefetch baseline", mechs)
+	return speedupFigure(r, "Figure 7: speedup over no-prefetch baseline", Figure7Mechs())
 }
 
 // ---------------------------------------------------------------------
@@ -306,13 +475,31 @@ func AccuracyVariants() []Variant {
 	return []Variant{all[1], all[3], all[4]}
 }
 
-func (r *Runner) runVariant(wl string, v Variant) sim.Result {
-	return r.Run(sim.Config{
+// variantConfig is the Shotgun simulation for one footprint variant.
+func variantConfig(wl string, v Variant) sim.Config {
+	return sim.Config{
 		Workload:   wl,
 		Mechanism:  sim.Shotgun,
 		RegionMode: v.Mode,
 		Layout:     v.Layout,
-	})
+	}
+}
+
+// variantConfigs declares the baseline plus per-variant simulations the
+// Figure 8-11 ablations need.
+func variantConfigs(variants []Variant) []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range Workloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+		for _, v := range variants {
+			cfgs = append(cfgs, variantConfig(wl, v))
+		}
+	}
+	return cfgs
+}
+
+func (r *Runner) runVariant(wl string, v Variant) sim.Result {
+	return r.Run(variantConfig(wl, v))
 }
 
 // VariantRow is one workload's metric across footprint variants.
@@ -323,6 +510,7 @@ type VariantRow struct {
 
 func variantFigure(r *Runner, title string, variants []Variant,
 	metric func(res, base sim.Result) float64, avgGeo bool, format string) ([]VariantRow, string) {
+	r.Prefetch(variantConfigs(variants))
 	headers := []string{"Workload"}
 	for _, v := range variants {
 		headers = append(headers, v.Name)
@@ -396,8 +584,28 @@ func Figure11(r *Runner) ([]VariantRow, string) {
 // Figure12Sizes are the evaluated C-BTB capacities.
 var Figure12Sizes = []int{64, 128, 1024}
 
+// figure12Config is the Shotgun simulation at one C-BTB capacity.
+func figure12Config(wl string, cEntries int) sim.Config {
+	sizes := btb.MustShotgunSizesForBudget(2048)
+	sizes.CEntries = cEntries
+	return sim.Config{Workload: wl, Mechanism: sim.Shotgun, ShotgunSizes: &sizes}
+}
+
+// Figure12Configs declares every simulation Figure 12 needs.
+func Figure12Configs() []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range Workloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+		for _, n := range Figure12Sizes {
+			cfgs = append(cfgs, figure12Config(wl, n))
+		}
+	}
+	return cfgs
+}
+
 // Figure12 regenerates Figure 12: Shotgun speedup vs C-BTB entries.
 func Figure12(r *Runner) ([]VariantRow, string) {
+	r.Prefetch(Figure12Configs())
 	headers := []string{"Workload"}
 	for _, n := range Figure12Sizes {
 		headers = append(headers, fmt.Sprintf("%d-entry", n))
@@ -410,11 +618,7 @@ func Figure12(r *Runner) ([]VariantRow, string) {
 		row := VariantRow{Workload: wl, Values: map[string]float64{}}
 		var cells []float64
 		for _, n := range Figure12Sizes {
-			sizes := btb.MustShotgunSizesForBudget(2048)
-			sizes.CEntries = n
-			res := r.Run(sim.Config{
-				Workload: wl, Mechanism: sim.Shotgun, ShotgunSizes: &sizes,
-			})
+			res := r.Run(figure12Config(wl, n))
 			s := res.Speedup(base)
 			row.Values[fmt.Sprintf("%d", n)] = s
 			agg[n] = append(agg[n], s)
@@ -450,12 +654,30 @@ type Figure13Row struct {
 	Speedup   float64
 }
 
+// Figure13Workloads lists the workloads Figure 13 sweeps.
+func Figure13Workloads() []string { return []string{"Oracle", "DB2"} }
+
+// Figure13Configs declares every simulation Figure 13 needs.
+func Figure13Configs() []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range Figure13Workloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+		for _, m := range []sim.Mechanism{sim.Boomerang, sim.Shotgun} {
+			for _, budget := range Figure13Budgets {
+				cfgs = append(cfgs, sim.Config{Workload: wl, Mechanism: m, BTBEntries: budget})
+			}
+		}
+	}
+	return cfgs
+}
+
 // Figure13 regenerates Figure 13.
 func Figure13(r *Runner) ([]Figure13Row, string) {
+	r.Prefetch(Figure13Configs())
 	t := stats.NewTable("Figure 13: speedup vs BTB storage budget (budget = equivalent conventional entries)",
 		"Workload", "Mechanism", "512", "1K", "2K", "4K", "8K")
 	var rows []Figure13Row
-	for _, wl := range []string{"Oracle", "DB2"} {
+	for _, wl := range Figure13Workloads() {
 		base := r.baseline(wl)
 		for _, m := range []sim.Mechanism{sim.Boomerang, sim.Shotgun} {
 			var cells []string
@@ -475,27 +697,64 @@ func Figure13(r *Runner) ([]Figure13Row, string) {
 // All experiments.
 // ---------------------------------------------------------------------
 
-// Experiment pairs an identifier with its render function.
+// Experiment pairs an identifier with its render function and the full
+// set of simulations it will request — the planning information Prefetch
+// uses to saturate the worker pool before any table is assembled.
 type Experiment struct {
 	ID   string
 	Desc string
 	Run  func(*Runner) string
+	// Configs declares every simulation Run will need; nil for pure
+	// trace analyses (Figures 3 and 4) that run no timing simulation.
+	Configs func() []sim.Config
 }
 
 // Experiments lists every reproduced table and figure.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "BTB MPKI without prefetching", func(r *Runner) string { _, s := Table1(r); return s }},
-		{"fig1", "State-of-the-art vs ideal speedups", func(r *Runner) string { _, s := Figure1(r); return s }},
-		{"fig3", "Region spatial locality", func(r *Runner) string { _, s := Figure3(r); return s }},
-		{"fig4", "Branch working-set coverage", func(r *Runner) string { _, s := Figure4(r); return s }},
-		{"fig6", "Front-end stall coverage", func(r *Runner) string { _, s := Figure6(r); return s }},
-		{"fig7", "Speedup over baseline", func(r *Runner) string { _, s := Figure7(r); return s }},
-		{"fig8", "Footprint-variant stall coverage", func(r *Runner) string { _, s := Figure8(r); return s }},
-		{"fig9", "Footprint-variant speedup", func(r *Runner) string { _, s := Figure9(r); return s }},
-		{"fig10", "Footprint-variant prefetch accuracy", func(r *Runner) string { _, s := Figure10(r); return s }},
-		{"fig11", "Footprint-variant L1-D fill latency", func(r *Runner) string { _, s := Figure11(r); return s }},
-		{"fig12", "C-BTB size sensitivity", func(r *Runner) string { _, s := Figure12(r); return s }},
-		{"fig13", "BTB budget sensitivity", func(r *Runner) string { _, s := Figure13(r); return s }},
+		{"table1", "BTB MPKI without prefetching",
+			func(r *Runner) string { _, s := Table1(r); return s }, Table1Configs},
+		{"fig1", "State-of-the-art vs ideal speedups",
+			func(r *Runner) string { _, s := Figure1(r); return s },
+			func() []sim.Config { return mechConfigs(Figure1Mechs()) }},
+		{"fig3", "Region spatial locality",
+			func(r *Runner) string { _, s := Figure3(r); return s }, nil},
+		{"fig4", "Branch working-set coverage",
+			func(r *Runner) string { _, s := Figure4(r); return s }, nil},
+		{"fig6", "Front-end stall coverage",
+			func(r *Runner) string { _, s := Figure6(r); return s },
+			func() []sim.Config { return mechConfigs(Figure6Mechs()) }},
+		{"fig7", "Speedup over baseline",
+			func(r *Runner) string { _, s := Figure7(r); return s },
+			func() []sim.Config { return mechConfigs(Figure7Mechs()) }},
+		{"fig8", "Footprint-variant stall coverage",
+			func(r *Runner) string { _, s := Figure8(r); return s },
+			func() []sim.Config { return variantConfigs(Variants()) }},
+		{"fig9", "Footprint-variant speedup",
+			func(r *Runner) string { _, s := Figure9(r); return s },
+			func() []sim.Config { return variantConfigs(Variants()) }},
+		{"fig10", "Footprint-variant prefetch accuracy",
+			func(r *Runner) string { _, s := Figure10(r); return s },
+			func() []sim.Config { return variantConfigs(AccuracyVariants()) }},
+		{"fig11", "Footprint-variant L1-D fill latency",
+			func(r *Runner) string { _, s := Figure11(r); return s },
+			func() []sim.Config { return variantConfigs(AccuracyVariants()) }},
+		{"fig12", "C-BTB size sensitivity",
+			func(r *Runner) string { _, s := Figure12(r); return s }, Figure12Configs},
+		{"fig13", "BTB budget sensitivity",
+			func(r *Runner) string { _, s := Figure13(r); return s }, Figure13Configs},
 	}
+}
+
+// AllConfigs returns the union (with duplicates; Prefetch deduplicates)
+// of every experiment's config set — the whole evaluation's work list,
+// used to saturate the pool across experiment boundaries.
+func AllConfigs(exps []Experiment) []sim.Config {
+	var cfgs []sim.Config
+	for _, e := range exps {
+		if e.Configs != nil {
+			cfgs = append(cfgs, e.Configs()...)
+		}
+	}
+	return cfgs
 }

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"shotgun/internal/btb"
+	"shotgun/internal/footprint"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/sim"
+)
+
+// TestParallelDeterminism is the tentpole's correctness contract: the
+// rendered tables of a multi-worker runner are byte-identical to a
+// 1-worker (seed-equivalent, strictly serial) runner. Run under -race in
+// CI, it also exercises the shared program/decoder artifacts and the
+// single-flight cache concurrently.
+func TestParallelDeterminism(t *testing.T) {
+	scale := QuickScale()
+	serial := NewRunnerWorkers(scale, 1)
+	// Force real concurrency even on single-CPU hosts.
+	parallel := NewRunnerWorkers(scale, 4)
+
+	_, t1Serial := Table1(serial)
+	_, f7Serial := Figure7(serial)
+	_, t1Parallel := Table1(parallel)
+	_, f7Parallel := Figure7(parallel)
+
+	if t1Serial != t1Parallel {
+		t.Errorf("Table 1 differs between 1-worker and 4-worker runners:\nserial:\n%s\nparallel:\n%s",
+			t1Serial, t1Parallel)
+	}
+	if f7Serial != f7Parallel {
+		t.Errorf("Figure 7 differs between 1-worker and 4-worker runners:\nserial:\n%s\nparallel:\n%s",
+			f7Serial, f7Parallel)
+	}
+}
+
+// TestRunnerSingleFlight hammers one config from many goroutines: the
+// single-flight cache must run it once and give every caller the same
+// result.
+func TestRunnerSingleFlight(t *testing.T) {
+	r := NewRunnerWorkers(Scale{WarmupInstr: 60_000, MeasureInstr: 80_000, Samples: 1}, 4)
+	cfg := sim.Config{Workload: "Nutch", Mechanism: sim.None}
+
+	const callers = 16
+	results := make([]sim.Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	if len(r.cache) != 1 {
+		t.Fatalf("cache has %d entries after %d concurrent identical Runs, want 1", len(r.cache), callers)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+}
+
+// TestCacheKeyCollisions is the regression test for the seed runner's
+// fragile fmt.Sprintf key: configs that run different simulations must
+// produce different keys, and configs that are equivalent after
+// normalization must produce equal keys (so the memo actually shares).
+func TestCacheKeyCollisions(t *testing.T) {
+	r := NewRunner(QuickScale())
+	base := sim.Config{Workload: "Oracle", Mechanism: sim.Shotgun}
+
+	distinct := []sim.Config{
+		base,
+		{Workload: "DB2", Mechanism: sim.Shotgun},
+		{Workload: "Oracle", Mechanism: sim.Boomerang},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, BTBEntries: 4096},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, Layout: footprint.Layout32},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, RegionMode: prefetch.RegionEntire},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, SkipInstr: 123_456},
+		{Workload: "Oracle", Mechanism: sim.Shotgun,
+			ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 512}},
+		{Workload: "Oracle", Mechanism: sim.Shotgun,
+			ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 1024, REntries: 512}},
+	}
+	seen := map[cacheKey]int{}
+	for i, cfg := range distinct {
+		k := keyOf(r.normalize(cfg))
+		if j, dup := seen[k]; dup {
+			t.Errorf("configs %d and %d collide on key %+v", j, i, k)
+		}
+		seen[k] = i
+	}
+
+	// Equivalent-after-normalization pairs must share a key.
+	equiv := [][2]sim.Config{
+		{{Workload: "Oracle", Mechanism: sim.Shotgun},
+			{Workload: "Oracle", Mechanism: sim.Shotgun, BTBEntries: 2048}},
+		{{Workload: "Oracle", Mechanism: sim.Shotgun},
+			{Workload: "Oracle", Mechanism: sim.Shotgun, Layout: footprint.Layout8}},
+	}
+	for i, pair := range equiv {
+		a := keyOf(r.normalize(pair[0]))
+		b := keyOf(r.normalize(pair[1]))
+		if a != b {
+			t.Errorf("equivalent pair %d maps to distinct keys:\n%+v\n%+v", i, a, b)
+		}
+	}
+}

@@ -154,6 +154,14 @@ func (b BasicBlock) Next() Addr {
 	return b.FallThrough()
 }
 
+// BlockSpan returns the first and last cache-block addresses the basic
+// block touches. Hot paths iterate the span directly
+// (`for blk := first; blk <= last; blk += BlockBytes`) instead of
+// allocating the slice Blocks returns.
+func (b BasicBlock) BlockSpan() (first, last Addr) {
+	return b.PC.Block(), b.PC.Add(b.NumInstr - 1).Block()
+}
+
 // Blocks returns the cache-block addresses the basic block touches, in
 // ascending order. A small block may touch one cache block; a long one may
 // straddle two or more.

@@ -152,7 +152,8 @@ func (e *Confluence) issue(at uint64) {
 
 // OnRetire implements Engine: the retire stream trains the history.
 func (e *Confluence) OnRetire(bb isa.BasicBlock) {
-	for _, blk := range bb.Blocks() {
+	first, last := bb.BlockSpan()
+	for blk := first; blk <= last; blk += isa.BlockBytes {
 		e.hist.Record(blk)
 	}
 }

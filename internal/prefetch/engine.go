@@ -87,7 +87,8 @@ type Engine interface {
 // prefetchBlocks issues FDIP-style L1-I probes for every cache block a
 // basic block spans.
 func prefetchBlocks(ctx Context, now uint64, bb isa.BasicBlock) {
-	for _, blk := range bb.Blocks() {
+	first, last := bb.BlockSpan()
+	for blk := first; blk <= last; blk += isa.BlockBytes {
 		ctx.Hier.PrefetchBlock(now, blk)
 	}
 }

@@ -22,7 +22,8 @@ func (e *Ideal) Name() string { return "ideal" }
 // Evaluate implements Engine: blocks are installed into the L1-I with
 // zero latency, and the BTB never misses.
 func (e *Ideal) Evaluate(_ uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval {
-	for _, blk := range bb.Blocks() {
+	first, last := bb.BlockSpan()
+	for blk := first; blk <= last; blk += isa.BlockBytes {
 		e.ctx.Hier.L1I.Insert(blk)
 	}
 	return Eval{BTBHit: true}

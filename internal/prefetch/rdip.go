@@ -24,8 +24,11 @@ type RDIP struct {
 	btb *btb.Conventional
 
 	// sigTable maps a program-context signature to the blocks that
-	// missed under that context last time.
+	// missed under that context last time; sigOrder tracks insertion
+	// order so the bounded table evicts FIFO — deterministically, unlike
+	// ranging over the map, whose order Go randomizes per run.
 	sigTable map[uint64][]isa.Addr
+	sigOrder []uint64
 	capacity int
 
 	ras    *bpu.RAS
@@ -80,11 +83,19 @@ func (e *RDIP) signature() uint64 {
 // prefetches the new context's recorded miss set.
 func (e *RDIP) contextSwitch(now uint64) {
 	if len(e.pendingMisses) > 0 {
-		if len(e.sigTable) >= e.capacity {
-			for k := range e.sigTable { // bounded table: drop one entry
-				delete(e.sigTable, k)
-				break
+		// Bounded table with FIFO replacement: a new signature at
+		// capacity evicts the oldest; refreshing an already-recorded
+		// signature updates it in place without evicting. (The original
+		// implementation evicted a random map-iteration victim on every
+		// full-table close, making RDIP results nondeterministic per
+		// run; this is the deterministic standard-cache policy.)
+		if _, exists := e.sigTable[e.curSig]; !exists {
+			if len(e.sigTable) >= e.capacity {
+				victim := e.sigOrder[0]
+				e.sigOrder = e.sigOrder[1:]
+				delete(e.sigTable, victim)
 			}
+			e.sigOrder = append(e.sigOrder, e.curSig)
 		}
 		set := e.pendingMisses
 		if len(set) > rdipMaxBlocksPerSig {

@@ -193,11 +193,25 @@ type builder struct {
 
 	// popRank[id] is the popularity rank of function id within its role
 	// group (0 = hottest). Callee selection Zipf-samples ranks.
-	popRank map[FuncID]int
+	popRank []int
+
+	// rankedByGroup[g] lists the callable functions of role group g
+	// (trap entries excluded) hottest-first; rankedTraps lists trap
+	// entries hottest-first. Precomputed once so calleeCandidates is a
+	// filter over an already-sorted list instead of a per-function
+	// scan-and-sort of the whole program.
+	rankedByGroup [2][]FuncID
+	rankedTraps   []FuncID
+}
+
+func (b *builder) setRank(id FuncID, rank int) {
+	for len(b.popRank) <= int(id) {
+		b.popRank = append(b.popRank, 0)
+	}
+	b.popRank[id] = rank
 }
 
 func (b *builder) build() {
-	b.popRank = make(map[FuncID]int)
 
 	// --- Function skeletons: IDs, roles, layers, popularity. ---
 	appIDs := b.makeGroup(b.p.NumAppFuncs, b.p.AppLayers, RoleApp)
@@ -211,6 +225,7 @@ func (b *builder) build() {
 	b.prog.TrapEntries = entryIDs
 
 	// --- Bodies: blocks, terminators, call targets. ---
+	b.prepareCandidates()
 	for _, f := range b.prog.Funcs {
 		b.fillBody(f)
 	}
@@ -260,7 +275,7 @@ func (b *builder) makeGroup(n, layers int, role Role) []FuncID {
 	// Popularity: a random permutation of the group.
 	perm := b.permute(len(ids))
 	for r, idx := range perm {
-		b.popRank[ids[idx]] = r
+		b.setRank(ids[idx], r)
 	}
 	return ids
 }
@@ -277,7 +292,7 @@ func (b *builder) makeEntries(n, kernelLayers int) []FuncID {
 	}
 	perm := b.permute(len(ids))
 	for r, idx := range perm {
-		b.popRank[ids[idx]] = r
+		b.setRank(ids[idx], r)
 	}
 	return ids
 }
@@ -300,22 +315,44 @@ func (b *builder) permute(n int) []int {
 // collapsing onto the leaf layers.
 const calleeLayerWindow = 3
 
+// prepareCandidates sorts each role group's callable functions (and the
+// trap entries) by popularity once, after the skeletons exist. Popularity
+// ranks are unique within a group, so the sorted order is unique and
+// calleeCandidates' output is exactly what the per-function
+// scan-and-sort used to produce.
+func (b *builder) prepareCandidates() {
+	for _, g := range b.prog.Funcs {
+		if g.Role == RoleTrapEntry {
+			continue
+		}
+		grp := roleGroup(g.Role)
+		b.rankedByGroup[grp] = append(b.rankedByGroup[grp], g.ID)
+	}
+	for grp := range b.rankedByGroup {
+		ids := b.rankedByGroup[grp]
+		sort.Slice(ids, func(i, j int) bool { return b.popRank[ids[i]] < b.popRank[ids[j]] })
+	}
+	b.rankedTraps = append([]FuncID(nil), b.prog.TrapEntries...)
+	sort.Slice(b.rankedTraps, func(i, j int) bool {
+		return b.popRank[b.rankedTraps[i]] < b.popRank[b.rankedTraps[j]]
+	})
+}
+
 // calleeCandidates returns the functions f may legally call, hottest
 // first, so a Zipf draw over the slice index yields popularity-skewed
 // call graphs. Candidates come from the window of layers directly below
 // f; if that window is empty, any lower layer is allowed.
 func (b *builder) calleeCandidates(f *Function) []FuncID {
+	ranked := b.rankedByGroup[roleGroup(f.Role)]
 	pick := func(minLayer int) []FuncID {
 		var out []FuncID
-		for _, g := range b.prog.Funcs {
-			if g.ID == f.ID || g.Role == RoleTrapEntry {
-				continue
-			}
-			if roleGroup(g.Role) != roleGroup(f.Role) {
+		for _, id := range ranked {
+			g := b.prog.Funcs[id]
+			if id == f.ID {
 				continue
 			}
 			if g.Layer < f.Layer && g.Layer >= minLayer {
-				out = append(out, g.ID)
+				out = append(out, id)
 			}
 		}
 		return out
@@ -324,15 +361,12 @@ func (b *builder) calleeCandidates(f *Function) []FuncID {
 	if len(out) == 0 {
 		out = pick(0)
 	}
-	sort.Slice(out, func(i, j int) bool { return b.popRank[out[i]] < b.popRank[out[j]] })
 	return out
 }
 
 // trapCandidates returns trap entries hottest first.
 func (b *builder) trapCandidates() []FuncID {
-	out := append([]FuncID(nil), b.prog.TrapEntries...)
-	sort.Slice(out, func(i, j int) bool { return b.popRank[out[i]] < b.popRank[out[j]] })
-	return out
+	return b.rankedTraps
 }
 
 func (b *builder) fnNumBlocks(logBoost float64) int {

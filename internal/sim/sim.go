@@ -11,7 +11,6 @@ import (
 	"shotgun/internal/btb"
 	"shotgun/internal/core"
 	"shotgun/internal/footprint"
-	"shotgun/internal/predecode"
 	"shotgun/internal/prefetch"
 	"shotgun/internal/uncore"
 	"shotgun/internal/workload"
@@ -84,6 +83,14 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// Normalized returns the config with every defaulted field made explicit
+// — exactly the values Run would use. Memoizing callers (harness.Runner)
+// key on the normalized form so equivalent configs share one simulation.
+func (c Config) Normalized() Config {
+	c.setDefaults()
+	return c
+}
+
 // Result is the outcome of one simulation.
 type Result struct {
 	Workload  string
@@ -148,9 +155,12 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// The program and its predecode image are process-wide shared,
+	// immutable artifacts: built once per workload, walked by every
+	// simulation (serial or concurrent) of that workload.
 	prog := prof.Program()
 	walker := workload.NewWalkerConfig(prog, prof.WalkSeed, prof.Walk)
-	dec := predecode.NewDecoder(prog)
+	dec := prof.Decoder()
 
 	ucfg := uncore.DefaultConfig()
 	if cfg.Mechanism == Confluence {

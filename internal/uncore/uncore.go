@@ -169,8 +169,19 @@ type Hierarchy struct {
 	Mesh    *noc.Mesh
 
 	inflight map[isa.Addr]*flight
-	stats    Stats
+	// nextReady is the earliest completion cycle among in-flight fills
+	// (^0 when none): PollArrivals is called every cycle, and the
+	// watermark turns the common no-arrival case into one comparison
+	// instead of a map iteration.
+	nextReady uint64
+	// arrivals is PollArrivals' reusable scratch buffer.
+	arrivals []Arrival
+
+	stats Stats
 }
+
+// noInflight is the nextReady watermark value when nothing is in flight.
+const noInflight = ^uint64(0)
 
 type flight struct {
 	block    isa.Addr
@@ -199,9 +210,19 @@ func New(cfg Config) *Hierarchy {
 		L1I:      cache.MustNew("L1-I", cfg.L1ISizeBytes, cfg.L1IWays),
 		L1D:      cache.MustNew("L1-D", cfg.L1DSizeBytes, cfg.L1DWays),
 		LLC:      cache.MustNew("LLC", llcSize, ways),
-		PrefBuf:  cache.NewPrefetchBuffer(cfg.PrefetchBufferEntries),
-		Mesh:     noc.MustNew(cfg.Mesh),
-		inflight: make(map[isa.Addr]*flight),
+		PrefBuf:   cache.NewPrefetchBuffer(cfg.PrefetchBufferEntries),
+		Mesh:      noc.MustNew(cfg.Mesh),
+		inflight:  make(map[isa.Addr]*flight),
+		nextReady: noInflight,
+	}
+}
+
+// trackFill registers a new in-flight fill and lowers the arrival
+// watermark if this fill completes before every other outstanding one.
+func (h *Hierarchy) trackFill(fl *flight) {
+	h.inflight[fl.block] = fl
+	if fl.ready < h.nextReady {
+		h.nextReady = fl.ready
 	}
 }
 
@@ -271,7 +292,7 @@ func (h *Hierarchy) FetchBlock(now uint64, addr isa.Addr) (uint64, Source) {
 	} else {
 		h.stats.DemandMemFills++
 	}
-	h.inflight[block] = &flight{block: block, ready: ready, demand: true}
+	h.trackFill(&flight{block: block, ready: ready, demand: true})
 	return ready, src
 }
 
@@ -300,7 +321,7 @@ func (h *Hierarchy) PrefetchBlock(now uint64, addr isa.Addr) (uint64, bool) {
 		h.stats.PrefetchMemFills++
 	}
 	h.stats.PrefetchesIssued++
-	h.inflight[block] = &flight{block: block, ready: ready, prefetch: true}
+	h.trackFill(&flight{block: block, ready: ready, prefetch: true})
 	return ready, true
 }
 
@@ -331,15 +352,27 @@ func (h *Hierarchy) PrefetchAccuracy() float64 {
 // PollArrivals materializes all instruction-side fills that have
 // completed by now: demand fills go into the L1-I, prefetch fills into
 // the prefetch buffer. Arrivals are returned in completion order so the
-// caller (e.g. Shotgun's predecoder) can process them.
+// caller (e.g. Shotgun's predecoder) can process them. The returned
+// slice is reused by the next call; callers must consume it immediately
+// and not retain it.
 func (h *Hierarchy) PollArrivals(now uint64) []Arrival {
-	var out []Arrival
+	if now < h.nextReady {
+		// Next-arrival watermark: nothing can have completed yet, so the
+		// per-cycle call costs one comparison instead of a map walk.
+		return nil
+	}
+	out := h.arrivals[:0]
+	next := noInflight
 	for block, fl := range h.inflight {
 		if fl.ready <= now {
 			out = append(out, Arrival{Block: block, Ready: fl.ready, Demand: fl.demand})
 			delete(h.inflight, block)
+		} else if fl.ready < next {
+			next = fl.ready
 		}
 	}
+	h.nextReady = next
+	h.arrivals = out
 	if len(out) == 0 {
 		return nil
 	}

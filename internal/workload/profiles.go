@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"shotgun/internal/predecode"
 	"shotgun/internal/program"
 )
 
@@ -41,9 +42,18 @@ func (p Profile) NewWalker() *Walker {
 	return NewWalkerConfig(p.Program(), p.WalkSeed, p.Walk)
 }
 
-// Program generates (deterministically) the profile's code image.
+// Program returns the profile's code image. The program is generated once
+// per process and shared: it is deterministic in (Gen, Seed) and immutable
+// after construction (see the contract in registry.go), so every
+// simulation of this workload walks the same *program.Program.
 func (p Profile) Program() *program.Program {
-	return program.MustGenerate(p.Gen, p.Seed)
+	return SharedProgram(p.Gen, p.Seed)
+}
+
+// Decoder returns the shared predecode image of the profile's program,
+// built once per process.
+func (p Profile) Decoder() *predecode.Decoder {
+	return SharedDecoder(p.Gen, p.Seed)
 }
 
 // Names lists the workloads in the paper's presentation order.

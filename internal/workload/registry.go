@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"shotgun/internal/predecode"
+	"shotgun/internal/program"
+)
+
+// Programs and predecode images are process-wide shared artifacts.
+//
+// Immutability contract: a *program.Program returned by SharedProgram (and
+// therefore by Profile.Program) is read-only after construction. Nothing in
+// this repository mutates a Function or StaticBlock once Generate returns,
+// which is what makes it safe for any number of concurrent simulations to
+// walk, decode and prefetch from the same image. The same contract covers
+// the *predecode.Decoder returned by SharedDecoder. Violations are caught
+// by TestSharedArtifactsRace under the race detector.
+
+// progKey identifies a generated program: generation is deterministic in
+// (params, seed), so the pair is the program's identity.
+type progKey struct {
+	gen  program.GenParams
+	seed uint64
+}
+
+// progEntry holds one shared program and its lazily built predecode image.
+// The two sync.Onces give single-flight semantics: concurrent first
+// requesters block on one generation instead of duplicating it.
+type progEntry struct {
+	progOnce sync.Once
+	prog     *program.Program
+	decOnce  sync.Once
+	dec      *predecode.Decoder
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[progKey]*progEntry)
+	genCount atomic.Uint64
+)
+
+func entryFor(gen program.GenParams, seed uint64) *progEntry {
+	key := progKey{gen: gen, seed: seed}
+	regMu.Lock()
+	e, ok := registry[key]
+	if !ok {
+		e = &progEntry{}
+		registry[key] = e
+	}
+	regMu.Unlock()
+	return e
+}
+
+// SharedProgram returns the process-wide program for (gen, seed),
+// generating it on first use. The result is immutable; see the package
+// contract above.
+func SharedProgram(gen program.GenParams, seed uint64) *program.Program {
+	e := entryFor(gen, seed)
+	e.progOnce.Do(func() {
+		e.prog = program.MustGenerate(gen, seed)
+		genCount.Add(1)
+	})
+	return e.prog
+}
+
+// SharedDecoder returns the process-wide predecode image for the shared
+// program of (gen, seed), building it on first use.
+func SharedDecoder(gen program.GenParams, seed uint64) *predecode.Decoder {
+	e := entryFor(gen, seed)
+	prog := SharedProgram(gen, seed)
+	e.decOnce.Do(func() {
+		e.dec = predecode.NewDecoder(prog)
+	})
+	return e.dec
+}
+
+// Generations returns how many programs have actually been generated in
+// this process — the redundancy witness: it stays at one per distinct
+// (params, seed) no matter how many simulations run.
+func Generations() uint64 { return genCount.Load() }

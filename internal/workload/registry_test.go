@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProgramGeneratedOncePerWorkload is the redundancy witness for the
+// shared-artifact registry: no matter how many times a profile's program
+// or decoder is requested, generation happens once per distinct
+// (GenParams, Seed).
+func TestProgramGeneratedOncePerWorkload(t *testing.T) {
+	// Warm every profile, then record the counter: repeated access must
+	// not generate anything further.
+	for _, p := range Profiles() {
+		p.Program()
+		p.Decoder()
+	}
+	warm := Generations()
+	if want := uint64(len(Profiles())); warm < want {
+		t.Fatalf("Generations() = %d after warming, want at least %d", warm, want)
+	}
+
+	for i := 0; i < 5; i++ {
+		for _, p := range Profiles() {
+			p.Program()
+			p.Decoder()
+			p.NewWalker()
+		}
+	}
+	if got := Generations(); got != warm {
+		t.Fatalf("repeated access generated %d extra programs, want 0", got-warm)
+	}
+
+	// Sharing is by identity, not just by value.
+	a := MustGet("Oracle").Program()
+	b := MustGet("Oracle").Program()
+	if a != b {
+		t.Fatal("two Program() calls returned distinct *program.Program")
+	}
+	if MustGet("Oracle").Decoder() != MustGet("Oracle").Decoder() {
+		t.Fatal("two Decoder() calls returned distinct *predecode.Decoder")
+	}
+}
+
+// TestSharedArtifactsRace exercises the immutability contract under the
+// race detector: many goroutines concurrently request the same shared
+// program and decoder, walk the program, and read its structure. Any
+// post-construction mutation of the shared artifacts would trip -race.
+func TestSharedArtifactsRace(t *testing.T) {
+	prof := MustGet("Nutch")
+	const walkers = 8
+	var wg sync.WaitGroup
+	wg.Add(walkers)
+	for i := 0; i < walkers; i++ {
+		go func(seed uint64) {
+			defer wg.Done()
+			prog := prof.Program()
+			dec := prof.Decoder()
+			w := NewWalkerConfig(prog, seed, prof.Walk)
+			for n := 0; n < 20_000; n++ {
+				bb := w.Next()
+				dec.Decode(bb.PC)
+			}
+			for _, f := range prog.Funcs {
+				_ = f.SizeBlocks()
+			}
+		}(0x1000 + uint64(i))
+	}
+	wg.Wait()
+}

@@ -66,6 +66,27 @@ func (r *Source) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// Bernoulli is a fixed-probability boolean sampler with the comparison
+// threshold precomputed. Draw consumes exactly one Uint64 and returns
+// exactly what Source.Bool(p) would have returned for the same draw, so
+// replacing a hot-loop Bool(p) with a Bernoulli never changes results.
+type Bernoulli struct {
+	// threshold is p * 2^53; Float64() < p  ⇔  float64(u>>11) < p*2^53,
+	// and both scalings by the power of two are exact.
+	threshold float64
+}
+
+// NewBernoulli builds a sampler that draws true with probability p.
+func NewBernoulli(p float64) Bernoulli {
+	return Bernoulli{threshold: p * (1 << 53)}
+}
+
+// Draw returns true with the sampler's probability, consuming one Uint64
+// from src.
+func (b Bernoulli) Draw(src *Source) bool {
+	return float64(src.Uint64()>>11) < b.threshold
+}
+
 // NormFloat64 returns a standard normal variate (Box-Muller, one value per
 // call for simplicity and determinism).
 func (r *Source) NormFloat64() float64 {
@@ -100,12 +121,21 @@ func (r *Source) Geometric(p float64) int {
 	return int(math.Log(u) / math.Log(1-p))
 }
 
+// zipfGuideBuckets sizes the guide table that narrows Next's binary
+// search: bucket k covers u in [k/buckets, (k+1)/buckets).
+const zipfGuideBuckets = 256
+
 // Zipf draws ranks in [0, n) with probability proportional to
 // 1/(rank+1)^s using precomputed cumulative weights. It is the workhorse
-// behind hot/cold function popularity in the workload generator.
+// behind hot/cold function popularity in the workload generator and the
+// per-load data-address draw in the core's dispatch loop, where a guide
+// table cuts the CDF binary search from ~log2(n) probes to one or two.
 type Zipf struct {
 	cdf []float64
 	src *Source
+	// guide[k] is the first rank whose cdf covers u = k/zipfGuideBuckets;
+	// the answer for any u in bucket k lies in [guide[k], guide[k+1]].
+	guide []int32
 }
 
 // NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
@@ -122,14 +152,28 @@ func NewZipf(src *Source, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf, src: src}
+	// Build the guide in one sweep: guide[k] = first i with
+	// cdf[i] >= k/buckets (clamped to n-1, matching Next's hi bound).
+	guide := make([]int32, zipfGuideBuckets+1)
+	i := 0
+	for k := 0; k <= zipfGuideBuckets; k++ {
+		u := float64(k) / zipfGuideBuckets
+		for i < n-1 && cdf[i] < u {
+			i++
+		}
+		guide[k] = int32(i)
+	}
+	return &Zipf{cdf: cdf, src: src, guide: guide}
 }
 
-// Next returns the next Zipf-distributed rank in [0, n).
+// Next returns the next Zipf-distributed rank in [0, n). The guide table
+// only narrows the search interval; the returned rank is identical to a
+// full binary search for every u.
 func (z *Zipf) Next() int {
 	u := z.src.Float64()
-	// Binary search for the first cdf entry >= u.
-	lo, hi := 0, len(z.cdf)-1
+	k := int(u * zipfGuideBuckets) // u in [0,1) ⇒ k in [0, buckets)
+	lo, hi := int(z.guide[k]), int(z.guide[k+1])
+	// Binary search for the first cdf entry >= u within [lo, hi].
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

@@ -185,3 +185,53 @@ func BenchmarkZipfNext(b *testing.B) {
 		_ = z.Next()
 	}
 }
+
+// TestZipfGuideMatchesReference verifies the guide table is a pure
+// accelerator: for every draw the narrowed binary search returns exactly
+// the rank a full lower-bound search over the CDF would.
+func TestZipfGuideMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 255, 256, 257, 4096, 12288} {
+		z := NewZipf(New(uint64(n)), n, 0.8)
+		ref := New(99)
+		for i := 0; i < 20000; i++ {
+			u := ref.Float64()
+			// Reference: first cdf entry >= u over the full range.
+			lo, hi := 0, len(z.cdf)-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if z.cdf[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			k := int(u * zipfGuideBuckets)
+			glo, ghi := int(z.guide[k]), int(z.guide[k+1])
+			for glo < ghi {
+				mid := (glo + ghi) / 2
+				if z.cdf[mid] < u {
+					glo = mid + 1
+				} else {
+					ghi = mid
+				}
+			}
+			if glo != lo {
+				t.Fatalf("n=%d u=%v: guided search %d != reference %d", n, u, glo, lo)
+			}
+		}
+	}
+}
+
+// TestBernoulliMatchesBool verifies the precomputed-threshold sampler
+// consumes the same draws and returns the same booleans as Source.Bool.
+func TestBernoulliMatchesBool(t *testing.T) {
+	for _, p := range []float64{0, 0.01, 0.22, 0.5, 0.999, 1} {
+		a, b := New(7), New(7)
+		bern := NewBernoulli(p)
+		for i := 0; i < 50000; i++ {
+			if got, want := bern.Draw(a), b.Bool(p); got != want {
+				t.Fatalf("p=%v draw %d: Bernoulli %v != Bool %v", p, i, got, want)
+			}
+		}
+	}
+}
