@@ -11,11 +11,13 @@ package shotgun_test
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"shotgun/internal/btb"
 	"shotgun/internal/harness"
+	"shotgun/internal/report"
 	"shotgun/internal/sim"
 	"shotgun/internal/stats"
 	"shotgun/internal/workload"
@@ -38,14 +40,8 @@ func sharedRunner() *harness.Runner {
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	var exp harness.Experiment
-	for _, e := range harness.Experiments() {
-		if e.ID == id {
-			exp = e
-			break
-		}
-	}
-	if exp.Run == nil {
+	exp, ok := harness.Find(id)
+	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	r := sharedRunner()
@@ -82,7 +78,20 @@ func BenchmarkSimThroughput(b *testing.B) {
 			b.Fatal("simulation retired no instructions")
 		}
 	}
-	b.ReportMetric(float64(uint64(b.N)*instrPerRun)/b.Elapsed().Seconds(), "instr/s")
+	instrPerSec := float64(uint64(b.N)*instrPerRun) / b.Elapsed().Seconds()
+	b.ReportMetric(instrPerSec, "instr/s")
+	// CI's bench-smoke job sets SHOTGUN_BENCH_JSON to capture the run as
+	// a machine-readable perf-trend artifact.
+	if path := os.Getenv("SHOTGUN_BENCH_JSON"); path != "" {
+		if err := report.WriteBenchFile(path, report.Bench{
+			Name:         "BenchmarkSimThroughput",
+			Instructions: uint64(b.N) * instrPerRun,
+			Seconds:      b.Elapsed().Seconds(),
+			InstrPerSec:  instrPerSec,
+		}); err != nil {
+			b.Fatalf("write %s: %v", path, err)
+		}
+	}
 }
 
 // BenchmarkTable1 regenerates Table 1 (BTB MPKI without prefetching).

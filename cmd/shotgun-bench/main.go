@@ -12,12 +12,16 @@
 //	shotgun-bench -quick          # short smoke-scale run
 //	shotgun-bench -only fig7,fig9 # a subset
 //	shotgun-bench -parallel 1     # serial (seed-equivalent) execution
+//	shotgun-bench -json -out report.json   # machine-readable report
+//	shotgun-bench -store ./shotgun-store   # persist/reuse results on disk
 //	shotgun-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,100 +29,182 @@ import (
 	"time"
 
 	"shotgun/internal/harness"
+	"shotgun/internal/report"
+	"shotgun/internal/store"
 )
 
 func main() {
-	var (
-		quick      = flag.Bool("quick", false, "run at smoke-test scale")
-		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count (1 = serial)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// errPrinted marks errors the flag package already reported to stderr.
+var errPrinted = errors.New("flag parse error")
+
+// options is the validated flag set.
+type options struct {
+	quick      bool
+	list       bool
+	parallel   int
+	cpuprofile string
+	memprofile string
+	jsonOut    bool
+	outPath    string
+	storeDir   string
+	// selected experiments, in harness order (empty only with list).
+	run []harness.Experiment
+}
+
+// parseOptions parses and validates flags. Everything that can fail by
+// construction — unknown experiment ids, a non-positive worker count —
+// fails here, before any (potentially minutes-long) simulation work.
+func parseOptions(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("shotgun-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opts := options{}
+	var only string
+	fs.BoolVar(&opts.quick, "quick", false, "run at smoke-test scale")
+	fs.StringVar(&only, "only", "", "comma-separated experiment ids (default: all)")
+	fs.BoolVar(&opts.list, "list", false, "list experiment ids and exit")
+	fs.IntVar(&opts.parallel, "parallel", runtime.GOMAXPROCS(0), "simulation worker count (1 = serial)")
+	fs.StringVar(&opts.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&opts.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.BoolVar(&opts.jsonOut, "json", false, "emit a machine-readable JSON report instead of text tables")
+	fs.StringVar(&opts.outPath, "out", "", "write the report to this file instead of stdout")
+	fs.StringVar(&opts.storeDir, "store", "", "persistent result store directory (reused across runs)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return options{}, err
+		}
+		return options{}, errPrinted
+	}
+	// The default is GOMAXPROCS (always positive), so a non-positive
+	// value is necessarily explicit — reject it instead of silently
+	// falling back to one worker.
+	if opts.parallel <= 0 {
+		return options{}, fmt.Errorf("-parallel must be positive (got %d)", opts.parallel)
+	}
 
 	exps := harness.Experiments()
-	if *list {
-		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+	if only == "" {
+		opts.run = exps
+		return opts, nil
+	}
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := harness.Find(id)
+		if !ok {
+			return options{}, fmt.Errorf("unknown experiment %q in -only; use -list", id)
 		}
-		return
+		opts.run = append(opts.run, e)
+	}
+	return opts, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseOptions(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful exit, like flag.ExitOnError
+		}
+		if !errors.Is(err, errPrinted) {
+			fmt.Fprintln(stderr, err)
+		}
+		return 2
+	}
+	if opts.list {
+		for _, e := range harness.Experiments() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Desc)
+		}
+		return 0
 	}
 
-	// Validate everything that can fail — experiment selection, profile
-	// output files — before any (potentially minutes-long, profiled)
-	// simulation work, so no exit path can discard it.
-	selected := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(id)] = true
-		}
-	}
-	var run []harness.Experiment
-	for _, e := range exps {
-		if len(selected) > 0 && !selected[e.ID] {
-			continue
-		}
-		run = append(run, e)
-	}
-	if len(run) == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched -only; use -list")
-		os.Exit(2)
-	}
-
-	var memf *os.File
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
+	// Validate the remaining failure-capable setup — profile and report
+	// output files — before simulating, so no exit path discards work.
+	out := stdout
+	if opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	var memf *os.File
+	if opts.memprofile != "" {
+		f, err := os.Create(opts.memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		memf = f
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if opts.cpuprofile != "" {
+		f, err := os.Create(opts.cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
 	scale := harness.FullScale()
-	if *quick {
+	scaleName := "full"
+	if opts.quick {
 		scale = harness.QuickScale()
+		scaleName = "quick"
 	}
-	runner := harness.NewRunnerWorkers(scale, *parallel)
+	runner := harness.NewRunnerWorkers(scale, opts.parallel)
+	if opts.storeDir != "" {
+		st, err := store.Open(opts.storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		runner.SetStore(st)
+		defer func() {
+			s := st.Stats()
+			fmt.Fprintf(stderr, "store %s: %d hits, %d misses, %d new records\n",
+				st.Dir(), s.Hits, s.Misses, s.Puts)
+		}()
+	}
 
 	start := time.Now()
 	// Saturate the pool with every selected experiment's simulations
 	// before any table is assembled; assembly then reads memoized
 	// results, so output is identical at any worker count.
-	runner.Prefetch(harness.AllConfigs(run))
-	for _, e := range run {
-		t0 := time.Now()
-		out := e.Run(runner)
-		fmt.Println(out)
-		// Simulations were paid in the upfront Prefetch; this window
-		// measures only table assembly from memoized results.
-		fmt.Printf("[%s assembled in %.2fs]\n\n", e.ID, time.Since(t0).Seconds())
+	runner.Prefetch(harness.AllConfigs(opts.run))
+	if opts.jsonOut {
+		rep := report.FromExperiments(runner, opts.run, scaleName)
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		for _, e := range opts.run {
+			t0 := time.Now()
+			fmt.Fprintln(out, e.Run(runner))
+			// Simulations were paid in the upfront Prefetch; this window
+			// measures only table assembly from memoized results.
+			fmt.Fprintf(out, "[%s assembled in %.2fs]\n\n", e.ID, time.Since(t0).Seconds())
+		}
+		fmt.Fprintf(out, "all experiments done in %.1fs (%d workers)\n",
+			time.Since(start).Seconds(), runner.Workers())
 	}
-	fmt.Printf("all experiments done in %.1fs (%d workers)\n",
-		time.Since(start).Seconds(), runner.Workers())
 
-	if *cpuprofile != "" {
+	if opts.cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
 	if memf != nil {
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(memf); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		memf.Close()
 	}
+	return 0
 }

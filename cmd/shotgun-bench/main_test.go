@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseOptionsRejectsNonPositiveParallel(t *testing.T) {
+	// The seed accepted -parallel 0 and silently fell back to one
+	// worker; it must now be a hard flag error.
+	for _, bad := range []string{"0", "-1", "-8"} {
+		var errBuf strings.Builder
+		_, err := parseOptions([]string{"-parallel", bad}, &errBuf)
+		if err == nil {
+			t.Fatalf("-parallel %s accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "must be positive") {
+			t.Fatalf("-parallel %s: unhelpful error %q", bad, err)
+		}
+	}
+}
+
+func TestParseOptionsRejectsUnknownExperiment(t *testing.T) {
+	_, err := parseOptions([]string{"-only", "fig7,nope"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("unknown -only id not rejected: %v", err)
+	}
+}
+
+func TestParseOptionsSelectsExperiments(t *testing.T) {
+	opts, err := parseOptions([]string{"-only", "fig7, fig9", "-quick", "-json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.run) != 2 || opts.run[0].ID != "fig7" || opts.run[1].ID != "fig9" {
+		t.Fatalf("selection wrong: %+v", opts.run)
+	}
+	if !opts.quick || !opts.jsonOut {
+		t.Fatalf("mode flags lost: %+v", opts)
+	}
+}
+
+func TestParseOptionsDefaultsToAllExperiments(t *testing.T) {
+	opts, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.run) != 12 {
+		t.Fatalf("default selection has %d experiments, want 12", len(opts.run))
+	}
+	if opts.parallel < 1 {
+		t.Fatalf("default parallel %d", opts.parallel)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	// -h must exit 0 (like flag.ExitOnError does), not report failure.
+	var out, errBuf strings.Builder
+	if code := run([]string{"-h"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-h exited %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "-parallel") {
+		t.Fatalf("usage text missing from -h output: %q", errBuf.String())
+	}
+}
+
+func TestParseOptionsRejectsUnknownFlag(t *testing.T) {
+	var errBuf strings.Builder
+	_, err := parseOptions([]string{"-frobnicate"}, &errBuf)
+	if err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(errBuf.String(), "frobnicate") {
+		t.Fatalf("flag error not reported to stderr: %q", errBuf.String())
+	}
+}

@@ -1,0 +1,119 @@
+// Command shotgun-server serves the experiment harness over HTTP:
+// clients POST batches of simulation configs, poll results by content
+// key, and render any of the paper's tables/figures on demand. Results
+// persist in an on-disk store, so a restarted server answers previously
+// computed configurations without re-simulating.
+//
+// Usage:
+//
+//	shotgun-server -addr :8080 -store ./shotgun-store           # full scale
+//	shotgun-server -scale quick -parallel 4                     # smoke scale
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8080/v1/sims \
+//	    -d '{"configs":[{"Workload":"Oracle","Mechanism":"shotgun"}]}'
+//	curl -s localhost:8080/v1/sims/<key>
+//	curl -s localhost:8080/v1/experiments/fig7?format=csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/server"
+	"shotgun/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// errPrinted marks errors the flag package already reported to stderr.
+var errPrinted = errors.New("flag parse error")
+
+// options is the validated flag set.
+type options struct {
+	addr     string
+	scale    string
+	parallel int
+	storeDir string
+	queue    int
+}
+
+// parseOptions parses and validates flags; all validation errors are
+// caught here, before any server state exists.
+func parseOptions(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("shotgun-server", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opts := options{}
+	fs.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&opts.scale, "scale", "full", "simulation scale: quick or full")
+	fs.IntVar(&opts.parallel, "parallel", runtime.GOMAXPROCS(0), "simulation worker count")
+	fs.StringVar(&opts.storeDir, "store", "", "persistent result store directory (empty: in-memory only)")
+	fs.IntVar(&opts.queue, "queue", 4096, "pending-simulation queue depth")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return options{}, err
+		}
+		return options{}, errPrinted
+	}
+	if opts.scale != "quick" && opts.scale != "full" {
+		return options{}, fmt.Errorf("-scale must be quick or full (got %q)", opts.scale)
+	}
+	if opts.parallel <= 0 {
+		return options{}, fmt.Errorf("-parallel must be positive (got %d)", opts.parallel)
+	}
+	if opts.queue <= 0 {
+		return options{}, fmt.Errorf("-queue must be positive (got %d)", opts.queue)
+	}
+	return opts, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseOptions(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful exit, like flag.ExitOnError
+		}
+		if !errors.Is(err, errPrinted) {
+			fmt.Fprintln(stderr, err)
+		}
+		return 2
+	}
+
+	scale := harness.FullScale()
+	if opts.scale == "quick" {
+		scale = harness.QuickScale()
+	}
+	cfg := server.Config{
+		Scale:      scale,
+		ScaleName:  opts.scale,
+		Workers:    opts.parallel,
+		QueueDepth: opts.queue,
+	}
+	if opts.storeDir != "" {
+		st, err := store.Open(opts.storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		cfg.Store = st
+		fmt.Fprintf(stdout, "store: %s (%d records)\n", st.Dir(), st.Len())
+	}
+
+	srv := server.New(cfg)
+	defer srv.Close()
+	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s)\n", opts.addr, opts.scale)
+	if err := http.ListenAndServe(opts.addr, srv.Handler()); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseOptionsRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad scale", []string{"-scale", "medium"}, "quick or full"},
+		{"zero parallel", []string{"-parallel", "0"}, "positive"},
+		{"negative parallel", []string{"-parallel", "-2"}, "positive"},
+		{"zero queue", []string{"-queue", "0"}, "positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseOptionsDefaults(t *testing.T) {
+	opts, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.scale != "full" || opts.addr != ":8080" || opts.parallel < 1 || opts.queue != 4096 {
+		t.Fatalf("defaults wrong: %+v", opts)
+	}
+}

@@ -5,11 +5,15 @@
 //
 //	shotgun-sim -workload Oracle -mechanism shotgun -btb 2048 \
 //	    -warmup 2000000 -measure 3000000 -samples 3
+//	shotgun-sim -workload DB2 -json -out result.json
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,19 +24,52 @@ import (
 )
 
 func main() {
-	var (
-		wl      = flag.String("workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
-		mech    = flag.String("mechanism", "shotgun", "mechanism: none, fdip, rdip, boomerang, confluence, shotgun, ideal")
-		btb     = flag.Int("btb", 2048, "conventional BTB entry budget")
-		warmup  = flag.Uint64("warmup", 2_000_000, "warmup instructions")
-		measure = flag.Uint64("measure", 3_000_000, "measured instructions")
-		samples = flag.Int("samples", 3, "measurement windows")
-		region  = flag.String("region", "vector", "shotgun region mode: vector, none, entire, 5blocks")
-		bits    = flag.Int("bits", 8, "footprint bit-vector width (8 or 32)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg := sim.Config{
+// errPrinted marks errors the flag package already reported to stderr.
+var errPrinted = errors.New("flag parse error")
+
+// options is the validated flag set.
+type options struct {
+	cfg     sim.Config
+	jsonOut bool
+	outPath string
+}
+
+// parseOptions parses flags into a validated sim.Config — every bad
+// combination (unknown workload, mechanism, region mode, bit width,
+// non-positive samples) fails here with a clear error.
+func parseOptions(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("shotgun-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		wl      = fs.String("workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
+		mech    = fs.String("mechanism", "shotgun", "mechanism: none, fdip, rdip, boomerang, confluence, shotgun, ideal")
+		btb     = fs.Int("btb", 2048, "conventional BTB entry budget")
+		warmup  = fs.Uint64("warmup", 2_000_000, "warmup instructions")
+		measure = fs.Uint64("measure", 3_000_000, "measured instructions")
+		samples = fs.Int("samples", 3, "measurement windows")
+		region  = fs.String("region", "vector", "shotgun region mode: vector, none, entire, 5blocks")
+		bits    = fs.Int("bits", 8, "footprint bit-vector width (8 or 32)")
+	)
+	opts := options{}
+	fs.BoolVar(&opts.jsonOut, "json", false, "emit the result as JSON instead of text")
+	fs.StringVar(&opts.outPath, "out", "", "write the output to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return options{}, err
+		}
+		return options{}, errPrinted
+	}
+	// Zero-valued config fields mean "use the default" after
+	// normalization, so an explicit 0 would silently run at full
+	// defaults — reject it here where explicitness is knowable.
+	if *samples <= 0 {
+		return options{}, fmt.Errorf("-samples must be positive (got %d)", *samples)
+	}
+
+	opts.cfg = sim.Config{
 		Workload:     *wl,
 		Mechanism:    sim.Mechanism(*mech),
 		BTBEntries:   *btb,
@@ -42,42 +79,91 @@ func main() {
 	}
 	switch *region {
 	case "vector":
-		cfg.RegionMode = prefetch.RegionVector
+		opts.cfg.RegionMode = prefetch.RegionVector
 	case "none":
-		cfg.RegionMode = prefetch.RegionNone
+		opts.cfg.RegionMode = prefetch.RegionNone
 	case "entire":
-		cfg.RegionMode = prefetch.RegionEntire
+		opts.cfg.RegionMode = prefetch.RegionEntire
 	case "5blocks":
-		cfg.RegionMode = prefetch.RegionFiveBlocks
+		opts.cfg.RegionMode = prefetch.RegionFiveBlocks
 	default:
-		fmt.Fprintf(os.Stderr, "unknown region mode %q\n", *region)
-		os.Exit(2)
+		return options{}, fmt.Errorf("unknown region mode %q (vector, none, entire, 5blocks)", *region)
 	}
-	if *bits == 32 {
-		cfg.Layout = footprint.Layout32
+	switch *bits {
+	case 8:
+		opts.cfg.Layout = footprint.Layout8
+	case 32:
+		opts.cfg.Layout = footprint.Layout32
+	default:
+		return options{}, fmt.Errorf("-bits must be 8 or 32 (got %d)", *bits)
+	}
+	if err := opts.cfg.Validate(); err != nil {
+		return options{}, err
+	}
+	return opts, nil
+}
+
+// jsonResult is the -json document: the normalized config alongside the
+// simulation outcome, mirroring internal/store's record body.
+type jsonResult struct {
+	Config sim.Config `json:"config"`
+	Result sim.Result `json:"result"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseOptions(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful exit, like flag.ExitOnError
+		}
+		if !errors.Is(err, errPrinted) {
+			fmt.Fprintln(stderr, err)
+		}
+		return 2
 	}
 
-	res, err := sim.Run(cfg)
+	res, err := sim.Run(opts.cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	out := stdout
+	if opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if opts.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult{Config: opts.cfg.Normalized(), Result: res}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	cs := res.Core
-	fmt.Printf("workload            %s\n", res.Workload)
-	fmt.Printf("mechanism           %s\n", res.Mechanism)
-	fmt.Printf("instructions        %d\n", cs.Instructions)
-	fmt.Printf("cycles              %d\n", cs.Cycles)
-	fmt.Printf("IPC                 %.4f\n", res.IPC())
-	fmt.Printf("front-end stalls    %d (%.1f%% of cycles)\n", cs.FrontEndStallCycles,
+	fmt.Fprintf(out, "workload            %s\n", res.Workload)
+	fmt.Fprintf(out, "mechanism           %s\n", res.Mechanism)
+	fmt.Fprintf(out, "instructions        %d\n", cs.Instructions)
+	fmt.Fprintf(out, "cycles              %d\n", cs.Cycles)
+	fmt.Fprintf(out, "IPC                 %.4f\n", res.IPC())
+	fmt.Fprintf(out, "front-end stalls    %d (%.1f%% of cycles)\n", cs.FrontEndStallCycles,
 		100*float64(cs.FrontEndStallCycles)/float64(cs.Cycles))
-	fmt.Printf("back-end stalls     %d (%.1f%% of cycles)\n", cs.BackEndStallCycles,
+	fmt.Fprintf(out, "back-end stalls     %d (%.1f%% of cycles)\n", cs.BackEndStallCycles,
 		100*float64(cs.BackEndStallCycles)/float64(cs.Cycles))
-	fmt.Printf("BTB MPKI            %.2f\n", res.BTBMPKI())
-	fmt.Printf("L1-I MPKI           %.2f\n", res.L1IMPKI())
-	fmt.Printf("decode redirects    %d (%.2f MPKI)\n", cs.DecodeRedirects, cs.MPKI(cs.DecodeRedirects))
-	fmt.Printf("exec redirects      %d (%.2f MPKI)\n", cs.ExecRedirects, cs.MPKI(cs.ExecRedirects))
-	fmt.Printf("prefetches issued   %d\n", res.Hier.PrefetchesIssued)
-	fmt.Printf("prefetch accuracy   %.3f\n", res.PrefetchAccuracy)
-	fmt.Printf("L1-D fill cycles    %.1f\n", res.AvgDataFillCycles())
+	fmt.Fprintf(out, "BTB MPKI            %.2f\n", res.BTBMPKI())
+	fmt.Fprintf(out, "L1-I MPKI           %.2f\n", res.L1IMPKI())
+	fmt.Fprintf(out, "decode redirects    %d (%.2f MPKI)\n", cs.DecodeRedirects, cs.MPKI(cs.DecodeRedirects))
+	fmt.Fprintf(out, "exec redirects      %d (%.2f MPKI)\n", cs.ExecRedirects, cs.MPKI(cs.ExecRedirects))
+	fmt.Fprintf(out, "prefetches issued   %d\n", res.Hier.PrefetchesIssued)
+	fmt.Fprintf(out, "prefetch accuracy   %.3f\n", res.PrefetchAccuracy)
+	fmt.Fprintf(out, "L1-D fill cycles    %.1f\n", res.AvgDataFillCycles())
+	return 0
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"shotgun/internal/footprint"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/sim"
+)
+
+func TestParseOptionsRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown workload", []string{"-workload", "NoSuch"}, "NoSuch"},
+		{"unknown mechanism", []string{"-mechanism", "warp"}, "warp"},
+		{"unknown region", []string{"-region", "spiral"}, "spiral"},
+		{"bad bits", []string{"-bits", "16"}, "8 or 32"},
+		{"non-positive samples", []string{"-samples", "0"}, "samples"},
+		{"negative btb", []string{"-btb", "-5"}, "BTB"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseOptionsBuildsConfig(t *testing.T) {
+	opts, err := parseOptions([]string{
+		"-workload", "DB2", "-mechanism", "shotgun", "-btb", "4096",
+		"-region", "entire", "-bits", "32", "-samples", "2", "-json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.cfg
+	if cfg.Workload != "DB2" || cfg.Mechanism != sim.Shotgun || cfg.BTBEntries != 4096 {
+		t.Fatalf("config wrong: %+v", cfg)
+	}
+	if cfg.RegionMode != prefetch.RegionEntire || cfg.Layout != footprint.Layout32 {
+		t.Fatalf("region/layout wrong: %+v", cfg)
+	}
+	if !opts.jsonOut {
+		t.Fatal("-json lost")
+	}
+}
+
+// TestRunJSON exercises the full CLI path at a tiny scale and checks the
+// -json document parses back into config + result.
+func TestRunJSON(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{
+		"-workload", "Nutch", "-mechanism", "none",
+		"-warmup", "60000", "-measure", "80000", "-samples", "1", "-json",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	var doc jsonResult
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if doc.Config.Workload != "Nutch" || doc.Result.Core.Instructions == 0 {
+		t.Fatalf("document wrong: %+v", doc)
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,29 +21,74 @@ import (
 )
 
 func main() {
-	var (
-		wl      = flag.String("workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
-		blocks  = flag.Int("blocks", 1_000_000, "basic blocks to generate")
-		out     = flag.String("out", "", "output trace path (generation mode)")
-		inspect = flag.String("inspect", "", "trace path to summarize (inspection mode)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
 
-	switch {
-	case *inspect != "":
-		if err := inspectTrace(*inspect); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+// errPrinted marks errors the flag package already reported to stderr.
+var errPrinted = errors.New("flag parse error")
+
+// options is the validated flag set.
+type options struct {
+	workload string
+	blocks   int
+	out      string
+	inspect  string
+}
+
+// parseOptions parses and validates flags: a mode must be chosen, the
+// block count must be positive, and (in generation mode) the workload
+// must exist.
+func parseOptions(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	opts := options{}
+	fs.StringVar(&opts.workload, "workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
+	fs.IntVar(&opts.blocks, "blocks", 1_000_000, "basic blocks to generate")
+	fs.StringVar(&opts.out, "out", "", "output trace path (generation mode)")
+	fs.StringVar(&opts.inspect, "inspect", "", "trace path to summarize (inspection mode)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return options{}, err
 		}
-	case *out != "":
-		if err := generate(*wl, *blocks, *out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "need -out (generate) or -inspect (summarize)")
-		os.Exit(2)
+		return options{}, errPrinted
 	}
+	if opts.out == "" && opts.inspect == "" {
+		return options{}, fmt.Errorf("need -out (generate) or -inspect (summarize)")
+	}
+	if opts.out != "" {
+		if opts.blocks <= 0 {
+			return options{}, fmt.Errorf("-blocks must be positive (got %d)", opts.blocks)
+		}
+		if _, err := workload.Get(opts.workload); err != nil {
+			return options{}, err
+		}
+	}
+	return opts, nil
+}
+
+func run(args []string, stderr io.Writer) int {
+	opts, err := parseOptions(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a successful exit, like flag.ExitOnError
+		}
+		if !errors.Is(err, errPrinted) {
+			fmt.Fprintln(stderr, err)
+		}
+		return 2
+	}
+	if opts.inspect != "" {
+		if err := inspectTrace(opts.inspect); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if err := generate(opts.workload, opts.blocks, opts.out); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
 }
 
 func generate(wl string, blocks int, path string) error {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseOptionsRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no mode", nil, "-out"},
+		{"non-positive blocks", []string{"-out", "x.sgtr", "-blocks", "0"}, "positive"},
+		{"negative blocks", []string{"-out", "x.sgtr", "-blocks", "-3"}, "positive"},
+		{"unknown workload", []string{"-out", "x.sgtr", "-workload", "NoSuch"}, "NoSuch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseOptionsAcceptsModes(t *testing.T) {
+	opts, err := parseOptions([]string{"-out", "x.sgtr", "-workload", "Apache", "-blocks", "10"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.out != "x.sgtr" || opts.workload != "Apache" || opts.blocks != 10 {
+		t.Fatalf("options wrong: %+v", opts)
+	}
+	// Inspection mode needs no workload validation (the trace carries
+	// its own identity) and no block count.
+	if _, err := parseOptions([]string{"-inspect", "y.sgtr", "-workload", "NoSuch"}, io.Discard); err != nil {
+		t.Fatalf("inspect mode rejected: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// The golden-regression gate: testdata/golden/ holds the quick-scale
+// render of every table/figure plus the machine-readable report, checked
+// in byte-for-byte. PR 1 made the harness deterministic at any worker
+// count, which turns these files into a cheap, exact oracle — any change
+// to the model, the harness, or the report emitters that shifts a single
+// cell fails TestGolden with a readable diff.
+//
+// After an intentional model change, regenerate with:
+//
+//	go test -run TestGolden -update && git diff testdata/golden
+package shotgun_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/report"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current model")
+
+// goldenRunner runs the full quick-scale evaluation once, shared by the
+// per-experiment subtests.
+func goldenRunner() *harness.Runner {
+	r := harness.NewRunner(harness.QuickScale())
+	r.Prefetch(harness.AllConfigs(harness.Experiments()))
+	return r
+}
+
+func TestGolden(t *testing.T) {
+	exps := harness.Experiments()
+	r := goldenRunner()
+
+	for _, e := range exps {
+		t.Run(e.ID, func(t *testing.T) {
+			compareGolden(t, filepath.Join("testdata", "golden", e.ID+".txt"), e.Run(r))
+		})
+	}
+
+	t.Run("report.json", func(t *testing.T) {
+		var b strings.Builder
+		if err := report.FromExperiments(r, exps, "quick").WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, filepath.Join("testdata", "golden", "report.json"), b.String())
+	})
+}
+
+// compareGolden diffs got against the checked-in file (or rewrites it
+// under -update), failing with the first differing line so table drift
+// reads directly in CI logs.
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with: go test -run TestGolden -update): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	t.Errorf("%s drifted from the golden corpus:\n%s\n(intentional change? regenerate with: go test -run TestGolden -update)",
+		path, firstDiff(string(want), got))
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d lines, got %d lines", len(wl), len(gl))
+}

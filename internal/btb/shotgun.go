@@ -51,6 +51,26 @@ type Sizes struct {
 	REntries int
 }
 
+// Validate reports whether NewShotgun can build these capacities: each
+// table's entry count must factor into ways x power-of-two sets.
+// REntries may be zero (the no-RIB ablation). External sources of
+// explicit sizes (sim.Config.Validate) check here instead of panicking
+// mid-simulation.
+func (s Sizes) Validate() error {
+	if _, _, err := geometry(s.UEntries); err != nil {
+		return fmt.Errorf("U-BTB: %w", err)
+	}
+	if _, _, err := geometry(s.CEntries); err != nil {
+		return fmt.Errorf("C-BTB: %w", err)
+	}
+	if s.REntries != 0 {
+		if _, _, err := geometry(s.REntries); err != nil {
+			return fmt.Errorf("RIB: %w", err)
+		}
+	}
+	return nil
+}
+
 // Shotgun is the paper's split BTB organization.
 type Shotgun struct {
 	U *table[UEntry]

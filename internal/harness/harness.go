@@ -84,15 +84,30 @@ type flight struct {
 	res  sim.Result
 }
 
+// ResultStore is the persistence hook a Runner consults before
+// simulating (implemented by internal/store). Get returns a previously
+// persisted result for a normalized config; Put records a freshly
+// computed one. Implementations must be safe for concurrent use by the
+// worker pool.
+type ResultStore interface {
+	Get(cfg sim.Config) (sim.Result, bool)
+	Put(cfg sim.Config, res sim.Result) error
+}
+
 // Runner memoizes simulation results so experiments sharing
 // configurations (e.g. the no-prefetch baseline) run once, and executes
 // independent simulations on a bounded worker pool. Results are
 // deterministic and independent of worker count or completion order: each
 // simulation is self-contained, so a table assembled from memoized
 // results is byte-identical whether it ran on one worker or many.
+//
+// With a ResultStore attached, the runner checks the store before
+// simulating and persists every fresh result, so a warm restart serves
+// previously computed configurations without re-simulating.
 type Runner struct {
 	scale   Scale
 	workers int
+	store   ResultStore
 
 	mu    sync.Mutex
 	cache map[cacheKey]*flight
@@ -121,9 +136,35 @@ func NewRunnerWorkers(scale Scale, workers int) *Runner {
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return r.workers }
 
-// normalize pins the runner's scale onto cfg and makes every simulation
-// default explicit, so keying and execution agree.
-func (r *Runner) normalize(cfg sim.Config) sim.Config {
+// SetStore attaches a persistent result store. Attach before the first
+// Run/Prefetch: the field is read by worker goroutines without locking,
+// so it must not change once simulations are in flight.
+func (r *Runner) SetStore(s ResultStore) { r.store = s }
+
+// compute executes one simulation, consulting the persistent store (when
+// attached) on both sides: a stored result short-circuits the
+// simulation, and a fresh one is persisted for later processes.
+// Persistence is best-effort — a failed Put loses the cache entry for
+// the next restart, never the current batch (the store tracks its own
+// error counts).
+func (r *Runner) compute(cfg sim.Config) sim.Result {
+	if r.store != nil {
+		if res, ok := r.store.Get(cfg); ok {
+			return res
+		}
+	}
+	res := sim.MustRun(cfg)
+	if r.store != nil {
+		_ = r.store.Put(cfg, res)
+	}
+	return res
+}
+
+// Normalize pins the runner's scale onto cfg and makes every simulation
+// default explicit, so keying and execution agree. External keyers (the
+// HTTP server's job table, the persistent store) normalize through the
+// runner so their identity matches the memo's.
+func (r *Runner) Normalize(cfg sim.Config) sim.Config {
 	cfg.WarmupInstr = r.scale.WarmupInstr
 	cfg.MeasureInstr = r.scale.MeasureInstr
 	cfg.Samples = r.scale.Samples
@@ -146,9 +187,9 @@ func (r *Runner) flightFor(cfg sim.Config) *flight {
 // Run executes (or recalls) one simulation. Concurrent callers of the
 // same config share a single execution.
 func (r *Runner) Run(cfg sim.Config) sim.Result {
-	cfg = r.normalize(cfg)
+	cfg = r.Normalize(cfg)
 	f := r.flightFor(cfg)
-	f.once.Do(func() { f.res = sim.MustRun(cfg) })
+	f.once.Do(func() { f.res = r.compute(cfg) })
 	return f.res
 }
 
@@ -166,7 +207,7 @@ func (r *Runner) Prefetch(cfgs []sim.Config) {
 	seen := make(map[cacheKey]bool, len(cfgs))
 	var jobs []job
 	for _, cfg := range cfgs {
-		cfg = r.normalize(cfg)
+		cfg = r.Normalize(cfg)
 		key := keyOf(cfg)
 		if seen[key] {
 			continue
@@ -184,7 +225,7 @@ func (r *Runner) Prefetch(cfgs []sim.Config) {
 	if workers == 1 {
 		// Serial path: identical to the seed runner's execution order.
 		for _, j := range jobs {
-			j.f.once.Do(func() { j.f.res = sim.MustRun(j.cfg) })
+			j.f.once.Do(func() { j.f.res = r.compute(j.cfg) })
 		}
 		return
 	}
@@ -195,7 +236,7 @@ func (r *Runner) Prefetch(cfgs []sim.Config) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				j.f.once.Do(func() { j.f.res = sim.MustRun(j.cfg) })
+				j.f.once.Do(func() { j.f.res = r.compute(j.cfg) })
 			}
 		}()
 	}
@@ -239,7 +280,7 @@ func Table1Configs() []sim.Config {
 }
 
 // Table1 regenerates Table 1.
-func Table1(r *Runner) ([]Table1Row, string) {
+func Table1(r *Runner) ([]Table1Row, *stats.Table) {
 	r.Prefetch(Table1Configs())
 	var rows []Table1Row
 	t := stats.NewTable("Table 1: BTB MPKI (2K-entry BTB, no prefetching)", "Workload", "MPKI")
@@ -248,7 +289,7 @@ func Table1(r *Runner) ([]Table1Row, string) {
 		rows = append(rows, Table1Row{Workload: wl, BTBMPKI: res.BTBMPKI()})
 		t.AddF(wl, "%.1f", res.BTBMPKI())
 	}
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -262,7 +303,7 @@ type SpeedupRow struct {
 }
 
 // Figure1 regenerates Figure 1.
-func Figure1(r *Runner) ([]SpeedupRow, string) {
+func Figure1(r *Runner) ([]SpeedupRow, *stats.Table) {
 	return speedupFigure(r, "Figure 1: state-of-the-art vs ideal front-end (speedup over no-prefetch)", Figure1Mechs())
 }
 
@@ -284,7 +325,7 @@ func mechConfigs(mechs []sim.Mechanism) []sim.Config {
 	return cfgs
 }
 
-func speedupFigure(r *Runner, title string, mechs []sim.Mechanism) ([]SpeedupRow, string) {
+func speedupFigure(r *Runner, title string, mechs []sim.Mechanism) ([]SpeedupRow, *stats.Table) {
 	r.Prefetch(mechConfigs(mechs))
 	headers := []string{"Workload"}
 	for _, m := range mechs {
@@ -316,7 +357,7 @@ func speedupFigure(r *Runner, title string, mechs []sim.Mechanism) ([]SpeedupRow
 	}
 	rows = append(rows, grow)
 	t.AddF("Gmean", "%.3f", gm...)
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -333,7 +374,7 @@ type Figure3Row struct {
 const Figure3AnalysisBlocks = 400_000
 
 // Figure3 regenerates Figure 3 (a pure trace analysis; no timing).
-func Figure3(*Runner) ([]Figure3Row, string) {
+func Figure3(*Runner) ([]Figure3Row, *stats.Table) {
 	t := stats.NewTable("Figure 3: cumulative access probability vs distance from region entry",
 		"Workload", "d=0", "d=1", "d=2", "d=4", "d=6", "d=8", "d=10", "d=16", ">16")
 	var rows []Figure3Row
@@ -344,7 +385,7 @@ func Figure3(*Runner) ([]Figure3Row, string) {
 		rows = append(rows, Figure3Row{Workload: wl, CDF: cdf})
 		t.AddF(wl, "%.2f", cdf[0], cdf[1], cdf[2], cdf[4], cdf[6], cdf[8], cdf[10], cdf[16], cdf[17])
 	}
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -364,7 +405,7 @@ type Figure4Row struct {
 var Figure4Points = []int{1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192}
 
 // Figure4 regenerates Figure 4 for Oracle and DB2.
-func Figure4(*Runner) ([]Figure4Row, string) {
+func Figure4(*Runner) ([]Figure4Row, *stats.Table) {
 	t := stats.NewTable("Figure 4: dynamic branch coverage of K hottest static branches",
 		"Workload", "K", "all", "unconditional")
 	var rows []Figure4Row
@@ -378,7 +419,7 @@ func Figure4(*Runner) ([]Figure4Row, string) {
 			t.AddRow(wl, fmt.Sprintf("%d", k), fmt.Sprintf("%.3f", all), fmt.Sprintf("%.3f", unc))
 		}
 	}
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -397,7 +438,7 @@ func Figure6Mechs() []sim.Mechanism {
 }
 
 // Figure6 regenerates Figure 6.
-func Figure6(r *Runner) ([]CoverageRow, string) {
+func Figure6(r *Runner) ([]CoverageRow, *stats.Table) {
 	mechs := Figure6Mechs()
 	r.Prefetch(mechConfigs(mechs))
 	headers := []string{"Workload"}
@@ -430,7 +471,7 @@ func Figure6(r *Runner) ([]CoverageRow, string) {
 	}
 	rows = append(rows, arow)
 	t.AddF("Avg", "%.3f", av...)
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -443,7 +484,7 @@ func Figure7Mechs() []sim.Mechanism {
 }
 
 // Figure7 regenerates Figure 7.
-func Figure7(r *Runner) ([]SpeedupRow, string) {
+func Figure7(r *Runner) ([]SpeedupRow, *stats.Table) {
 	return speedupFigure(r, "Figure 7: speedup over no-prefetch baseline", Figure7Mechs())
 }
 
@@ -509,7 +550,7 @@ type VariantRow struct {
 }
 
 func variantFigure(r *Runner, title string, variants []Variant,
-	metric func(res, base sim.Result) float64, avgGeo bool, format string) ([]VariantRow, string) {
+	metric func(res, base sim.Result) float64, avgGeo bool, format string) ([]VariantRow, *stats.Table) {
 	r.Prefetch(variantConfigs(variants))
 	headers := []string{"Workload"}
 	for _, v := range variants {
@@ -550,29 +591,29 @@ func variantFigure(r *Runner, title string, variants []Variant,
 	}
 	rows = append(rows, arow)
 	t.AddF(label, format, cells...)
-	return rows, t.String()
+	return rows, t
 }
 
 // Figure8 regenerates Figure 8: stall coverage across footprint variants.
-func Figure8(r *Runner) ([]VariantRow, string) {
+func Figure8(r *Runner) ([]VariantRow, *stats.Table) {
 	return variantFigure(r, "Figure 8: Shotgun stall-cycle coverage by spatial-region mechanism",
 		Variants(), func(res, base sim.Result) float64 { return res.StallCoverage(base) }, false, "%.3f")
 }
 
 // Figure9 regenerates Figure 9: speedup across footprint variants.
-func Figure9(r *Runner) ([]VariantRow, string) {
+func Figure9(r *Runner) ([]VariantRow, *stats.Table) {
 	return variantFigure(r, "Figure 9: Shotgun speedup by spatial-region mechanism",
 		Variants(), func(res, base sim.Result) float64 { return res.Speedup(base) }, true, "%.3f")
 }
 
 // Figure10 regenerates Figure 10: prefetch accuracy.
-func Figure10(r *Runner) ([]VariantRow, string) {
+func Figure10(r *Runner) ([]VariantRow, *stats.Table) {
 	return variantFigure(r, "Figure 10: Shotgun prefetch accuracy by spatial-region mechanism",
 		AccuracyVariants(), func(res, _ sim.Result) float64 { return res.PrefetchAccuracy }, false, "%.3f")
 }
 
 // Figure11 regenerates Figure 11: cycles to fill an L1-D miss.
-func Figure11(r *Runner) ([]VariantRow, string) {
+func Figure11(r *Runner) ([]VariantRow, *stats.Table) {
 	return variantFigure(r, "Figure 11: cycles to fill an L1-D miss by spatial-region mechanism",
 		AccuracyVariants(), func(res, _ sim.Result) float64 { return res.AvgDataFillCycles() }, false, "%.1f")
 }
@@ -604,7 +645,7 @@ func Figure12Configs() []sim.Config {
 }
 
 // Figure12 regenerates Figure 12: Shotgun speedup vs C-BTB entries.
-func Figure12(r *Runner) ([]VariantRow, string) {
+func Figure12(r *Runner) ([]VariantRow, *stats.Table) {
 	r.Prefetch(Figure12Configs())
 	headers := []string{"Workload"}
 	for _, n := range Figure12Sizes {
@@ -636,7 +677,7 @@ func Figure12(r *Runner) ([]VariantRow, string) {
 	}
 	rows = append(rows, arow)
 	t.AddF("Gmean", "%.3f", cells...)
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -672,7 +713,7 @@ func Figure13Configs() []sim.Config {
 }
 
 // Figure13 regenerates Figure 13.
-func Figure13(r *Runner) ([]Figure13Row, string) {
+func Figure13(r *Runner) ([]Figure13Row, *stats.Table) {
 	r.Prefetch(Figure13Configs())
 	t := stats.NewTable("Figure 13: speedup vs BTB storage budget (budget = equivalent conventional entries)",
 		"Workload", "Mechanism", "512", "1K", "2K", "4K", "8K")
@@ -690,7 +731,7 @@ func Figure13(r *Runner) ([]Figure13Row, string) {
 			t.AddRow(append([]string{wl, string(m)}, cells...)...)
 		}
 	}
-	return rows, t.String()
+	return rows, t
 }
 
 // ---------------------------------------------------------------------
@@ -703,47 +744,63 @@ func Figure13(r *Runner) ([]Figure13Row, string) {
 type Experiment struct {
 	ID   string
 	Desc string
-	Run  func(*Runner) string
-	// Configs declares every simulation Run will need; nil for pure
+	// Table runs the experiment and returns its structured table; text
+	// callers use Run, machine-readable callers (internal/report, the
+	// HTTP server) serialize the table directly.
+	Table func(*Runner) *stats.Table
+	// Configs declares every simulation Table will need; nil for pure
 	// trace analyses (Figures 3 and 4) that run no timing simulation.
 	Configs func() []sim.Config
 }
+
+// Run renders the experiment as the text table the paper reports.
+func (e Experiment) Run(r *Runner) string { return e.Table(r).String() }
 
 // Experiments lists every reproduced table and figure.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"table1", "BTB MPKI without prefetching",
-			func(r *Runner) string { _, s := Table1(r); return s }, Table1Configs},
+			func(r *Runner) *stats.Table { _, t := Table1(r); return t }, Table1Configs},
 		{"fig1", "State-of-the-art vs ideal speedups",
-			func(r *Runner) string { _, s := Figure1(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure1(r); return t },
 			func() []sim.Config { return mechConfigs(Figure1Mechs()) }},
 		{"fig3", "Region spatial locality",
-			func(r *Runner) string { _, s := Figure3(r); return s }, nil},
+			func(r *Runner) *stats.Table { _, t := Figure3(r); return t }, nil},
 		{"fig4", "Branch working-set coverage",
-			func(r *Runner) string { _, s := Figure4(r); return s }, nil},
+			func(r *Runner) *stats.Table { _, t := Figure4(r); return t }, nil},
 		{"fig6", "Front-end stall coverage",
-			func(r *Runner) string { _, s := Figure6(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure6(r); return t },
 			func() []sim.Config { return mechConfigs(Figure6Mechs()) }},
 		{"fig7", "Speedup over baseline",
-			func(r *Runner) string { _, s := Figure7(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure7(r); return t },
 			func() []sim.Config { return mechConfigs(Figure7Mechs()) }},
 		{"fig8", "Footprint-variant stall coverage",
-			func(r *Runner) string { _, s := Figure8(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure8(r); return t },
 			func() []sim.Config { return variantConfigs(Variants()) }},
 		{"fig9", "Footprint-variant speedup",
-			func(r *Runner) string { _, s := Figure9(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure9(r); return t },
 			func() []sim.Config { return variantConfigs(Variants()) }},
 		{"fig10", "Footprint-variant prefetch accuracy",
-			func(r *Runner) string { _, s := Figure10(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure10(r); return t },
 			func() []sim.Config { return variantConfigs(AccuracyVariants()) }},
 		{"fig11", "Footprint-variant L1-D fill latency",
-			func(r *Runner) string { _, s := Figure11(r); return s },
+			func(r *Runner) *stats.Table { _, t := Figure11(r); return t },
 			func() []sim.Config { return variantConfigs(AccuracyVariants()) }},
 		{"fig12", "C-BTB size sensitivity",
-			func(r *Runner) string { _, s := Figure12(r); return s }, Figure12Configs},
+			func(r *Runner) *stats.Table { _, t := Figure12(r); return t }, Figure12Configs},
 		{"fig13", "BTB budget sensitivity",
-			func(r *Runner) string { _, s := Figure13(r); return s }, Figure13Configs},
+			func(r *Runner) *stats.Table { _, t := Figure13(r); return t }, Figure13Configs},
 	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
 }
 
 // AllConfigs returns the union (with duplicates; Prefetch deduplicates)

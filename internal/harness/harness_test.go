@@ -45,7 +45,7 @@ func TestTable1OrderingHolds(t *testing.T) {
 			t.Fatalf("%s MPKI %.1f not above Nutch %.1f", wl, mpki[wl], mpki["Nutch"])
 		}
 	}
-	if !strings.Contains(out, "Table 1") {
+	if !strings.Contains(out.String(), "Table 1") {
 		t.Fatal("render missing title")
 	}
 }
@@ -61,7 +61,7 @@ func TestFigure3Shape(t *testing.T) {
 			t.Fatalf("%s: cdf[10] = %.2f", row.Workload, row.CDF[10])
 		}
 	}
-	if !strings.Contains(out, "Figure 3") {
+	if !strings.Contains(out.String(), "Figure 3") {
 		t.Fatal("render missing title")
 	}
 }
@@ -107,7 +107,7 @@ func TestFigure12Renders(t *testing.T) {
 	if len(rows) != 7 { // 6 workloads + gmean
 		t.Fatalf("rows = %d", len(rows))
 	}
-	if !strings.Contains(out, "C-BTB") {
+	if !strings.Contains(out.String(), "C-BTB") {
 		t.Fatal("render broken")
 	}
 }
@@ -118,7 +118,7 @@ func TestFigure13Renders(t *testing.T) {
 	if len(rows) != 2*2*len(Figure13Budgets) {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	if !strings.Contains(out, "Figure 13") {
+	if !strings.Contains(out.String(), "Figure 13") {
 		t.Fatal("render broken")
 	}
 }

@@ -21,10 +21,12 @@ func TestParallelDeterminism(t *testing.T) {
 	// Force real concurrency even on single-CPU hosts.
 	parallel := NewRunnerWorkers(scale, 4)
 
-	_, t1Serial := Table1(serial)
-	_, f7Serial := Figure7(serial)
-	_, t1Parallel := Table1(parallel)
-	_, f7Parallel := Figure7(parallel)
+	_, t1SerialTab := Table1(serial)
+	_, f7SerialTab := Figure7(serial)
+	_, t1ParallelTab := Table1(parallel)
+	_, f7ParallelTab := Figure7(parallel)
+	t1Serial, f7Serial := t1SerialTab.String(), f7SerialTab.String()
+	t1Parallel, f7Parallel := t1ParallelTab.String(), f7ParallelTab.String()
 
 	if t1Serial != t1Parallel {
 		t.Errorf("Table 1 differs between 1-worker and 4-worker runners:\nserial:\n%s\nparallel:\n%s",
@@ -88,7 +90,7 @@ func TestCacheKeyCollisions(t *testing.T) {
 	}
 	seen := map[cacheKey]int{}
 	for i, cfg := range distinct {
-		k := keyOf(r.normalize(cfg))
+		k := keyOf(r.Normalize(cfg))
 		if j, dup := seen[k]; dup {
 			t.Errorf("configs %d and %d collide on key %+v", j, i, k)
 		}
@@ -103,8 +105,8 @@ func TestCacheKeyCollisions(t *testing.T) {
 			{Workload: "Oracle", Mechanism: sim.Shotgun, Layout: footprint.Layout8}},
 	}
 	for i, pair := range equiv {
-		a := keyOf(r.normalize(pair[0]))
-		b := keyOf(r.normalize(pair[1]))
+		a := keyOf(r.Normalize(pair[0]))
+		b := keyOf(r.Normalize(pair[1]))
 		if a != b {
 			t.Errorf("equivalent pair %d maps to distinct keys:\n%+v\n%+v", i, a, b)
 		}

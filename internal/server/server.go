@@ -1,0 +1,364 @@
+// Package server exposes the experiment harness over HTTP: clients
+// enqueue batches of simulation configs, poll for results by content
+// key, and render any of the paper's tables/figures on demand, in text,
+// JSON, or CSV.
+//
+// API (all JSON unless noted):
+//
+//	POST /v1/sims                 {"configs":[sim.Config...]} -> 202 {"sims":[{key,status,...}]}
+//	GET  /v1/sims/{key}           poll one simulation; result embedded when done
+//	GET  /v1/experiments          list experiment ids
+//	GET  /v1/experiments/{name}   render a table/figure (?format=json|csv|text)
+//	GET  /v1/store/stats          persistent-store traffic counters
+//	GET  /healthz                 liveness (plain "ok")
+//
+// Simulations are executed asynchronously by a fixed worker pool backed
+// by the memoizing harness.Runner, so duplicate keys — within a batch,
+// across batches, or across server restarts (via the persistent store)
+// — never simulate twice.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/report"
+	"shotgun/internal/sim"
+	"shotgun/internal/store"
+)
+
+// Job states, in lifecycle order.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Scale is the simulation scale every submitted config is pinned to
+	// (the content key is derived from the pinned form, so a quick-scale
+	// and a full-scale server address disjoint result spaces).
+	Scale harness.Scale
+	// ScaleName labels reports ("quick", "full").
+	ScaleName string
+	// Workers sizes the simulation pool (values below 1 mean 1).
+	Workers int
+	// Store, when non-nil, persists results across restarts and is
+	// consulted before simulating.
+	Store *store.Store
+	// QueueDepth bounds the pending-job channel (default 4096); a full
+	// queue rejects new batches with 503 rather than blocking accepts.
+	QueueDepth int
+}
+
+// job tracks one submitted simulation through the pool.
+type job struct {
+	key string
+	cfg sim.Config // pinned to the server scale
+
+	mu     sync.Mutex
+	status string
+	result sim.Result
+	err    string
+}
+
+func (j *job) snapshot() SimStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := SimStatus{
+		Key:       j.key,
+		Status:    j.status,
+		Workload:  j.cfg.Workload,
+		Mechanism: string(j.cfg.Mechanism),
+		Error:     j.err,
+	}
+	if j.status == StatusDone {
+		res := j.result
+		st.Result = &res
+	}
+	return st
+}
+
+// SimStatus is the wire form of one simulation's state.
+type SimStatus struct {
+	Key       string      `json:"key"`
+	Status    string      `json:"status"`
+	Workload  string      `json:"workload"`
+	Mechanism string      `json:"mechanism"`
+	Error     string      `json:"error,omitempty"`
+	Result    *sim.Result `json:"result,omitempty"`
+}
+
+// Server is the HTTP simulation service.
+type Server struct {
+	runner    *harness.Runner
+	st        *store.Store
+	scaleName string
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool. Call Close to drain.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4096
+	}
+	runner := harness.NewRunnerWorkers(cfg.Scale, workers)
+	if cfg.Store != nil {
+		runner.SetStore(cfg.Store)
+	}
+	s := &Server{
+		runner:    runner,
+		st:        cfg.Store,
+		scaleName: cfg.ScaleName,
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, depth),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting queued work and waits for in-flight simulations
+// to finish. The server must not receive requests afterwards.
+func (s *Server) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker drains the queue. Runner.Run consults the in-memory memo and
+// the persistent store before simulating, so a worker picking up an
+// already-computed key completes instantly.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		j.mu.Lock()
+		j.status = StatusRunning
+		j.mu.Unlock()
+		s.runOne(j)
+	}
+}
+
+// runOne executes one job, converting a panic (e.g. a config that
+// validated but still cannot simulate) into a failed status instead of
+// killing the worker.
+func (s *Server) runOne(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			j.status = StatusFailed
+			j.err = fmt.Sprint(r)
+			j.mu.Unlock()
+		}
+	}()
+	res := s.runner.Run(j.cfg)
+	j.mu.Lock()
+	j.status = StatusDone
+	j.result = res
+	j.mu.Unlock()
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sims", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sims/{key}", s.handlePoll)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// submitRequest is POST /v1/sims' body.
+type submitRequest struct {
+	Configs []sim.Config `json:"configs"`
+}
+
+// submitResponse echoes one status per submitted config, in order.
+type submitResponse struct {
+	Sims []SimStatus `json:"sims"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+		return
+	}
+	if len(req.Configs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: body must carry at least one config")
+		return
+	}
+	// Validate the whole batch before enqueueing any of it, so a batch
+	// is accepted atomically or not at all.
+	for i, cfg := range req.Configs {
+		if err := cfg.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "config %d: %v", i, err)
+			return
+		}
+	}
+
+	// Register and enqueue under one job-table lock hold (the channel
+	// send is non-blocking, so holding the lock is safe): a job becomes
+	// visible in s.jobs only once it is actually on the queue, so no
+	// concurrent submitter can ever be handed a key that later
+	// disappears. On overflow the already-enqueued prefix stands — it
+	// is valid work, and a retry dedups onto it — and the rest 503s.
+	resp := submitResponse{Sims: make([]SimStatus, 0, len(req.Configs))}
+	s.mu.Lock()
+	for _, cfg := range req.Configs {
+		pinned := s.runner.Normalize(cfg)
+		key := store.Key(pinned)
+		if existing, ok := s.jobs[key]; ok {
+			resp.Sims = append(resp.Sims, existing.snapshot())
+			continue
+		}
+		j := &job{key: key, cfg: pinned, status: StatusQueued}
+		select {
+		case s.queue <- j:
+			s.jobs[key] = j
+			resp.Sims = append(resp.Sims, j.snapshot())
+		default:
+			s.mu.Unlock()
+			httpError(w, http.StatusServiceUnavailable,
+				"queue full (%d pending); retry later", cap(s.queue))
+			return
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j, ok := s.jobs[key]
+	s.mu.Unlock()
+	if ok {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, j.snapshot())
+		return
+	}
+	// Not submitted in this process: a previous run may have persisted
+	// it — serve straight from the store.
+	if s.st != nil {
+		if rec, found := s.st.GetKey(key); found {
+			res := rec.Result
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, SimStatus{
+				Key:       key,
+				Status:    StatusDone,
+				Workload:  rec.Config.Workload,
+				Mechanism: string(rec.Config.Mechanism),
+				Result:    &res,
+			})
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "unknown simulation key %q", key)
+}
+
+// experimentInfo is one row of GET /v1/experiments.
+type experimentInfo struct {
+	ID   string `json:"id"`
+	Desc string `json:"desc"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	// Presentation order (the paper's), matching shotgun-bench -list.
+	var list []experimentInfo
+	for _, e := range harness.Experiments() {
+		list = append(list, experimentInfo{ID: e.ID, Desc: e.Desc})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{"experiments": list})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	exp, ok := harness.Find(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown experiment %q (GET /v1/experiments lists ids)", name)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	// Render on demand: saturate the pool with the experiment's config
+	// set (memo + store make repeats cheap), then assemble the table.
+	if exp.Configs != nil {
+		s.runner.Prefetch(exp.Configs())
+	}
+	table := exp.Table(s.runner)
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, report.Report{
+			Version: report.Version,
+			Scale:   s.scaleName,
+			Tables:  []report.Table{report.FromStats(exp.ID, table)},
+		})
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := report.FromStats(exp.ID, table).WriteCSV(w); err != nil {
+			// Headers are gone; nothing better to do than log-by-status.
+			return
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, table.String())
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (json, csv, text)", format)
+	}
+}
+
+// storeStatsResponse is GET /v1/store/stats' body.
+type storeStatsResponse struct {
+	Attached bool        `json:"attached"`
+	Stats    store.Stats `json:"stats,omitempty"`
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
+	resp := storeStatsResponse{}
+	if s.st != nil {
+		resp.Attached = true
+		resp.Stats = s.st.Stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError emits a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/report"
+	"shotgun/internal/sim"
+	"shotgun/internal/store"
+)
+
+// tinyScale keeps server tests fast.
+func tinyScale() harness.Scale {
+	return harness.Scale{WarmupInstr: 60_000, MeasureInstr: 80_000, Samples: 1}
+}
+
+// newTestServer builds a server (optionally store-backed) plus its HTTP
+// front-end, wiring cleanup into the test.
+func newTestServer(t *testing.T, st *store.Store) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{Scale: tinyScale(), ScaleName: "tiny", Workers: 2, Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func postSims(t *testing.T, base string, cfgs []sim.Config) (submitResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(submitRequest{Configs: cfgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sims", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out submitResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp
+}
+
+// pollDone polls one key until it reaches "done" (or the deadline).
+func pollDone(t *testing.T, base, key string) SimStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/sims/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st SimStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case StatusDone:
+			return st
+		case StatusFailed:
+			t.Fatalf("simulation %s failed: %s", key, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("simulation %s still %q after deadline", key, st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEndToEnd is the acceptance path: enqueue a batch over HTTP, poll
+// to completion, fetch results; then restart the service on the same
+// store and assert the identical batch is served from internal/store
+// without re-simulating (via the store hit counter).
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, st1)
+
+	batch := []sim.Config{
+		{Workload: "Nutch", Mechanism: sim.None},
+		{Workload: "Nutch", Mechanism: sim.FDIP},
+		{Workload: "Streaming", Mechanism: sim.None},
+	}
+	out, resp := postSims(t, ts1.URL, batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if len(out.Sims) != len(batch) {
+		t.Fatalf("echoed %d sims, want %d", len(out.Sims), len(batch))
+	}
+	for i, s := range out.Sims {
+		if s.Key == "" || s.Workload != batch[i].Workload {
+			t.Fatalf("sim %d echo wrong: %+v", i, s)
+		}
+	}
+	var keys []string
+	for _, s := range out.Sims {
+		done := pollDone(t, ts1.URL, s.Key)
+		if done.Result == nil || done.Result.Core.Instructions == 0 {
+			t.Fatalf("done result empty: %+v", done)
+		}
+		if done.Result.Workload != s.Workload {
+			t.Fatalf("result for %s carries workload %s", s.Key, done.Result.Workload)
+		}
+		keys = append(keys, s.Key)
+	}
+	if st1.Stats().Puts != uint64(len(batch)) {
+		t.Fatalf("store puts = %d, want %d", st1.Stats().Puts, len(batch))
+	}
+
+	// Re-submitting in the same process dedups onto the same jobs.
+	again, _ := postSims(t, ts1.URL, batch)
+	for i, s := range again.Sims {
+		if s.Key != keys[i] {
+			t.Fatalf("resubmit key %d changed: %s vs %s", i, s.Key, keys[i])
+		}
+	}
+
+	// Warm restart: fresh runner + fresh store handle, same directory.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, st2)
+	out2, _ := postSims(t, ts2.URL, batch)
+	for i, s := range out2.Sims {
+		if s.Key != keys[i] {
+			t.Fatalf("restart key %d drifted: %s vs %s", i, s.Key, keys[i])
+		}
+		pollDone(t, ts2.URL, s.Key)
+	}
+	s2 := st2.Stats()
+	if s2.Hits != uint64(len(batch)) {
+		t.Fatalf("restarted store hits = %d, want %d (batch must be served from the store)", s2.Hits, len(batch))
+	}
+	if s2.Puts != 0 {
+		t.Fatalf("restarted store puts = %d, want 0 (nothing should re-simulate)", s2.Puts)
+	}
+}
+
+// TestPollServedFromStoreWithoutSubmit covers polling a key this process
+// never saw: the store answers directly.
+func TestPollServedFromStoreWithoutSubmit(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, st1)
+	out, _ := postSims(t, ts1.URL, []sim.Config{{Workload: "Zeus", Mechanism: sim.None}})
+	key := out.Sims[0].Key
+	pollDone(t, ts1.URL, key)
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, st2)
+	got := pollDone(t, ts2.URL, key) // no submit on ts2
+	if got.Workload != "Zeus" || got.Result == nil {
+		t.Fatalf("store-backed poll wrong: %+v", got)
+	}
+}
+
+func TestSubmitRejectsBadBatches(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"empty batch", `{"configs":[]}`, http.StatusBadRequest},
+		{"unknown workload", `{"configs":[{"Workload":"NoSuch","Mechanism":"none"}]}`, http.StatusBadRequest},
+		{"unknown mechanism", `{"configs":[{"Workload":"Oracle","Mechanism":"warp"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sims", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	// A batch with one bad config must not enqueue the good ones.
+	srv, ts2 := newTestServer(t, nil)
+	body := `{"configs":[{"Workload":"Oracle","Mechanism":"none"},{"Workload":"NoSuch","Mechanism":"none"}]}`
+	resp, err := http.Post(ts2.URL+"/v1/sims", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed batch status %d, want 400", resp.StatusCode)
+	}
+	srv.mu.Lock()
+	n := len(srv.jobs)
+	srv.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("mixed batch enqueued %d jobs, want 0", n)
+	}
+}
+
+func TestPollUnknownKey(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/sims/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Experiments []experimentInfo `json:"experiments"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Experiments) != 12 {
+		t.Fatalf("listed %d experiments, want 12", len(list.Experiments))
+	}
+
+	// fig3 is a pure trace analysis: renders without timing simulation.
+	resp, err = http.Get(ts.URL + "/v1/experiments/fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report.Report
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != report.Version || rep.Scale != "tiny" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if len(rep.Tables) != 1 || rep.Tables[0].ID != "fig3" || len(rep.Tables[0].Rows) != 6 {
+		t.Fatalf("fig3 table wrong: %+v", rep.Tables)
+	}
+
+	for q, want := range map[string]string{
+		"?format=text": "Figure 3",
+		"?format=csv":  "table,fig3",
+	} {
+		resp, err = http.Get(ts.URL + "/v1/experiments/fig3" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("%s: output missing %q:\n%s", q, want, raw)
+		}
+	}
+
+	for path, want := range map[string]int{
+		"/v1/experiments/nope":          http.StatusNotFound,
+		"/v1/experiments/fig3?format=x": http.StatusBadRequest,
+	} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestStoreStatsEndpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, st)
+	resp, err := http.Get(ts.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got storeStatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Attached {
+		t.Fatal("store not reported attached")
+	}
+
+	_, ts2 := newTestServer(t, nil)
+	resp, err = http.Get(ts2.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attached {
+		t.Fatal("storeless server reported a store")
+	}
+}
+
+// TestQueueOverflow exercises the 503 + rollback path with a queue of
+// depth 1 and a single busy worker.
+func TestQueueOverflow(t *testing.T) {
+	srv := New(Config{Scale: tinyScale(), Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// Fill the worker + queue with distinct long-enough sims.
+	var cfgs []sim.Config
+	for _, m := range []sim.Mechanism{sim.None, sim.FDIP, sim.RDIP, sim.Boomerang, sim.Shotgun} {
+		cfgs = append(cfgs, sim.Config{Workload: "Oracle", Mechanism: m})
+	}
+	overflowed := false
+	for i, cfg := range cfgs {
+		body, _ := json.Marshal(submitRequest{Configs: []sim.Config{cfg}})
+		resp, err := http.Post(ts.URL+"/v1/sims", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusServiceUnavailable:
+			overflowed = true
+			// The rolled-back key must be resubmittable once drained.
+			key := store.Key(srv.runner.Normalize(cfg))
+			srv.mu.Lock()
+			_, present := srv.jobs[key]
+			srv.mu.Unlock()
+			if present {
+				t.Fatalf("overflowed sim %d left in job table", i)
+			}
+		default:
+			t.Fatalf("sim %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if !overflowed {
+		t.Skip("queue never overflowed (machine too fast); nothing to assert")
+	}
+}

@@ -85,10 +85,51 @@ func (c *Config) setDefaults() {
 
 // Normalized returns the config with every defaulted field made explicit
 // — exactly the values Run would use. Memoizing callers (harness.Runner)
-// key on the normalized form so equivalent configs share one simulation.
+// key on the normalized form so equivalent configs share one simulation,
+// and persistent stores (internal/store) hash it for content addressing.
 func (c Config) Normalized() Config {
 	c.setDefaults()
 	return c
+}
+
+// Validate reports whether the config describes a runnable simulation.
+// It checks the normalized form, so zero-valued fields with defaults are
+// fine. Callers accepting configs from external sources (CLI flags, the
+// HTTP server) validate before enqueueing instead of failing mid-batch.
+func (c Config) Validate() error {
+	n := c.Normalized()
+	if _, err := workload.Get(n.Workload); err != nil {
+		return err
+	}
+	switch n.Mechanism {
+	case None, FDIP, RDIP, Boomerang, Confluence, Shotgun, Ideal:
+	default:
+		return fmt.Errorf("sim: unknown mechanism %q", n.Mechanism)
+	}
+	if n.BTBEntries <= 0 {
+		return fmt.Errorf("sim: BTB entries must be positive (got %d)", n.BTBEntries)
+	}
+	if n.Samples <= 0 {
+		return fmt.Errorf("sim: samples must be positive (got %d)", n.Samples)
+	}
+	if err := n.Layout.Validate(); err != nil {
+		return err
+	}
+	switch n.RegionMode {
+	case prefetch.RegionVector, prefetch.RegionNone, prefetch.RegionEntire, prefetch.RegionFiveBlocks:
+	default:
+		return fmt.Errorf("sim: unknown region mode %d", n.RegionMode)
+	}
+	if n.Mechanism == Shotgun {
+		if n.ShotgunSizes != nil {
+			if err := n.ShotgunSizes.Validate(); err != nil {
+				return err
+			}
+		} else if _, err := btb.ShotgunSizesForBudget(n.BTBEntries); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result is the outcome of one simulation.
@@ -149,6 +190,9 @@ func (r Result) StallCoverage(baseline Result) float64 {
 
 // Run executes one simulation to completion.
 func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	cfg.setDefaults()
 
 	prof, err := workload.Get(cfg.Workload)

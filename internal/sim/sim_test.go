@@ -153,3 +153,41 @@ func TestNoVectorGrowsUBTB(t *testing.T) {
 		t.Fatalf("grown size %d not factorable", n)
 	}
 }
+
+func TestValidate(t *testing.T) {
+	good := []Config{
+		{Workload: "Oracle", Mechanism: Shotgun},
+		{Workload: "DB2", Mechanism: None, BTBEntries: 4096},
+		{Workload: "Nutch", Mechanism: Shotgun,
+			ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 512}},
+		// REntries == 0 is the no-RIB ablation, not an error.
+		{Workload: "Nutch", Mechanism: Shotgun,
+			ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 0}},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{Workload: "NoSuch", Mechanism: Shotgun},
+		{Workload: "Oracle", Mechanism: "warp"},
+		{Workload: "Oracle", Mechanism: Shotgun, BTBEntries: -8},
+		{Workload: "Oracle", Mechanism: Shotgun, BTBEntries: 1000}, // no size mapping
+		{Workload: "Oracle", Mechanism: None, Samples: -1},
+		{Workload: "Oracle", Mechanism: Shotgun, RegionMode: 99},
+		// Explicit sizes that would panic inside NewShotgun must be
+		// rejected up front (the HTTP server trusts Validate).
+		{Workload: "Oracle", Mechanism: Shotgun, ShotgunSizes: &btb.Sizes{UEntries: -5, CEntries: 64, REntries: 512}},
+		{Workload: "Oracle", Mechanism: Shotgun, ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 0, REntries: 512}},
+		{Workload: "Oracle", Mechanism: Shotgun, ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 509}}, // unfactorable
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d ran: %+v", i, cfg)
+		}
+	}
+}

@@ -55,6 +55,17 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, cells)
 }
 
+// Title returns the table's title line.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string { return t.headers }
+
+// Rows returns the formatted cell grid. Callers must not mutate it: the
+// returned slices alias the table's own storage, and machine-readable
+// emitters (internal/report) rely on seeing exactly what String renders.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // Addf appends a row where the first cell is a label and the remaining
 // cells are formatted floats.
 func (t *Table) AddF(label string, format string, values ...float64) {

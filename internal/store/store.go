@@ -1,0 +1,344 @@
+// Package store persists simulation results on disk as a
+// content-addressed cache. Each record is keyed by the SHA-256 of the
+// canonical JSON of the *normalized* sim.Config, so two configs that
+// would run the same simulation always share one record and any semantic
+// difference gets its own — the same identity contract harness.Runner's
+// in-memory memo uses, extended across process restarts.
+//
+// On-disk layout (under the store root):
+//
+//	VERSION              format generation; a mismatch wipes the store
+//	index.json           key -> {workload, mechanism} summary
+//	records/<key>.json   one record: {version, key, config, result}
+//
+// Records are written to a temp file and renamed into place, so readers
+// never observe a partial record; a record that is nevertheless
+// unreadable (truncated by a crash, hand-edited, wrong version) is
+// dropped on first access and treated as a miss. The index is a
+// convenience summary — the records directory is the source of truth,
+// and Open reconciles the two.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"shotgun/internal/sim"
+)
+
+// FormatVersion is the on-disk format generation. Bump it whenever the
+// record schema, the key derivation, or anything else that changes the
+// meaning of persisted bytes changes; Open then invalidates (removes)
+// every record written by an older generation instead of serving it.
+const FormatVersion = 1
+
+const (
+	versionFile = "VERSION"
+	indexFile   = "index.json"
+	recordsDir  = "records"
+)
+
+// Key returns the content address of a config: the SHA-256 hex digest of
+// the canonical JSON of its normalized form. Canonical means the
+// normalized struct's fixed field order — no maps, no formatting
+// choices — so the digest is stable across processes and platforms.
+func Key(cfg sim.Config) string {
+	b, err := json.Marshal(cfg.Normalized())
+	if err != nil {
+		// Config is a plain struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("store: marshal config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Record is the on-disk form of one cached simulation.
+type Record struct {
+	Version int        `json:"version"`
+	Key     string     `json:"key"`
+	Config  sim.Config `json:"config"`
+	Result  sim.Result `json:"result"`
+}
+
+// Entry is the index summary of one record.
+type Entry struct {
+	Workload  string `json:"workload"`
+	Mechanism string `json:"mechanism"`
+}
+
+// index is the on-disk form of index.json.
+type index struct {
+	Version int              `json:"version"`
+	Records map[string]Entry `json:"records"`
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Puts counts successful writes.
+	Hits, Misses, Puts uint64
+	// PutErrors counts failed writes (the result still reached the
+	// caller; only persistence was lost).
+	PutErrors uint64
+	// CorruptDropped counts records removed because they were
+	// unreadable or carried the wrong version/key.
+	CorruptDropped uint64
+	// Records is the current number of indexed records.
+	Records int
+}
+
+// Store is an on-disk result cache safe for concurrent readers and
+// writers within a process (atomic renames keep it crash-consistent
+// across processes too).
+type Store struct {
+	dir string
+
+	mu  sync.RWMutex
+	idx map[string]Entry
+
+	hits, misses, puts, putErrors, corrupt atomic.Uint64
+}
+
+// Open opens (creating if needed) the store rooted at dir. A store
+// written by a different FormatVersion is wiped: stale-format records
+// must never be served, and a clean rebuild is exactly what a format
+// change wants.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, recordsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, idx: make(map[string]Entry)}
+
+	vpath := filepath.Join(dir, versionFile)
+	raw, err := os.ReadFile(vpath)
+	switch {
+	case err == nil:
+		if strings.TrimSpace(string(raw)) != fmt.Sprint(FormatVersion) {
+			if err := s.wipe(); err != nil {
+				return nil, err
+			}
+		}
+	case os.IsNotExist(err):
+		// Fresh store (or pre-versioning debris): wipe to be safe.
+		if err := s.wipe(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(vpath, []byte(fmt.Sprintln(FormatVersion))); err != nil {
+		return nil, err
+	}
+
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// wipe removes every record and the index (format invalidation).
+func (s *Store) wipe() error {
+	rd := filepath.Join(s.dir, recordsDir)
+	if err := os.RemoveAll(rd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(rd, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Remove(filepath.Join(s.dir, indexFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// loadIndex builds the in-memory index: index.json as a starting point,
+// reconciled against the records directory (which wins — entries whose
+// file vanished are dropped, unindexed files are validated and added).
+func (s *Store) loadIndex() error {
+	var onDisk index
+	if raw, err := os.ReadFile(filepath.Join(s.dir, indexFile)); err == nil {
+		if json.Unmarshal(raw, &onDisk) != nil || onDisk.Version != FormatVersion {
+			onDisk.Records = nil // corrupt index: rebuild from records
+		}
+	}
+	names, err := os.ReadDir(filepath.Join(s.dir, recordsDir))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, de := range names {
+		key, ok := strings.CutSuffix(de.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if e, ok := onDisk.Records[key]; ok {
+			s.idx[key] = e
+			continue
+		}
+		// Unindexed record: validate it now (load drops it if corrupt).
+		if rec, ok := s.load(key); ok {
+			s.idx[key] = Entry{Workload: rec.Config.Workload, Mechanism: string(rec.Config.Mechanism)}
+		}
+	}
+	return nil
+}
+
+func (s *Store) recordPath(key string) string {
+	return filepath.Join(s.dir, recordsDir, key+".json")
+}
+
+// load reads and validates one record, removing it (corruption
+// recovery) if it cannot be trusted.
+func (s *Store) load(key string) (Record, bool) {
+	raw, err := os.ReadFile(s.recordPath(key))
+	if err != nil {
+		return Record{}, false
+	}
+	var rec Record
+	if json.Unmarshal(raw, &rec) != nil || rec.Version != FormatVersion || rec.Key != key {
+		s.drop(key)
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// drop removes a corrupt record and its index entry.
+func (s *Store) drop(key string) {
+	s.corrupt.Add(1)
+	os.Remove(s.recordPath(key))
+	s.mu.Lock()
+	delete(s.idx, key)
+	s.mu.Unlock()
+}
+
+// Get returns the stored result for a config, if present and intact.
+func (s *Store) Get(cfg sim.Config) (sim.Result, bool) {
+	rec, ok := s.GetKey(Key(cfg))
+	if !ok {
+		return sim.Result{}, false
+	}
+	return rec.Result, true
+}
+
+// GetKey returns the full stored record under a raw key (the server's
+// poll endpoint looks results up by the key it handed out).
+func (s *Store) GetKey(key string) (Record, bool) {
+	rec, ok := s.load(key)
+	if !ok {
+		s.misses.Add(1)
+		return Record{}, false
+	}
+	s.hits.Add(1)
+	return rec, true
+}
+
+// Put persists one result. The record lands first (atomic rename), then
+// the index; a crash between the two leaves a valid record that the next
+// Open reconciles back into the index.
+func (s *Store) Put(cfg sim.Config, res sim.Result) error {
+	err := s.put(cfg, res)
+	if err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+func (s *Store) put(cfg sim.Config, res sim.Result) error {
+	cfg = cfg.Normalized()
+	key := Key(cfg)
+	rec := Record{Version: FormatVersion, Key: key, Config: cfg, Result: res}
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal record: %w", err)
+	}
+	if err := writeFileAtomic(s.recordPath(key), append(raw, '\n')); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := Entry{Workload: cfg.Workload, Mechanism: string(cfg.Mechanism)}
+	if old, ok := s.idx[key]; ok && old == e {
+		// Re-put of a known key: the record was refreshed above; the
+		// index is unchanged, so skip the O(records) rewrite.
+		return nil
+	}
+	s.idx[key] = e
+	return s.writeIndexLocked()
+}
+
+// writeIndexLocked rewrites index.json from the in-memory index.
+// Callers hold s.mu, which also serializes the rename.
+func (s *Store) writeIndexLocked() error {
+	raw, err := json.MarshalIndent(index{Version: FormatVersion, Records: s.idx}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal index: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(s.dir, indexFile), append(raw, '\n'))
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.idx)
+}
+
+// Entries returns a copy of the index.
+func (s *Store) Entries() map[string]Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Entry, len(s.idx))
+	for k, v := range s.idx {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Puts:           s.puts.Load(),
+		PutErrors:      s.putErrors.Load(),
+		CorruptDropped: s.corrupt.Load(),
+		Records:        s.Len(),
+	}
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so concurrent readers see either the old bytes or the new —
+// never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

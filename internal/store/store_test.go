@@ -1,0 +1,317 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"shotgun/internal/btb"
+	"shotgun/internal/footprint"
+	"shotgun/internal/sim"
+)
+
+// fakeResult builds a distinguishable result without running a
+// simulation — the store must round-trip bytes, not compute them.
+func fakeResult(wl string, instr uint64) sim.Result {
+	res := sim.Result{Workload: wl, Mechanism: sim.Shotgun}
+	res.Core.Instructions = instr
+	res.Core.Cycles = 3 * instr
+	res.BTBMisses = instr / 100
+	res.PrefetchAccuracy = 0.75
+	return res
+}
+
+func testConfig(wl string) sim.Config {
+	return sim.Config{Workload: wl, Mechanism: sim.Shotgun,
+		WarmupInstr: 1000, MeasureInstr: 2000, Samples: 1}
+}
+
+func TestKeyNormalizationAndDistinctness(t *testing.T) {
+	// Equivalent-after-normalization configs share a key.
+	a := Key(sim.Config{Workload: "Oracle", Mechanism: sim.Shotgun})
+	b := Key(sim.Config{Workload: "Oracle", Mechanism: sim.Shotgun, BTBEntries: 2048})
+	c := Key(sim.Config{Workload: "Oracle", Mechanism: sim.Shotgun, Layout: footprint.Layout8})
+	if a != b || a != c {
+		t.Fatalf("normalized-equivalent configs got distinct keys:\n%s\n%s\n%s", a, b, c)
+	}
+	// Semantic differences get distinct keys, including nil vs explicit
+	// ShotgunSizes (JSON null vs object).
+	distinct := []sim.Config{
+		{Workload: "Oracle", Mechanism: sim.Shotgun},
+		{Workload: "DB2", Mechanism: sim.Shotgun},
+		{Workload: "Oracle", Mechanism: sim.Boomerang},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, BTBEntries: 4096},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, Layout: footprint.Layout32},
+		{Workload: "Oracle", Mechanism: sim.Shotgun, SkipInstr: 42},
+		{Workload: "Oracle", Mechanism: sim.Shotgun,
+			ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 512}},
+	}
+	seen := map[string]int{}
+	for i, cfg := range distinct {
+		k := Key(cfg)
+		if j, dup := seen[k]; dup {
+			t.Errorf("configs %d and %d collide on %s", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("Oracle")
+	want := fakeResult("Oracle", 123_456)
+	if _, ok := s.Get(cfg); ok {
+		t.Fatal("Get hit on empty store")
+	}
+	if err := s.Put(cfg, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(cfg)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Records != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 put / 1 record", st)
+	}
+}
+
+func TestWarmRestartServesRecords(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("DB2")
+	want := fakeResult("DB2", 999)
+	if err := s1.Put(cfg, want); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(cfg)
+	if !ok || got != want {
+		t.Fatalf("restart lost the record: ok=%v got=%+v", ok, got)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("restart index has %d records, want 1", s2.Len())
+	}
+}
+
+func TestOpenReconcilesMissingIndex(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("Apache")
+	if err := s1.Put(cfg, fakeResult("Apache", 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between record and index writes.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reconciled index has %d records, want 1", s2.Len())
+	}
+	ents := s2.Entries()
+	for _, e := range ents {
+		if e.Workload != "Apache" || e.Mechanism != string(sim.Shotgun) {
+			t.Fatalf("reconciled entry %+v", e)
+		}
+	}
+}
+
+func TestCorruptRecordDroppedOnGet(t *testing.T) {
+	for name, garbage := range map[string][]byte{
+		"truncated": []byte(`{"version":1,"key":"`),
+		"empty":     {},
+		"not-json":  []byte("hello\n"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig("Zeus")
+			if err := s.Put(cfg, fakeResult("Zeus", 11)); err != nil {
+				t.Fatal(err)
+			}
+			key := Key(cfg)
+			if err := os.WriteFile(s.recordPath(key), garbage, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(cfg); ok {
+				t.Fatal("Get served a corrupt record")
+			}
+			if _, err := os.Stat(s.recordPath(key)); !os.IsNotExist(err) {
+				t.Fatal("corrupt record not removed")
+			}
+			if st := s.Stats(); st.CorruptDropped != 1 || st.Records != 0 {
+				t.Fatalf("stats %+v, want 1 corrupt-dropped / 0 records", st)
+			}
+			// The store stays usable: a fresh Put re-creates the record.
+			if err := s.Put(cfg, fakeResult("Zeus", 12)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(cfg); !ok {
+				t.Fatal("Put after corruption recovery missed")
+			}
+		})
+	}
+}
+
+func TestCorruptRecordDroppedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unindexed, truncated record (crash mid-crash-recovery).
+	bad := s1.recordPath("deadbeef")
+	if err := os.WriteFile(bad, []byte(`{"version":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("index has %d records, want 0", s2.Len())
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("corrupt unindexed record survived Open")
+	}
+}
+
+func TestKeyMismatchDropped(t *testing.T) {
+	// A record whose body doesn't hash to its filename (copied or
+	// tampered) must not be served.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("Nutch")
+	if err := s.Put(cfg, fakeResult("Nutch", 5)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.recordPath(Key(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.recordPath("0000beef"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetKey("0000beef"); ok {
+		t.Fatal("served a record under the wrong key")
+	}
+}
+
+func TestVersionMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("Streaming")
+	if err := s1.Put(cfg, fakeResult("Streaming", 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend an older (or newer) format generation wrote the store.
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("stale-format store not wiped: %d records", s2.Len())
+	}
+	if _, ok := s2.Get(cfg); ok {
+		t.Fatal("stale-format record served")
+	}
+	// And the store was re-stamped with the current version.
+	raw, err := os.ReadFile(filepath.Join(dir, "VERSION"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintln(FormatVersion); string(raw) != want {
+		t.Fatalf("VERSION = %q, want %q", raw, want)
+	}
+}
+
+func TestStaleRecordVersionDropped(t *testing.T) {
+	// A record carrying an old embedded version (e.g. copied into a
+	// current-format store) is dropped on access.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig("Oracle")
+	key := Key(cfg)
+	stale := fmt.Sprintf(`{"version":0,"key":"%s","config":{},"result":{}}`, key)
+	if err := os.WriteFile(s.recordPath(key), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(cfg); ok {
+		t.Fatal("served a stale-version record")
+	}
+}
+
+// TestConcurrentReadWrite hammers the store from concurrent readers and
+// writers (run under -race in CI): every Get must return either a miss
+// or a complete, intact record — never a torn one.
+func TestConcurrentReadWrite(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []string{"Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2"}
+	const rounds = 50
+	var wg sync.WaitGroup
+	for _, wl := range workloads {
+		wl := wl
+		wg.Add(2)
+		go func() { // writer: re-puts the same key repeatedly
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := s.Put(testConfig(wl), fakeResult(wl, uint64(1000+i))); err != nil {
+					t.Errorf("put %s: %v", wl, err)
+					return
+				}
+			}
+		}()
+		go func() { // reader: any hit must be intact
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if res, ok := s.Get(testConfig(wl)); ok {
+					if res.Workload != wl || res.Core.Instructions < 1000 {
+						t.Errorf("torn read for %s: %+v", wl, res)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.CorruptDropped != 0 || st.Records != len(workloads) {
+		t.Fatalf("stats %+v, want 0 corrupt / %d records", st, len(workloads))
+	}
+}

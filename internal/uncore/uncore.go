@@ -206,10 +206,10 @@ func New(cfg Config) *Hierarchy {
 	}
 	llcSize := sets * ways * isa.BlockBytes
 	return &Hierarchy{
-		cfg:      cfg,
-		L1I:      cache.MustNew("L1-I", cfg.L1ISizeBytes, cfg.L1IWays),
-		L1D:      cache.MustNew("L1-D", cfg.L1DSizeBytes, cfg.L1DWays),
-		LLC:      cache.MustNew("LLC", llcSize, ways),
+		cfg:       cfg,
+		L1I:       cache.MustNew("L1-I", cfg.L1ISizeBytes, cfg.L1IWays),
+		L1D:       cache.MustNew("L1-D", cfg.L1DSizeBytes, cfg.L1DWays),
+		LLC:       cache.MustNew("LLC", llcSize, ways),
 		PrefBuf:   cache.NewPrefetchBuffer(cfg.PrefetchBufferEntries),
 		Mesh:      noc.MustNew(cfg.Mesh),
 		inflight:  make(map[isa.Addr]*flight),
