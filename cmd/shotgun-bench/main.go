@@ -14,6 +14,8 @@
 //	shotgun-bench -parallel 1     # serial (seed-equivalent) execution
 //	shotgun-bench -json -out report.json   # machine-readable report
 //	shotgun-bench -store ./shotgun-store   # persist/reuse results on disk
+//	shotgun-bench -store ./s -store-max-bytes 1000000000  # prune to ~1GB
+//	shotgun-bench -cores 2,4,8,16 -mix entire-region      # custom interference sweep
 //	shotgun-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -25,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,16 +45,40 @@ var errPrinted = errors.New("flag parse error")
 
 // options is the validated flag set.
 type options struct {
-	quick      bool
-	list       bool
-	parallel   int
-	cpuprofile string
-	memprofile string
-	jsonOut    bool
-	outPath    string
-	storeDir   string
+	quick         bool
+	list          bool
+	parallel      int
+	cpuprofile    string
+	memprofile    string
+	jsonOut       bool
+	outPath       string
+	storeDir      string
+	storeMaxBytes int64
 	// selected experiments, in harness order (empty only with list).
 	run []harness.Experiment
+}
+
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseStringList splits and trims a comma-separated list.
+func parseStringList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
 }
 
 // parseOptions parses and validates flags. Everything that can fail by
@@ -71,6 +98,12 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.BoolVar(&opts.jsonOut, "json", false, "emit a machine-readable JSON report instead of text tables")
 	fs.StringVar(&opts.outPath, "out", "", "write the report to this file instead of stdout")
 	fs.StringVar(&opts.storeDir, "store", "", "persistent result store directory (reused across runs)")
+	fs.Int64Var(&opts.storeMaxBytes, "store-max-bytes", 0,
+		"prune the store's oldest records down to this many bytes on open (0: keep everything)")
+	var (
+		cores = fs.String("cores", "", "interference sweep: comma-separated total core counts (default 2,4,8)")
+		mix   = fs.String("mix", "", "interference sweep: comma-separated mixes (shotgun-8bit, entire-region)")
+	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -83,10 +116,60 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	if opts.parallel <= 0 {
 		return options{}, fmt.Errorf("-parallel must be positive (got %d)", opts.parallel)
 	}
+	if opts.storeMaxBytes < 0 {
+		return options{}, fmt.Errorf("-store-max-bytes must be non-negative (got %d)", opts.storeMaxBytes)
+	}
+	if opts.storeMaxBytes > 0 && opts.storeDir == "" {
+		return options{}, fmt.Errorf("-store-max-bytes requires -store")
+	}
+
+	// -cores/-mix customize the interference sweep (harness defaults
+	// otherwise). -cores counts TOTAL cores per scenario — the same
+	// meaning the flag has on shotgun-sim — so values transfer between
+	// the two CLIs; the harness API takes co-runner counts (total-1).
+	// Validation happens in the harness so the CLI and any future
+	// callers agree on what a legal sweep is.
+	interference := harness.Experiment{}
+	if *cores != "" || *mix != "" {
+		counts := harness.InterferenceCoRunnerCounts
+		var mixNames []string
+		for _, m := range harness.InterferenceMixes() {
+			mixNames = append(mixNames, m.Name)
+		}
+		if *cores != "" {
+			totals, err := parseIntList(*cores)
+			if err != nil {
+				return options{}, fmt.Errorf("-cores: %v", err)
+			}
+			counts = counts[:0:0]
+			for _, n := range totals {
+				if n < 2 {
+					return options{}, fmt.Errorf("-cores: a sweep point needs at least 2 total cores (got %d)", n)
+				}
+				counts = append(counts, n-1)
+			}
+		}
+		if *mix != "" {
+			mixNames = parseStringList(*mix)
+		}
+		e, err := harness.InterferenceExperiment(counts, mixNames)
+		if err != nil {
+			return options{}, err
+		}
+		interference = e
+	}
+	substitute := func(e harness.Experiment) harness.Experiment {
+		if e.ID == "interference" && interference.ID != "" {
+			return interference
+		}
+		return e
+	}
 
 	exps := harness.Experiments()
 	if only == "" {
-		opts.run = exps
+		for _, e := range exps {
+			opts.run = append(opts.run, substitute(e))
+		}
 		return opts, nil
 	}
 	for _, id := range strings.Split(only, ",") {
@@ -95,7 +178,21 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		if !ok {
 			return options{}, fmt.Errorf("unknown experiment %q in -only; use -list", id)
 		}
-		opts.run = append(opts.run, e)
+		opts.run = append(opts.run, substitute(e))
+	}
+	// A custom sweep the selection never runs is a silent no-op; fail
+	// loudly instead, like every other impossible flag combination.
+	if interference.ID != "" {
+		selected := false
+		for _, e := range opts.run {
+			if e.ID == "interference" {
+				selected = true
+				break
+			}
+		}
+		if !selected {
+			return options{}, fmt.Errorf("-cores/-mix customize the interference experiment, but -only excludes it")
+		}
 	}
 	return opts, nil
 }
@@ -164,6 +261,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+		if opts.storeMaxBytes > 0 {
+			dropped, err := st.Prune(opts.storeMaxBytes)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if dropped > 0 {
+				fmt.Fprintf(stderr, "store %s: pruned %d oldest records to fit %d bytes\n",
+					st.Dir(), dropped, opts.storeMaxBytes)
+			}
+		}
 		runner.SetStore(st)
 		defer func() {
 			s := st.Stats()
@@ -176,7 +284,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Saturate the pool with every selected experiment's simulations
 	// before any table is assembled; assembly then reads memoized
 	// results, so output is identical at any worker count.
-	runner.Prefetch(harness.AllConfigs(opts.run))
+	runner.PrefetchScenarios(harness.AllScenarios(opts.run))
 	if opts.jsonOut {
 		rep := report.FromExperiments(runner, opts.run, scaleName)
 		if err := rep.WriteJSON(out); err != nil {

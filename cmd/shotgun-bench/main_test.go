@@ -46,11 +46,54 @@ func TestParseOptionsDefaultsToAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(opts.run) != 12 {
-		t.Fatalf("default selection has %d experiments, want 12", len(opts.run))
+	if len(opts.run) != 13 {
+		t.Fatalf("default selection has %d experiments, want 13", len(opts.run))
 	}
 	if opts.parallel < 1 {
 		t.Fatalf("default parallel %d", opts.parallel)
+	}
+}
+
+func TestParseOptionsCustomInterferenceSweep(t *testing.T) {
+	// -cores/-mix substitute a custom interference sweep for the default
+	// entry; -cores counts TOTAL cores per scenario, matching
+	// shotgun-sim's flag of the same name.
+	opts, err := parseOptions([]string{"-cores", "2,3", "-mix", "entire-region", "-only", "interference"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.run) != 1 || opts.run[0].ID != "interference" {
+		t.Fatalf("selection wrong: %+v", opts.run)
+	}
+	scs := opts.run[0].Scenarios()
+	if len(scs) != 3 { // solo + 2 counts x 1 mix
+		t.Fatalf("custom sweep has %d scenarios, want 3", len(scs))
+	}
+	if len(scs[1].Cores) != 2 || len(scs[2].Cores) != 3 {
+		t.Fatalf("total-core semantics wrong: %d, %d cores", len(scs[1].Cores), len(scs[2].Cores))
+	}
+
+	for _, bad := range [][]string{
+		{"-cores", "1"},  // a sweep point needs a co-runner
+		{"-cores", "17"}, // beyond the 16-tile mesh
+		{"-cores", "two"},
+		{"-mix", "warp-drive"},
+		// A custom sweep that the selection never runs must fail loudly,
+		// not be silently ignored.
+		{"-cores", "2,4", "-only", "fig7"},
+		{"-mix", "entire-region", "-only", "table1,fig7"},
+	} {
+		if _, err := parseOptions(bad, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+
+	// -store-max-bytes validation.
+	if _, err := parseOptions([]string{"-store-max-bytes", "-5"}, io.Discard); err == nil {
+		t.Fatal("negative store budget accepted")
+	}
+	if _, err := parseOptions([]string{"-store-max-bytes", "100"}, io.Discard); err == nil {
+		t.Fatal("store budget without -store accepted")
 	}
 }
 

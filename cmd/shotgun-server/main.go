@@ -1,30 +1,43 @@
 // Command shotgun-server serves the experiment harness over HTTP:
-// clients POST batches of simulation configs, poll results by content
-// key, and render any of the paper's tables/figures on demand. Results
-// persist in an on-disk store, so a restarted server answers previously
-// computed configurations without re-simulating.
+// clients POST batches of simulation configs or multi-core scenarios,
+// poll results by content key, and render any of the paper's
+// tables/figures on demand. Results persist in an on-disk store, so a
+// restarted server answers previously computed configurations without
+// re-simulating.
+//
+// The process shuts down gracefully: SIGINT/SIGTERM stop the listener,
+// in-flight HTTP requests get a deadline to finish, and the simulation
+// worker pool drains before exit, so no accepted work is lost silently.
 //
 // Usage:
 //
 //	shotgun-server -addr :8080 -store ./shotgun-store           # full scale
 //	shotgun-server -scale quick -parallel 4                     # smoke scale
+//	shotgun-server -store ./s -store-max-bytes 1000000000       # prune to ~1GB on start
 //
 // Example session:
 //
 //	curl -s -X POST localhost:8080/v1/sims \
 //	    -d '{"configs":[{"Workload":"Oracle","Mechanism":"shotgun"}]}'
-//	curl -s localhost:8080/v1/sims/<key>
+//	curl -s -X POST localhost:8080/v1/scenarios \
+//	    -d '{"scenarios":[{"Cores":[{"Workload":"Oracle","Mechanism":"shotgun"},{"Workload":"DB2","Mechanism":"fdip"}]}]}'
+//	curl -s localhost:8080/v1/scenarios/<key>
 //	curl -s localhost:8080/v1/experiments/fig7?format=csv
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"shotgun/internal/harness"
 	"shotgun/internal/server"
@@ -32,7 +45,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the context
+	// and starts the drain; a second signal kills the process the
+	// default way (signal.NotifyContext unregisters on cancel).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // errPrinted marks errors the flag package already reported to stderr.
@@ -40,11 +58,13 @@ var errPrinted = errors.New("flag parse error")
 
 // options is the validated flag set.
 type options struct {
-	addr     string
-	scale    string
-	parallel int
-	storeDir string
-	queue    int
+	addr            string
+	scale           string
+	parallel        int
+	storeDir        string
+	storeMaxBytes   int64
+	queue           int
+	shutdownTimeout time.Duration
 }
 
 // parseOptions parses and validates flags; all validation errors are
@@ -57,7 +77,11 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&opts.scale, "scale", "full", "simulation scale: quick or full")
 	fs.IntVar(&opts.parallel, "parallel", runtime.GOMAXPROCS(0), "simulation worker count")
 	fs.StringVar(&opts.storeDir, "store", "", "persistent result store directory (empty: in-memory only)")
+	fs.Int64Var(&opts.storeMaxBytes, "store-max-bytes", 0,
+		"prune the store's oldest records down to this many bytes on start (0: keep everything)")
 	fs.IntVar(&opts.queue, "queue", 4096, "pending-simulation queue depth")
+	fs.DurationVar(&opts.shutdownTimeout, "shutdown-timeout", 10*time.Second,
+		"deadline for in-flight HTTP requests on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -73,10 +97,22 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	if opts.queue <= 0 {
 		return options{}, fmt.Errorf("-queue must be positive (got %d)", opts.queue)
 	}
+	if opts.storeMaxBytes < 0 {
+		return options{}, fmt.Errorf("-store-max-bytes must be non-negative (got %d)", opts.storeMaxBytes)
+	}
+	if opts.storeMaxBytes > 0 && opts.storeDir == "" {
+		return options{}, fmt.Errorf("-store-max-bytes requires -store")
+	}
+	if opts.shutdownTimeout <= 0 {
+		return options{}, fmt.Errorf("-shutdown-timeout must be positive (got %v)", opts.shutdownTimeout)
+	}
 	return opts, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// run serves until ctx is canceled (SIGINT/SIGTERM in production; the
+// test harness cancels directly), then drains: listener closed, in-
+// flight requests given the shutdown deadline, worker pool drained.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts, err := parseOptions(args, stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,16 +140,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+		if opts.storeMaxBytes > 0 {
+			dropped, err := st.Prune(opts.storeMaxBytes)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if dropped > 0 {
+				fmt.Fprintf(stdout, "store: pruned %d oldest records to fit %d bytes\n",
+					dropped, opts.storeMaxBytes)
+			}
+		}
 		cfg.Store = st
 		fmt.Fprintf(stdout, "store: %s (%d records)\n", st.Dir(), st.Len())
 	}
 
 	srv := server.New(cfg)
-	defer srv.Close()
-	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s)\n", opts.addr, opts.scale)
-	if err := http.ListenAndServe(opts.addr, srv.Handler()); err != nil {
+
+	// Listen before announcing, so "listening on" is never a lie and
+	// tests can bind :0 and read the chosen port.
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		srv.Close()
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	return 0
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s)\n", ln.Addr(), opts.scale)
+
+	select {
+	case err := <-serveErr:
+		// The listener died under us: finish in-flight simulations,
+		// abandon the rest, and fail.
+		srv.Shutdown()
+		fmt.Fprintln(stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "shutting down: draining requests (up to %v) and the worker pool\n", opts.shutdownTimeout)
+	// Stop accepting work BEFORE draining HTTP: submissions still in
+	// flight get an honest "shutting down" 503 instead of a 202 for
+	// work the drain below would abandon.
+	srv.RejectNew()
+	sctx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, err)
+		code = 1
+	}
+	// Abandon still-queued simulations (a full-scale queue can hold
+	// hours of work; with a store everything completed is kept and a
+	// resubmit after restart dedups onto it) — but let in-flight ones
+	// finish so no result is half-computed.
+	srv.Shutdown()
+	fmt.Fprintln(stdout, "shutdown complete")
+	return code
 }

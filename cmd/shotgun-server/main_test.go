@@ -1,9 +1,15 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestParseOptionsRejectsBadFlags(t *testing.T) {
@@ -16,6 +22,9 @@ func TestParseOptionsRejectsBadFlags(t *testing.T) {
 		{"zero parallel", []string{"-parallel", "0"}, "positive"},
 		{"negative parallel", []string{"-parallel", "-2"}, "positive"},
 		{"zero queue", []string{"-queue", "0"}, "positive"},
+		{"negative store budget", []string{"-store-max-bytes", "-1"}, "non-negative"},
+		{"budget without store", []string{"-store-max-bytes", "1000"}, "requires -store"},
+		{"zero shutdown timeout", []string{"-shutdown-timeout", "0s"}, "positive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -37,5 +46,82 @@ func TestParseOptionsDefaults(t *testing.T) {
 	}
 	if opts.scale != "full" || opts.addr != ":8080" || opts.parallel < 1 || opts.queue != 4096 {
 		t.Fatalf("defaults wrong: %+v", opts)
+	}
+	if opts.shutdownTimeout != 10*time.Second {
+		t.Fatalf("shutdown timeout default = %v", opts.shutdownTimeout)
+	}
+}
+
+// syncBuffer lets the test read the server's stdout while run is still
+// writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+)`)
+
+// TestGracefulShutdown boots the real server on an ephemeral port,
+// waits for it to serve, cancels the signal context (what SIGTERM does
+// in production) and asserts a clean, complete drain.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	var errBuf syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-scale", "quick", "-parallel", "1"}, &out, &errBuf)
+	}()
+
+	// Wait for the announced address, then confirm liveness.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout: %q stderr: %q", out.String(), errBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %q", code, errBuf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after cancel")
+	}
+	if !strings.Contains(out.String(), "shutdown complete") {
+		t.Fatalf("drain never completed; stdout: %q", out.String())
+	}
+	// The listener must actually be gone.
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("listener still accepting after shutdown")
 	}
 }

@@ -1,11 +1,15 @@
 // Command shotgun-sim runs one simulation — a (workload, mechanism) pair
-// at a chosen BTB budget — and prints its statistics.
+// at a chosen BTB budget, optionally with co-runner cores sharing the
+// LLC and NoC — and prints its statistics.
 //
 // Usage:
 //
 //	shotgun-sim -workload Oracle -mechanism shotgun -btb 2048 \
 //	    -warmup 2000000 -measure 3000000 -samples 3
 //	shotgun-sim -workload DB2 -json -out result.json
+//	shotgun-sim -workload Oracle -cores 4                  # 3 identical co-runners
+//	shotgun-sim -workload Oracle -mix fdip,none            # 2 co-runners, mixed mechanisms
+//	shotgun-sim -workload Oracle -trace oracle.trace       # replay a recorded trace
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"shotgun/internal/footprint"
 	"shotgun/internal/prefetch"
 	"shotgun/internal/sim"
+	"shotgun/internal/trace"
 	"shotgun/internal/workload"
 )
 
@@ -32,14 +37,16 @@ var errPrinted = errors.New("flag parse error")
 
 // options is the validated flag set.
 type options struct {
-	cfg     sim.Config
-	jsonOut bool
-	outPath string
+	scenario  sim.Scenario
+	tracePath string
+	jsonOut   bool
+	outPath   string
 }
 
-// parseOptions parses flags into a validated sim.Config — every bad
+// parseOptions parses flags into a validated sim.Scenario — every bad
 // combination (unknown workload, mechanism, region mode, bit width,
-// non-positive samples) fails here with a clear error.
+// non-positive samples, oversubscribed mesh, trace with co-runners)
+// fails here with a clear error.
 func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs := flag.NewFlagSet("shotgun-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -52,8 +59,12 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		samples = fs.Int("samples", 3, "measurement windows")
 		region  = fs.String("region", "vector", "shotgun region mode: vector, none, entire, 5blocks")
 		bits    = fs.Int("bits", 8, "footprint bit-vector width (8 or 32)")
+		cores   = fs.Int("cores", 0, "total cores in the scenario (0: derived from -mix, else 1)")
+		mix     = fs.String("mix", "", "comma-separated co-runner mechanisms (cycled over cores 2..N; default: same as core 0)")
+		llc     = fs.Int("llc", 0, "total shared LLC bytes (0: 1MB per core, capped at 8MB)")
 	)
 	opts := options{}
+	fs.StringVar(&opts.tracePath, "trace", "", "drive core 0 from this recorded trace instead of the workload walker")
 	fs.BoolVar(&opts.jsonOut, "json", false, "emit the result as JSON instead of text")
 	fs.StringVar(&opts.outPath, "out", "", "write the output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +80,7 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		return options{}, fmt.Errorf("-samples must be positive (got %d)", *samples)
 	}
 
-	opts.cfg = sim.Config{
+	primary := sim.Config{
 		Workload:     *wl,
 		Mechanism:    sim.Mechanism(*mech),
 		BTBEntries:   *btb,
@@ -79,35 +90,82 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	}
 	switch *region {
 	case "vector":
-		opts.cfg.RegionMode = prefetch.RegionVector
+		primary.RegionMode = prefetch.RegionVector
 	case "none":
-		opts.cfg.RegionMode = prefetch.RegionNone
+		primary.RegionMode = prefetch.RegionNone
 	case "entire":
-		opts.cfg.RegionMode = prefetch.RegionEntire
+		primary.RegionMode = prefetch.RegionEntire
 	case "5blocks":
-		opts.cfg.RegionMode = prefetch.RegionFiveBlocks
+		primary.RegionMode = prefetch.RegionFiveBlocks
 	default:
 		return options{}, fmt.Errorf("unknown region mode %q (vector, none, entire, 5blocks)", *region)
 	}
 	switch *bits {
 	case 8:
-		opts.cfg.Layout = footprint.Layout8
+		primary.Layout = footprint.Layout8
 	case 32:
-		opts.cfg.Layout = footprint.Layout32
+		primary.Layout = footprint.Layout32
 	default:
 		return options{}, fmt.Errorf("-bits must be 8 or 32 (got %d)", *bits)
 	}
-	if err := opts.cfg.Validate(); err != nil {
+
+	// The co-runner population: -cores sets the total core count; -mix
+	// the co-runners' mechanisms (cycled). -mix alone implies one core
+	// per listed mechanism plus the primary.
+	var mixMechs []sim.Mechanism
+	if *mix != "" {
+		for _, name := range strings.Split(*mix, ",") {
+			mixMechs = append(mixMechs, sim.Mechanism(strings.TrimSpace(name)))
+		}
+	}
+	n := *cores
+	switch {
+	case n == 0 && len(mixMechs) > 0:
+		n = 1 + len(mixMechs)
+	case n == 0:
+		n = 1
+	case n < 1:
+		return options{}, fmt.Errorf("-cores must be positive (got %d)", n)
+	}
+	if n == 1 && len(mixMechs) > 0 {
+		return options{}, fmt.Errorf("-mix needs co-runner cores, but -cores 1 leaves none")
+	}
+	opts.scenario = sim.Scenario{Cores: []sim.Config{primary}, LLCSizeBytes: *llc}
+	for i := 1; i < n; i++ {
+		co := primary
+		if len(mixMechs) > 0 {
+			co.Mechanism = mixMechs[(i-1)%len(mixMechs)]
+			if co.Mechanism != sim.Shotgun {
+				// Region/layout knobs are Shotgun-specific; mixed-in
+				// mechanisms run at their own defaults.
+				co.RegionMode = prefetch.RegionVector
+				co.Layout = footprint.Layout8
+			}
+		}
+		opts.scenario.Cores = append(opts.scenario.Cores, co)
+	}
+	if opts.tracePath != "" && len(opts.scenario.Cores) > 1 {
+		return options{}, fmt.Errorf("-trace drives a single core; drop -cores/-mix")
+	}
+	if opts.tracePath != "" && *llc != 0 {
+		return options{}, fmt.Errorf("-llc shapes the scenario's shared LLC; a -trace replay runs the single-core default")
+	}
+	if err := opts.scenario.Validate(); err != nil {
 		return options{}, err
 	}
 	return opts, nil
 }
 
-// jsonResult is the -json document: the normalized config alongside the
-// simulation outcome, mirroring internal/store's record body.
+// jsonResult is the -json document: the normalized scenario alongside
+// the per-core outcomes, mirroring internal/store's record body. For a
+// -trace replay the block stream came from the named trace, not the
+// scenario's walker, so the scenario is NOT the result's content
+// identity — the trace field marks that, and consumers must not key
+// trace-driven results by the scenario.
 type jsonResult struct {
-	Config sim.Config `json:"config"`
-	Result sim.Result `json:"result"`
+	Scenario sim.Scenario       `json:"scenario"`
+	Trace    string             `json:"trace,omitempty"`
+	Result   sim.ScenarioResult `json:"result"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -122,10 +180,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res, err := sim.Run(opts.cfg)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+	var res sim.ScenarioResult
+	if opts.tracePath != "" {
+		f, err := os.Open(opts.tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		stream, err := trace.NewStream(f)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		r, err := sim.RunStream(opts.scenario.Cores[0], stream)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		res = sim.ScenarioResult{Cores: []sim.Result{r}}
+	} else {
+		res, err = sim.RunScenario(opts.scenario)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 
 	out := stdout
@@ -141,13 +220,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if opts.jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonResult{Config: opts.cfg.Normalized(), Result: res}); err != nil {
+		doc := jsonResult{Scenario: opts.scenario.Normalized(), Trace: opts.tracePath, Result: res}
+		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		return 0
 	}
 
+	for i, r := range res.Cores {
+		if len(res.Cores) > 1 {
+			fmt.Fprintf(out, "--- core %d ---\n", i)
+		}
+		printResult(out, r)
+	}
+	return 0
+}
+
+func printResult(out io.Writer, res sim.Result) {
 	cs := res.Core
 	fmt.Fprintf(out, "workload            %s\n", res.Workload)
 	fmt.Fprintf(out, "mechanism           %s\n", res.Mechanism)
@@ -165,5 +255,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(out, "prefetches issued   %d\n", res.Hier.PrefetchesIssued)
 	fmt.Fprintf(out, "prefetch accuracy   %.3f\n", res.PrefetchAccuracy)
 	fmt.Fprintf(out, "L1-D fill cycles    %.1f\n", res.AvgDataFillCycles())
-	return 0
 }

@@ -45,7 +45,10 @@ func TestParseOptionsBuildsConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := opts.cfg
+	if len(opts.scenario.Cores) != 1 {
+		t.Fatalf("cores = %d, want 1", len(opts.scenario.Cores))
+	}
+	cfg := opts.scenario.Cores[0]
 	if cfg.Workload != "DB2" || cfg.Mechanism != sim.Shotgun || cfg.BTBEntries != 4096 {
 		t.Fatalf("config wrong: %+v", cfg)
 	}
@@ -54,6 +57,58 @@ func TestParseOptionsBuildsConfig(t *testing.T) {
 	}
 	if !opts.jsonOut {
 		t.Fatal("-json lost")
+	}
+}
+
+func TestParseOptionsBuildsScenario(t *testing.T) {
+	// -mix alone implies one co-runner per mechanism.
+	opts, err := parseOptions([]string{"-workload", "Oracle", "-mix", "fdip,none"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := opts.scenario
+	if len(sc.Cores) != 3 {
+		t.Fatalf("cores = %d, want 3", len(sc.Cores))
+	}
+	if sc.Cores[0].Mechanism != sim.Shotgun || sc.Cores[1].Mechanism != sim.FDIP || sc.Cores[2].Mechanism != sim.None {
+		t.Fatalf("mechanisms wrong: %+v", sc.Cores)
+	}
+
+	// -cores cycles the mix.
+	opts, err = parseOptions([]string{"-cores", "4", "-mix", "fdip"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.scenario.Cores) != 4 {
+		t.Fatalf("cores = %d, want 4", len(opts.scenario.Cores))
+	}
+	for _, co := range opts.scenario.Cores[1:] {
+		if co.Mechanism != sim.FDIP {
+			t.Fatalf("co-runner mechanism %s, want fdip", co.Mechanism)
+		}
+	}
+
+	// -cores without -mix clones the primary.
+	opts, err = parseOptions([]string{"-cores", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.scenario.Cores) != 2 || opts.scenario.Cores[1].Mechanism != sim.Shotgun {
+		t.Fatalf("clone scenario wrong: %+v", opts.scenario.Cores)
+	}
+
+	for _, bad := range [][]string{
+		{"-cores", "-3"},
+		{"-cores", "17"},
+		{"-cores", "1", "-mix", "fdip"}, // mix with no co-runner cores is a silent no-op
+		{"-mix", "warp"},
+		{"-trace", "x.trace", "-cores", "2"},
+		{"-trace", "x.trace", "-llc", "4194304"},
+		{"-llc", "1024"},
+	} {
+		if _, err := parseOptions(bad, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
 	}
 }
 
@@ -72,7 +127,29 @@ func TestRunJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, out.String())
 	}
-	if doc.Config.Workload != "Nutch" || doc.Result.Core.Instructions == 0 {
-		t.Fatalf("document wrong: %+v", doc)
+	if len(doc.Scenario.Cores) != 1 || doc.Scenario.Cores[0].Workload != "Nutch" {
+		t.Fatalf("document scenario wrong: %+v", doc)
+	}
+	if len(doc.Result.Cores) != 1 || doc.Result.Cores[0].Core.Instructions == 0 {
+		t.Fatalf("document result wrong: %+v", doc)
+	}
+}
+
+// TestRunScenarioText runs a 2-core scenario end to end through the CLI
+// and checks both cores render.
+func TestRunScenarioText(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{
+		"-workload", "Nutch", "-mechanism", "shotgun", "-mix", "none",
+		"-warmup", "60000", "-measure", "80000", "-samples", "1",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	text := out.String()
+	for _, want := range []string{"--- core 0 ---", "--- core 1 ---", "mechanism           shotgun", "mechanism           none"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
 	}
 }

@@ -28,7 +28,7 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the 
 // per-experiment subtests.
 func goldenRunner() *harness.Runner {
 	r := harness.NewRunner(harness.QuickScale())
-	r.Prefetch(harness.AllConfigs(harness.Experiments()))
+	r.PrefetchScenarios(harness.AllScenarios(harness.Experiments()))
 	return r
 }
 

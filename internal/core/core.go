@@ -221,6 +221,11 @@ func (c *Core) Now() uint64 { return c.now }
 // Stats returns a snapshot of the counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// Instructions returns the retired-instruction counter alone — the
+// per-tick progress probe of the scenario lockstep loop, which must not
+// copy the whole Stats struct every cycle.
+func (c *Core) Instructions() uint64 { return c.stats.Instructions }
+
 // Hierarchy returns the memory hierarchy.
 func (c *Core) Hierarchy() *uncore.Hierarchy { return c.hier }
 

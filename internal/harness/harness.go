@@ -18,6 +18,16 @@ import (
 	"shotgun/internal/workload"
 )
 
+// scenariosOf wraps a config list as N=1 scenarios — the bridge between
+// the single-core experiment declarations and the scenario-keyed runner.
+func scenariosOf(cfgs []sim.Config) []sim.Scenario {
+	out := make([]sim.Scenario, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = sim.SingleCore(cfg)
+	}
+	return out
+}
+
 // Scale sets simulation length. Quick is for tests; Full for the
 // reported experiments.
 type Scale struct {
@@ -36,62 +46,35 @@ func FullScale() Scale {
 	return Scale{WarmupInstr: 2_000_000, MeasureInstr: 3_000_000, Samples: 3}
 }
 
-// cacheKey is the comparable identity of one simulation. It is derived
-// from the *normalized* config (every default made explicit), so two
-// configs that would run the same simulation always collide on purpose,
-// and two that would not never do — there is no string formatting and no
-// field left out (the seed runner omitted SkipInstr and conflated a nil
-// ShotgunSizes with an explicit zero one).
-type cacheKey struct {
-	workload   string
-	mechanism  sim.Mechanism
-	btbEntries int
-	regionMode prefetch.RegionMode
-	layout     footprint.Layout
+// cacheKey is the identity of one simulation: the canonical encoding of
+// the *normalized* scenario (every default made explicit, per-core
+// specs in order), so two scenarios that would run the same simulation
+// always collide on purpose, and two that would not never do. This is
+// the same byte string internal/store hashes for content addressing —
+// one identity from the in-memory memo to the on-disk cache.
+type cacheKey string
 
-	hasSizes bool
-	sizes    btb.Sizes
-
-	warmup, measure, skip uint64
-	samples               int
-}
-
-// keyOf builds the cache key for a normalized config.
-func keyOf(cfg sim.Config) cacheKey {
-	k := cacheKey{
-		workload:   cfg.Workload,
-		mechanism:  cfg.Mechanism,
-		btbEntries: cfg.BTBEntries,
-		regionMode: cfg.RegionMode,
-		layout:     cfg.Layout,
-		warmup:     cfg.WarmupInstr,
-		measure:    cfg.MeasureInstr,
-		skip:       cfg.SkipInstr,
-		samples:    cfg.Samples,
-	}
-	if cfg.ShotgunSizes != nil {
-		k.hasSizes = true
-		k.sizes = *cfg.ShotgunSizes
-	}
-	return k
+// keyOf builds the cache key for a normalized scenario.
+func keyOf(sc sim.Scenario) cacheKey {
+	return cacheKey(sc.CanonicalBytes())
 }
 
 // flight is one memoized simulation. The sync.Once gives per-key
-// single-flight semantics: concurrent callers of the same config block on
-// the one in-progress computation instead of duplicating it.
+// single-flight semantics: concurrent callers of the same scenario block
+// on the one in-progress computation instead of duplicating it.
 type flight struct {
 	once sync.Once
-	res  sim.Result
+	res  sim.ScenarioResult
 }
 
 // ResultStore is the persistence hook a Runner consults before
-// simulating (implemented by internal/store). Get returns a previously
-// persisted result for a normalized config; Put records a freshly
-// computed one. Implementations must be safe for concurrent use by the
-// worker pool.
+// simulating (implemented by internal/store). GetScenario returns a
+// previously persisted result for a normalized scenario; PutScenario
+// records a freshly computed one. Implementations must be safe for
+// concurrent use by the worker pool.
 type ResultStore interface {
-	Get(cfg sim.Config) (sim.Result, bool)
-	Put(cfg sim.Config, res sim.Result) error
+	GetScenario(sc sim.Scenario) (sim.ScenarioResult, bool)
+	PutScenario(sc sim.Scenario, res sim.ScenarioResult) error
 }
 
 // Runner memoizes simulation results so experiments sharing
@@ -141,39 +124,57 @@ func (r *Runner) Workers() int { return r.workers }
 // so it must not change once simulations are in flight.
 func (r *Runner) SetStore(s ResultStore) { r.store = s }
 
-// compute executes one simulation, consulting the persistent store (when
+// compute executes one scenario, consulting the persistent store (when
 // attached) on both sides: a stored result short-circuits the
 // simulation, and a fresh one is persisted for later processes.
 // Persistence is best-effort — a failed Put loses the cache entry for
 // the next restart, never the current batch (the store tracks its own
 // error counts).
-func (r *Runner) compute(cfg sim.Config) sim.Result {
+func (r *Runner) compute(sc sim.Scenario) sim.ScenarioResult {
 	if r.store != nil {
-		if res, ok := r.store.Get(cfg); ok {
+		if res, ok := r.store.GetScenario(sc); ok {
 			return res
 		}
 	}
-	res := sim.MustRun(cfg)
+	res := sim.MustRunScenario(sc)
 	if r.store != nil {
-		_ = r.store.Put(cfg, res)
+		_ = r.store.PutScenario(sc, res)
 	}
 	return res
 }
 
-// Normalize pins the runner's scale onto cfg and makes every simulation
-// default explicit, so keying and execution agree. External keyers (the
-// HTTP server's job table, the persistent store) normalize through the
-// runner so their identity matches the memo's.
-func (r *Runner) Normalize(cfg sim.Config) sim.Config {
+// pinScale stamps the runner's scale onto a config — the one place
+// scale fields are pinned, so single-config and scenario normalization
+// cannot diverge as Scale grows fields.
+func (r *Runner) pinScale(cfg sim.Config) sim.Config {
 	cfg.WarmupInstr = r.scale.WarmupInstr
 	cfg.MeasureInstr = r.scale.MeasureInstr
 	cfg.Samples = r.scale.Samples
-	return cfg.Normalized()
+	return cfg
 }
 
-// flightFor returns the (created-once) flight for a normalized config.
-func (r *Runner) flightFor(cfg sim.Config) *flight {
-	key := keyOf(cfg)
+// Normalize pins the runner's scale onto cfg and makes every simulation
+// default explicit, so keying and execution agree. External keyers
+// normalize through the runner so their identity matches the memo's.
+func (r *Runner) Normalize(cfg sim.Config) sim.Config {
+	return r.pinScale(cfg).Normalized()
+}
+
+// NormalizeScenario pins the runner's scale onto every core of the
+// scenario and normalizes the result — the scenario-level identity the
+// memo, the store and the HTTP job table all share.
+func (r *Runner) NormalizeScenario(sc sim.Scenario) sim.Scenario {
+	cores := make([]sim.Config, len(sc.Cores))
+	for i, cfg := range sc.Cores {
+		cores[i] = r.pinScale(cfg)
+	}
+	sc.Cores = cores
+	return sc.Normalized()
+}
+
+// flightFor returns the (created-once) flight for a normalized scenario.
+func (r *Runner) flightFor(sc sim.Scenario) *flight {
+	key := keyOf(sc)
 	r.mu.Lock()
 	f, ok := r.cache[key]
 	if !ok {
@@ -184,36 +185,49 @@ func (r *Runner) flightFor(cfg sim.Config) *flight {
 	return f
 }
 
-// Run executes (or recalls) one simulation. Concurrent callers of the
-// same config share a single execution.
-func (r *Runner) Run(cfg sim.Config) sim.Result {
-	cfg = r.Normalize(cfg)
-	f := r.flightFor(cfg)
-	f.once.Do(func() { f.res = r.compute(cfg) })
+// RunScenario executes (or recalls) one scenario. Concurrent callers of
+// the same scenario share a single execution.
+func (r *Runner) RunScenario(sc sim.Scenario) sim.ScenarioResult {
+	sc = r.NormalizeScenario(sc)
+	f := r.flightFor(sc)
+	f.once.Do(func() { f.res = r.compute(sc) })
 	return f.res
 }
 
-// Prefetch runs every given config on the worker pool and returns when
-// all results are memoized. Duplicate configs (and configs already cached
-// or in flight) cost nothing extra. Each ExperimentN declares its full
-// config set through Prefetch before assembling its table, so the pool
-// saturates every core while assembly stays simple and serial.
+// Run executes (or recalls) one single-core simulation: the N=1
+// scenario's core-0 result.
+func (r *Runner) Run(cfg sim.Config) sim.Result {
+	return r.RunScenario(sim.SingleCore(cfg)).Cores[0]
+}
+
+// Prefetch runs every given single-core config on the worker pool; see
+// PrefetchScenarios.
 func (r *Runner) Prefetch(cfgs []sim.Config) {
+	r.PrefetchScenarios(scenariosOf(cfgs))
+}
+
+// PrefetchScenarios runs every given scenario on the worker pool and
+// returns when all results are memoized. Duplicate scenarios (and
+// scenarios already cached or in flight) cost nothing extra. Each
+// ExperimentN declares its full scenario set through Prefetch before
+// assembling its table, so the pool saturates every core while assembly
+// stays simple and serial.
+func (r *Runner) PrefetchScenarios(scs []sim.Scenario) {
 	type job struct {
-		cfg sim.Config
-		f   *flight
+		sc sim.Scenario
+		f  *flight
 	}
 	// Deduplicate up front so the pool only sees distinct simulations.
-	seen := make(map[cacheKey]bool, len(cfgs))
+	seen := make(map[cacheKey]bool, len(scs))
 	var jobs []job
-	for _, cfg := range cfgs {
-		cfg = r.Normalize(cfg)
-		key := keyOf(cfg)
+	for _, sc := range scs {
+		sc = r.NormalizeScenario(sc)
+		key := keyOf(sc)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		jobs = append(jobs, job{cfg: cfg, f: r.flightFor(cfg)})
+		jobs = append(jobs, job{sc: sc, f: r.flightFor(sc)})
 	}
 	if len(jobs) == 0 {
 		return
@@ -225,7 +239,7 @@ func (r *Runner) Prefetch(cfgs []sim.Config) {
 	if workers == 1 {
 		// Serial path: identical to the seed runner's execution order.
 		for _, j := range jobs {
-			j.f.once.Do(func() { j.f.res = r.compute(j.cfg) })
+			j.f.once.Do(func() { j.f.res = r.compute(j.sc) })
 		}
 		return
 	}
@@ -236,7 +250,7 @@ func (r *Runner) Prefetch(cfgs []sim.Config) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				j.f.once.Do(func() { j.f.res = r.compute(j.cfg) })
+				j.f.once.Do(func() { j.f.res = r.compute(j.sc) })
 			}
 		}()
 	}
@@ -748,9 +762,10 @@ type Experiment struct {
 	// callers use Run, machine-readable callers (internal/report, the
 	// HTTP server) serialize the table directly.
 	Table func(*Runner) *stats.Table
-	// Configs declares every simulation Table will need; nil for pure
-	// trace analyses (Figures 3 and 4) that run no timing simulation.
-	Configs func() []sim.Config
+	// Scenarios declares every simulation Table will need (single-core
+	// experiments declare N=1 scenarios); nil for pure trace analyses
+	// (Figures 3 and 4) that run no timing simulation.
+	Scenarios func() []sim.Scenario
 }
 
 // Run renders the experiment as the text table the paper reports.
@@ -760,36 +775,44 @@ func (e Experiment) Run(r *Runner) string { return e.Table(r).String() }
 func Experiments() []Experiment {
 	return []Experiment{
 		{"table1", "BTB MPKI without prefetching",
-			func(r *Runner) *stats.Table { _, t := Table1(r); return t }, Table1Configs},
+			func(r *Runner) *stats.Table { _, t := Table1(r); return t },
+			func() []sim.Scenario { return scenariosOf(Table1Configs()) }},
 		{"fig1", "State-of-the-art vs ideal speedups",
 			func(r *Runner) *stats.Table { _, t := Figure1(r); return t },
-			func() []sim.Config { return mechConfigs(Figure1Mechs()) }},
+			func() []sim.Scenario { return scenariosOf(mechConfigs(Figure1Mechs())) }},
 		{"fig3", "Region spatial locality",
 			func(r *Runner) *stats.Table { _, t := Figure3(r); return t }, nil},
 		{"fig4", "Branch working-set coverage",
 			func(r *Runner) *stats.Table { _, t := Figure4(r); return t }, nil},
 		{"fig6", "Front-end stall coverage",
 			func(r *Runner) *stats.Table { _, t := Figure6(r); return t },
-			func() []sim.Config { return mechConfigs(Figure6Mechs()) }},
+			func() []sim.Scenario { return scenariosOf(mechConfigs(Figure6Mechs())) }},
 		{"fig7", "Speedup over baseline",
 			func(r *Runner) *stats.Table { _, t := Figure7(r); return t },
-			func() []sim.Config { return mechConfigs(Figure7Mechs()) }},
+			func() []sim.Scenario { return scenariosOf(mechConfigs(Figure7Mechs())) }},
 		{"fig8", "Footprint-variant stall coverage",
 			func(r *Runner) *stats.Table { _, t := Figure8(r); return t },
-			func() []sim.Config { return variantConfigs(Variants()) }},
+			func() []sim.Scenario { return scenariosOf(variantConfigs(Variants())) }},
 		{"fig9", "Footprint-variant speedup",
 			func(r *Runner) *stats.Table { _, t := Figure9(r); return t },
-			func() []sim.Config { return variantConfigs(Variants()) }},
+			func() []sim.Scenario { return scenariosOf(variantConfigs(Variants())) }},
 		{"fig10", "Footprint-variant prefetch accuracy",
 			func(r *Runner) *stats.Table { _, t := Figure10(r); return t },
-			func() []sim.Config { return variantConfigs(AccuracyVariants()) }},
+			func() []sim.Scenario { return scenariosOf(variantConfigs(AccuracyVariants())) }},
 		{"fig11", "Footprint-variant L1-D fill latency",
 			func(r *Runner) *stats.Table { _, t := Figure11(r); return t },
-			func() []sim.Config { return variantConfigs(AccuracyVariants()) }},
+			func() []sim.Scenario { return scenariosOf(variantConfigs(AccuracyVariants())) }},
 		{"fig12", "C-BTB size sensitivity",
-			func(r *Runner) *stats.Table { _, t := Figure12(r); return t }, Figure12Configs},
+			func(r *Runner) *stats.Table { _, t := Figure12(r); return t },
+			func() []sim.Scenario { return scenariosOf(Figure12Configs()) }},
 		{"fig13", "BTB budget sensitivity",
-			func(r *Runner) *stats.Table { _, t := Figure13(r); return t }, Figure13Configs},
+			func(r *Runner) *stats.Table { _, t := Figure13(r); return t },
+			func() []sim.Scenario { return scenariosOf(Figure13Configs()) }},
+		{"interference", "Shared-LLC/NoC interference vs co-runners",
+			func(r *Runner) *stats.Table { _, t := Interference(r); return t },
+			func() []sim.Scenario {
+				return InterferenceScenarios(InterferenceCoRunnerCounts, InterferenceMixes())
+			}},
 	}
 }
 
@@ -803,15 +826,16 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// AllConfigs returns the union (with duplicates; Prefetch deduplicates)
-// of every experiment's config set — the whole evaluation's work list,
-// used to saturate the pool across experiment boundaries.
-func AllConfigs(exps []Experiment) []sim.Config {
-	var cfgs []sim.Config
+// AllScenarios returns the union (with duplicates; PrefetchScenarios
+// deduplicates) of every experiment's scenario set — the whole
+// evaluation's work list, used to saturate the pool across experiment
+// boundaries.
+func AllScenarios(exps []Experiment) []sim.Scenario {
+	var scs []sim.Scenario
 	for _, e := range exps {
-		if e.Configs != nil {
-			cfgs = append(cfgs, e.Configs()...)
+		if e.Scenarios != nil {
+			scs = append(scs, e.Scenarios()...)
 		}
 	}
-	return cfgs
+	return scs
 }

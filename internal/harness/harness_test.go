@@ -139,10 +139,50 @@ func TestExperimentsListComplete(t *testing.T) {
 		ids[e.ID] = true
 	}
 	for _, want := range []string{"table1", "fig1", "fig3", "fig4", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "interference"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing", want)
 		}
+	}
+}
+
+func TestInterferenceRenders(t *testing.T) {
+	r := NewRunner(tinyScale())
+	counts := []int{1, 2}
+	mixes := InterferenceMixes()
+	rows, out := InterferenceTable(r, counts, mixes)
+	if len(rows) != 1+len(counts)*len(mixes) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(counts)*len(mixes))
+	}
+	if rows[0].Mix != "solo" || rows[0].CoRunners != 0 {
+		t.Fatalf("missing solo anchor row: %+v", rows[0])
+	}
+	for _, row := range rows {
+		if row.IPC <= 0 || row.DataFillCycles <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+	}
+	if !strings.Contains(out.String(), "Interference") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestInterferenceExperimentValidation(t *testing.T) {
+	if _, err := InterferenceExperiment(nil, []string{"shotgun-8bit"}); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, err := InterferenceExperiment([]int{1}, []string{"warp-drive"}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, err := InterferenceExperiment([]int{16}, []string{"shotgun-8bit"}); err == nil {
+		t.Fatal("oversubscribed mesh accepted")
+	}
+	e, err := InterferenceExperiment([]int{1, 2}, []string{"entire-region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "interference" || len(e.Scenarios()) != 3 { // solo + 2 counts
+		t.Fatalf("experiment shape wrong: %s, %d scenarios", e.ID, len(e.Scenarios()))
 	}
 }
 

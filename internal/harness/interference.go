@@ -1,0 +1,166 @@
+package harness
+
+// The interference experiment is the scenario layer's flagship table:
+// it reproduces the paper's Figure 11 observation — over-prefetching
+// inflates LLC access latency for everyone, including L1-D misses —
+// mechanically, by actually running co-runner cores against one shared
+// LLC and mesh backlog instead of folding them into a fluid-queue
+// constant.
+
+import (
+	"fmt"
+
+	"shotgun/internal/footprint"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/sim"
+	"shotgun/internal/stats"
+)
+
+// InterferenceWorkload is the workload every interference-scenario core
+// runs (Oracle: the largest instruction working set of the suite).
+const InterferenceWorkload = "Oracle"
+
+// InterferenceCoRunnerCounts are the default co-runner sweeps: the
+// primary core plus 1, 3 or 7 co-runners (2-, 4- and 8-core scenarios).
+var InterferenceCoRunnerCounts = []int{1, 3, 7}
+
+// InterferenceMix names one co-runner population: every co-runner core
+// runs CoRunner while core 0 always runs the well-behaved 8-bit-vector
+// Shotgun.
+type InterferenceMix struct {
+	Name     string
+	CoRunner sim.Config
+}
+
+// InterferenceMixes returns the default mechanism mixes: polite
+// co-runners (8-bit footprint vectors, like core 0) versus over-
+// prefetching ones (entire-region prefetch, Figure 11's worst case).
+func InterferenceMixes() []InterferenceMix {
+	return []InterferenceMix{
+		{Name: "shotgun-8bit", CoRunner: sim.Config{
+			Workload: InterferenceWorkload, Mechanism: sim.Shotgun}},
+		{Name: "entire-region", CoRunner: sim.Config{
+			Workload: InterferenceWorkload, Mechanism: sim.Shotgun,
+			RegionMode: prefetch.RegionEntire, Layout: footprint.Layout32}},
+	}
+}
+
+// interferencePrimary is core 0 of every interference scenario.
+func interferencePrimary() sim.Config {
+	return sim.Config{Workload: InterferenceWorkload, Mechanism: sim.Shotgun}
+}
+
+// InterferenceScenario builds the scenario for one (co-runner count,
+// mix) point: the primary core plus coRunners copies of the mix's
+// co-runner spec, all over one shared uncore. Zero co-runners is the
+// solo (classic single-core) reference.
+func InterferenceScenario(coRunners int, mix InterferenceMix) sim.Scenario {
+	cores := []sim.Config{interferencePrimary()}
+	for i := 0; i < coRunners; i++ {
+		cores = append(cores, mix.CoRunner)
+	}
+	return sim.Scenario{Cores: cores}
+}
+
+// InterferenceScenarios declares every simulation the table needs: the
+// solo reference plus each (count, mix) point.
+func InterferenceScenarios(counts []int, mixes []InterferenceMix) []sim.Scenario {
+	scs := []sim.Scenario{sim.SingleCore(interferencePrimary())}
+	for _, mix := range mixes {
+		for _, n := range counts {
+			scs = append(scs, InterferenceScenario(n, mix))
+		}
+	}
+	return scs
+}
+
+// InterferenceRow is one measured point of the sweep, reporting the
+// primary core's view of the contended uncore.
+type InterferenceRow struct {
+	Mix       string
+	CoRunners int
+	// IPC is core 0's instructions per cycle; DataFillCycles its mean
+	// L1-D miss fill latency (Figure 11's metric).
+	IPC            float64
+	DataFillCycles float64
+}
+
+// InterferenceTable runs the sweep and renders it. The solo row anchors
+// both mixes (with no co-runners the mix is irrelevant).
+func InterferenceTable(r *Runner, counts []int, mixes []InterferenceMix) ([]InterferenceRow, *stats.Table) {
+	r.PrefetchScenarios(InterferenceScenarios(counts, mixes))
+	t := stats.NewTable(
+		"Interference: core-0 IPC and L1-D fill latency vs co-runners over a shared LLC/NoC (Oracle, shotgun primary)",
+		"Mix", "Co-runners", "IPC", "L1-D fill cycles")
+	var rows []InterferenceRow
+
+	add := func(mixName string, coRunners int, res sim.Result) {
+		row := InterferenceRow{
+			Mix:            mixName,
+			CoRunners:      coRunners,
+			IPC:            res.IPC(),
+			DataFillCycles: res.AvgDataFillCycles(),
+		}
+		rows = append(rows, row)
+		t.AddRow(mixName, fmt.Sprintf("%d", coRunners),
+			fmt.Sprintf("%.3f", row.IPC), fmt.Sprintf("%.1f", row.DataFillCycles))
+	}
+
+	solo := r.Run(interferencePrimary())
+	add("solo", 0, solo)
+	for _, mix := range mixes {
+		for _, n := range counts {
+			res := r.RunScenario(InterferenceScenario(n, mix))
+			add(mix.Name, n, res.Cores[0])
+		}
+	}
+	return rows, t
+}
+
+// Interference runs the default sweep (the golden-gated table).
+func Interference(r *Runner) ([]InterferenceRow, *stats.Table) {
+	return InterferenceTable(r, InterferenceCoRunnerCounts, InterferenceMixes())
+}
+
+// InterferenceExperiment builds a custom-sweep experiment from CLI-style
+// inputs: co-runner counts and mix names (from InterferenceMixes). The
+// bench CLI substitutes it for the default interference entry when
+// -cores/-mix flags are given.
+func InterferenceExperiment(counts []int, mixNames []string) (Experiment, error) {
+	if len(counts) == 0 || len(mixNames) == 0 {
+		return Experiment{}, fmt.Errorf("harness: interference sweep needs at least one co-runner count and one mix")
+	}
+	for _, n := range counts {
+		if n < 1 || 1+n > sim.MaxCores {
+			return Experiment{}, fmt.Errorf("harness: co-runner count %d out of range [1, %d]", n, sim.MaxCores-1)
+		}
+	}
+	known := InterferenceMixes()
+	var mixes []InterferenceMix
+	for _, name := range mixNames {
+		found := false
+		for _, m := range known {
+			if m.Name == name {
+				mixes = append(mixes, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var names []string
+			for _, m := range known {
+				names = append(names, m.Name)
+			}
+			return Experiment{}, fmt.Errorf("harness: unknown mix %q (have %v)", name, names)
+		}
+	}
+	return Experiment{
+		ID:   "interference",
+		Desc: "Shared-LLC/NoC interference vs co-runners (custom sweep)",
+		Table: func(r *Runner) *stats.Table {
+			_, t := InterferenceTable(r, counts, mixes)
+			return t
+		},
+		Scenarios: func() []sim.Scenario { return InterferenceScenarios(counts, mixes) },
+	}, nil
+}

@@ -90,7 +90,7 @@ func TestCacheKeyCollisions(t *testing.T) {
 	}
 	seen := map[cacheKey]int{}
 	for i, cfg := range distinct {
-		k := keyOf(r.Normalize(cfg))
+		k := keyOf(r.NormalizeScenario(sim.SingleCore(cfg)))
 		if j, dup := seen[k]; dup {
 			t.Errorf("configs %d and %d collide on key %+v", j, i, k)
 		}
@@ -105,10 +105,26 @@ func TestCacheKeyCollisions(t *testing.T) {
 			{Workload: "Oracle", Mechanism: sim.Shotgun, Layout: footprint.Layout8}},
 	}
 	for i, pair := range equiv {
-		a := keyOf(r.Normalize(pair[0]))
-		b := keyOf(r.Normalize(pair[1]))
+		a := keyOf(r.NormalizeScenario(sim.SingleCore(pair[0])))
+		b := keyOf(r.NormalizeScenario(sim.SingleCore(pair[1])))
 		if a != b {
 			t.Errorf("equivalent pair %d maps to distinct keys:\n%+v\n%+v", i, a, b)
 		}
+	}
+
+	// Scenario shape is part of the identity: the same config as a solo
+	// core, duplicated onto two cores, or with a custom LLC must all be
+	// distinct simulations.
+	solo := r.NormalizeScenario(sim.SingleCore(base))
+	duo := r.NormalizeScenario(sim.Scenario{Cores: []sim.Config{base, base}})
+	bigLLC := r.NormalizeScenario(sim.Scenario{Cores: []sim.Config{base}, LLCSizeBytes: 4 << 20})
+	if keyOf(solo) == keyOf(duo) || keyOf(solo) == keyOf(bigLLC) || keyOf(duo) == keyOf(bigLLC) {
+		t.Error("scenario shapes collide on one key")
+	}
+	// ...while an explicitly spelled-out default LLC is the same
+	// simulation as the derived one.
+	explicit := r.NormalizeScenario(sim.Scenario{Cores: []sim.Config{base}, LLCSizeBytes: sim.DefaultLLCBytes(1)})
+	if keyOf(solo) != keyOf(explicit) {
+		t.Error("explicit default LLC size changed the key")
 	}
 }

@@ -17,15 +17,59 @@ type Config struct {
 	Rows, Cols int
 	// HopCycles is the per-hop latency (Table 3: 3 cycles).
 	HopCycles int
-	// SlotsPerCycle is the fabric's service rate in messages/cycle
-	// available to the modeled core after background traffic from the
-	// other 15 cores is accounted for.
+	// SlotsPerCycle is the fluid service rate in messages/cycle of the
+	// backlog this Config's Mesh models. For a single modeled core it is
+	// the share of the fabric left after background traffic from the
+	// other 15 tiles; for an N-core scenario (SharedConfig) it is the
+	// capacity of the one backlog all N cores' real traffic drains into.
 	SlotsPerCycle float64
 }
 
-// DefaultConfig mirrors Table 3.
+// DefaultConfig mirrors Table 3 for a single modeled core: the 0.32
+// slots/cycle are the fabric share left to one core once the other 15
+// tiles' background traffic is charged (see SharedConfig, whose N=1
+// case this is).
 func DefaultConfig() Config {
 	return Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 0.32}
+}
+
+// Tiles returns the number of mesh tiles (the CMP core count).
+func (c Config) Tiles() int { return c.Rows * c.Cols }
+
+// FabricServiceRate returns the fluid-model service rate of the whole
+// mesh in messages/cycle: the number of directed links divided by the
+// link-cycles one round-trip message occupies (2 average-length routes
+// of HopCycles each). For the Table 3 4x4 mesh this is 48/18 ≈ 2.67.
+func FabricServiceRate(rows, cols, hopCycles int) float64 {
+	links := 2 * (rows*(cols-1) + cols*(rows-1))
+	return float64(links) / (2 * meanHops(rows, cols) * float64(hopCycles))
+}
+
+// SharedConfig derives the mesh configuration for a scenario of n cores
+// draining one shared backlog. The service rate is the total fabric
+// capacity minus the background draw of the remaining (tiles-n) tiles,
+// with the per-tile background calibrated so that n=1 reproduces
+// DefaultConfig's single-core share exactly:
+//
+//	rate(n) = Φ - (tiles-n)·(Φ - rate(1))/(tiles-1)
+//
+// where Φ is FabricServiceRate. Unlike the single-core model — where the
+// other 15 cores are a constant — the traffic of the n active cores is
+// real: their messages share the backlog, so congestion (the paper's
+// Figure 11 effect) is emergent rather than baked in.
+func SharedConfig(n int) Config {
+	d := DefaultConfig()
+	if n <= 1 {
+		return d
+	}
+	tiles := d.Tiles()
+	if n > tiles {
+		n = tiles
+	}
+	phi := FabricServiceRate(d.Rows, d.Cols, d.HopCycles)
+	background := (phi - d.SlotsPerCycle) / float64(tiles-1)
+	d.SlotsPerCycle = phi - float64(tiles-n)*background
+	return d
 }
 
 // Mesh is the interconnect model. The zero value is unusable; use New.

@@ -73,6 +73,53 @@ func TestInvalidConfig(t *testing.T) {
 	}
 }
 
+func TestFabricServiceRate(t *testing.T) {
+	// 4x4 mesh: 2*(4*3+4*3) = 48 directed links; one round trip holds
+	// 2*3 hops * 3 cycles = 18 link-cycles; 48/18 = 8/3 messages/cycle.
+	got := FabricServiceRate(4, 4, 3)
+	want := 48.0 / 18.0
+	if got != want {
+		t.Fatalf("FabricServiceRate = %v, want %v", got, want)
+	}
+}
+
+// TestSharedConfigDerivation pins the shared-backlog calibration: the
+// N=1 case is exactly the single-core Table 3 constant, the rate grows
+// with active cores (freed background share), the per-core share
+// shrinks (the emergent-contention direction), and a fully active mesh
+// gets the whole fabric.
+func TestSharedConfigDerivation(t *testing.T) {
+	d := DefaultConfig()
+	if SharedConfig(1) != d {
+		t.Fatalf("SharedConfig(1) = %+v, want DefaultConfig %+v", SharedConfig(1), d)
+	}
+	phi := FabricServiceRate(d.Rows, d.Cols, d.HopCycles)
+	prevTotal, prevShare := d.SlotsPerCycle, d.SlotsPerCycle
+	for n := 2; n <= d.Tiles(); n++ {
+		c := SharedConfig(n)
+		if c.Rows != d.Rows || c.Cols != d.Cols || c.HopCycles != d.HopCycles {
+			t.Fatalf("SharedConfig(%d) changed the geometry: %+v", n, c)
+		}
+		if c.SlotsPerCycle <= prevTotal {
+			t.Fatalf("total rate not increasing at n=%d: %v <= %v", n, c.SlotsPerCycle, prevTotal)
+		}
+		if share := c.SlotsPerCycle / float64(n); share >= prevShare {
+			t.Fatalf("per-core share not shrinking at n=%d: %v >= %v", n, share, prevShare)
+		} else {
+			prevShare = share
+		}
+		prevTotal = c.SlotsPerCycle
+	}
+	full := SharedConfig(d.Tiles()).SlotsPerCycle
+	if diff := full - phi; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("fully active mesh rate %v, want fabric rate %v", full, phi)
+	}
+	// Core counts beyond the mesh clamp to the full fabric.
+	if SharedConfig(100) != SharedConfig(d.Tiles()) {
+		t.Fatal("overfull mesh not clamped")
+	}
+}
+
 func BenchmarkTraverse(b *testing.B) {
 	m := MustNew(DefaultConfig())
 	for i := 0; i < b.N; i++ {

@@ -43,7 +43,8 @@ type Report struct {
 
 // FromExperiments runs every experiment on the runner and collects the
 // structured tables. Callers wanting pool saturation should
-// runner.Prefetch(harness.AllConfigs(exps)) first; assembly here then
+// runner.PrefetchScenarios(harness.AllScenarios(exps)) first; assembly
+// here then
 // only reads memoized results.
 func FromExperiments(r *harness.Runner, exps []harness.Experiment, scale string) Report {
 	rep := Report{Version: Version, Scale: scale}

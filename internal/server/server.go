@@ -7,19 +7,24 @@
 //
 //	POST /v1/sims                 {"configs":[sim.Config...]} -> 202 {"sims":[{key,status,...}]}
 //	GET  /v1/sims/{key}           poll one simulation; result embedded when done
+//	POST /v1/scenarios            {"scenarios":[sim.Scenario...]} -> 202 {"scenarios":[{key,status,...}]}
+//	GET  /v1/scenarios/{key}      poll one scenario; per-core results embedded when done
 //	GET  /v1/experiments          list experiment ids
 //	GET  /v1/experiments/{name}   render a table/figure (?format=json|csv|text)
 //	GET  /v1/store/stats          persistent-store traffic counters
 //	GET  /healthz                 liveness (plain "ok")
 //
-// Simulations are executed asynchronously by a fixed worker pool backed
-// by the memoizing harness.Runner, so duplicate keys — within a batch,
-// across batches, or across server restarts (via the persistent store)
-// — never simulate twice.
+// Every job is a sim.Scenario — /v1/sims wraps each config as an N=1
+// scenario, so both endpoints share one job table, one key space and
+// one store. Simulations are executed asynchronously by a fixed worker
+// pool backed by the memoizing harness.Runner, so duplicate keys —
+// within a batch, across batches, or across server restarts (via the
+// persistent store) — never simulate twice.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -56,27 +61,58 @@ type Config struct {
 	QueueDepth int
 }
 
-// job tracks one submitted simulation through the pool.
+// job tracks one submitted scenario through the pool.
 type job struct {
 	key string
-	cfg sim.Config // pinned to the server scale
+	sc  sim.Scenario // pinned to the server scale
 
 	mu     sync.Mutex
 	status string
-	result sim.Result
+	result sim.ScenarioResult
 	err    string
 }
 
+// snapshot is the single-core (/v1/sims) view of a job: core 0's
+// workload, mechanism and result.
 func (j *job) snapshot() SimStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := SimStatus{
 		Key:       j.key,
 		Status:    j.status,
-		Workload:  j.cfg.Workload,
-		Mechanism: string(j.cfg.Mechanism),
+		Workload:  j.sc.Cores[0].Workload,
+		Mechanism: string(j.sc.Cores[0].Mechanism),
 		Error:     j.err,
 	}
+	if j.status == StatusDone {
+		res := j.result.Cores[0]
+		st.Result = &res
+	}
+	return st
+}
+
+// scenarioStatusOf projects a scenario into its wire status — the one
+// place the per-core Workloads/Mechanisms lists are assembled, so live
+// jobs and store-served records always render the same shape.
+func scenarioStatusOf(key, status string, sc sim.Scenario) ScenarioStatus {
+	st := ScenarioStatus{
+		Key:    key,
+		Status: status,
+		Cores:  len(sc.Cores),
+	}
+	for _, cfg := range sc.Cores {
+		st.Workloads = append(st.Workloads, cfg.Workload)
+		st.Mechanisms = append(st.Mechanisms, string(cfg.Mechanism))
+	}
+	return st
+}
+
+// scenarioSnapshot is the full (/v1/scenarios) view of a job.
+func (j *job) scenarioSnapshot() ScenarioStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := scenarioStatusOf(j.key, j.status, j.sc)
+	st.Error = j.err
 	if j.status == StatusDone {
 		res := j.result
 		st.Result = &res
@@ -84,7 +120,7 @@ func (j *job) snapshot() SimStatus {
 	return st
 }
 
-// SimStatus is the wire form of one simulation's state.
+// SimStatus is the wire form of one single-core simulation's state.
 type SimStatus struct {
 	Key       string      `json:"key"`
 	Status    string      `json:"status"`
@@ -92,6 +128,17 @@ type SimStatus struct {
 	Mechanism string      `json:"mechanism"`
 	Error     string      `json:"error,omitempty"`
 	Result    *sim.Result `json:"result,omitempty"`
+}
+
+// ScenarioStatus is the wire form of one scenario's state.
+type ScenarioStatus struct {
+	Key        string              `json:"key"`
+	Status     string              `json:"status"`
+	Cores      int                 `json:"cores"`
+	Workloads  []string            `json:"workloads"`
+	Mechanisms []string            `json:"mechanisms"`
+	Error      string              `json:"error,omitempty"`
+	Result     *sim.ScenarioResult `json:"result,omitempty"`
 }
 
 // Server is the HTTP simulation service.
@@ -102,9 +149,20 @@ type Server struct {
 
 	mu   sync.Mutex
 	jobs map[string]*job
+	// closed rejects new submissions (RejectNew/Close/Shutdown);
+	// stopped records that the channels below are closed. closed is set
+	// (under mu) no later than the queue channel closes, so
+	// enqueueScenarios — which sends while holding mu — can never send
+	// on a closed channel even if an HTTP handler outlives a shutdown
+	// deadline and submits after Close began.
+	closed  bool
+	stopped bool
 
 	queue chan *job
-	wg    sync.WaitGroup
+	// quit, when closed, tells workers to exit after their in-flight
+	// job instead of draining the queue (Shutdown vs Close).
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
 // New builds a server and starts its worker pool. Call Close to drain.
@@ -127,6 +185,7 @@ func New(cfg Config) *Server {
 		scaleName: cfg.ScaleName,
 		jobs:      make(map[string]*job),
 		queue:     make(chan *job, depth),
+		quit:      make(chan struct{}),
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -135,19 +194,60 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops accepting queued work and waits for in-flight simulations
-// to finish. The server must not receive requests afterwards.
-func (s *Server) Close() {
-	close(s.queue)
+// Close stops accepting new work and DRAINS the queue: every accepted
+// simulation runs to completion before Close returns. Use it when the
+// queued work must not be lost (tests, batch jobs with no store).
+func (s *Server) Close() { s.stop(false) }
+
+// Shutdown stops accepting new work and ABANDONS the queue: workers
+// finish at most their in-flight simulation and exit, leaving queued
+// jobs unrun. This is the signal-handler path — a full-scale queue can
+// hold hours of simulation, and clients can resubmit after a restart
+// (a store makes completed work free). Jobs left behind keep their
+// "queued" status; the process is exiting anyway.
+func (s *Server) Shutdown() { s.stop(true) }
+
+// RejectNew makes every subsequent submission fail with an honest
+// "shutting down" 503 while workers keep running. Call it BEFORE
+// draining in-flight HTTP requests: otherwise a handler that is mid-
+// flight when shutdown starts can enqueue a batch, answer 202 with
+// keys, and have Shutdown abandon that work — leaving the client
+// polling keys that will 404 on the restarted server.
+func (s *Server) RejectNew() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// stop implements Close/Shutdown. Both reject submissions that race
+// past it (the closed flag, checked under the same mutex the enqueue
+// path sends under) with 503 instead of panicking on the closed queue.
+func (s *Server) stop(abandon bool) {
+	s.mu.Lock()
+	s.closed = true
+	if !s.stopped {
+		s.stopped = true
+		if abandon {
+			close(s.quit)
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-// worker drains the queue. Runner.Run consults the in-memory memo and
-// the persistent store before simulating, so a worker picking up an
-// already-computed key completes instantly.
+// worker drains the queue until it closes (or quit fires). Runner.Run
+// consults the in-memory memo and the persistent store before
+// simulating, so a worker picking up an already-computed key completes
+// instantly.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		select {
+		case <-s.quit:
+			return // Shutdown: abandon the rest of the queue
+		default:
+		}
 		j.mu.Lock()
 		j.status = StatusRunning
 		j.mu.Unlock()
@@ -167,7 +267,7 @@ func (s *Server) runOne(j *job) {
 			j.mu.Unlock()
 		}
 	}()
-	res := s.runner.Run(j.cfg)
+	res := s.runner.RunScenario(j.sc)
 	j.mu.Lock()
 	j.status = StatusDone
 	j.result = res
@@ -179,6 +279,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sims", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sims/{key}", s.handlePoll)
+	mux.HandleFunc("POST /v1/scenarios", s.handleSubmitScenarios)
+	mux.HandleFunc("GET /v1/scenarios/{key}", s.handlePollScenario)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
@@ -198,6 +300,65 @@ type submitResponse struct {
 	Sims []SimStatus `json:"sims"`
 }
 
+// enqueue failure modes, distinguished so handlers can tell clients
+// whether retrying is useful.
+var (
+	errQueueFull = errors.New("queue full")
+	errClosing   = errors.New("server shutting down")
+)
+
+// enqueueScenarios registers and enqueues pre-validated, pinned
+// scenarios under one job-table lock hold (the channel send is
+// non-blocking, so holding the lock is safe): a job becomes visible in
+// s.jobs only once it is actually on the queue, so no concurrent
+// submitter can ever be handed a key that later disappears. On overflow
+// the already-enqueued prefix stands — it is valid work, and a retry
+// dedups onto it — and errQueueFull tells the caller to 503 the rest;
+// errClosing means Close has begun and retrying this server is
+// pointless. The returned jobs include deduplicated hits on existing
+// keys, in batch order.
+func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
+	// Hash content keys before taking the job-table lock: SHA-256 over
+	// a canonical marshal per scenario is the expensive part, and doing
+	// it here keeps concurrent submitters from serializing behind it.
+	keys := make([]string, len(scs))
+	for i, sc := range scs {
+		keys[i] = store.ScenarioKey(sc)
+	}
+	jobs := make([]*job, 0, len(scs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return jobs, errClosing
+	}
+	for i, sc := range scs {
+		key := keys[i]
+		if existing, found := s.jobs[key]; found {
+			jobs = append(jobs, existing)
+			continue
+		}
+		j := &job{key: key, sc: sc, status: StatusQueued}
+		select {
+		case s.queue <- j:
+			s.jobs[key] = j
+			jobs = append(jobs, j)
+		default:
+			return jobs, errQueueFull
+		}
+	}
+	return jobs, nil
+}
+
+// enqueueError maps an enqueue failure to its 503 body.
+func (s *Server) enqueueError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errClosing) {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down; submit elsewhere")
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable,
+		"queue full (%d pending); retry later", cap(s.queue))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -210,41 +371,68 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate the whole batch before enqueueing any of it, so a batch
 	// is accepted atomically or not at all.
+	scs := make([]sim.Scenario, 0, len(req.Configs))
 	for i, cfg := range req.Configs {
 		if err := cfg.Validate(); err != nil {
 			httpError(w, http.StatusBadRequest, "config %d: %v", i, err)
 			return
 		}
+		scs = append(scs, s.runner.NormalizeScenario(sim.SingleCore(cfg)))
 	}
 
-	// Register and enqueue under one job-table lock hold (the channel
-	// send is non-blocking, so holding the lock is safe): a job becomes
-	// visible in s.jobs only once it is actually on the queue, so no
-	// concurrent submitter can ever be handed a key that later
-	// disappears. On overflow the already-enqueued prefix stands — it
-	// is valid work, and a retry dedups onto it — and the rest 503s.
-	resp := submitResponse{Sims: make([]SimStatus, 0, len(req.Configs))}
-	s.mu.Lock()
-	for _, cfg := range req.Configs {
-		pinned := s.runner.Normalize(cfg)
-		key := store.Key(pinned)
-		if existing, ok := s.jobs[key]; ok {
-			resp.Sims = append(resp.Sims, existing.snapshot())
-			continue
-		}
-		j := &job{key: key, cfg: pinned, status: StatusQueued}
-		select {
-		case s.queue <- j:
-			s.jobs[key] = j
-			resp.Sims = append(resp.Sims, j.snapshot())
-		default:
-			s.mu.Unlock()
-			httpError(w, http.StatusServiceUnavailable,
-				"queue full (%d pending); retry later", cap(s.queue))
+	jobs, err := s.enqueueScenarios(scs)
+	if err != nil {
+		s.enqueueError(w, err)
+		return
+	}
+	resp := submitResponse{Sims: make([]SimStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Sims = append(resp.Sims, j.snapshot())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, resp)
+}
+
+// submitScenariosRequest is POST /v1/scenarios' body.
+type submitScenariosRequest struct {
+	Scenarios []sim.Scenario `json:"scenarios"`
+}
+
+// submitScenariosResponse echoes one status per submitted scenario, in
+// order.
+type submitScenariosResponse struct {
+	Scenarios []ScenarioStatus `json:"scenarios"`
+}
+
+func (s *Server) handleSubmitScenarios(w http.ResponseWriter, r *http.Request) {
+	var req submitScenariosRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: body must carry at least one scenario")
+		return
+	}
+	scs := make([]sim.Scenario, 0, len(req.Scenarios))
+	for i, sc := range req.Scenarios {
+		if err := sc.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "scenario %d: %v", i, err)
 			return
 		}
+		scs = append(scs, s.runner.NormalizeScenario(sc))
 	}
-	s.mu.Unlock()
+
+	jobs, err := s.enqueueScenarios(scs)
+	if err != nil {
+		s.enqueueError(w, err)
+		return
+	}
+	resp := submitScenariosResponse{Scenarios: make([]ScenarioStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Scenarios = append(resp.Scenarios, j.scenarioSnapshot())
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, resp)
@@ -264,19 +452,41 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	// it — serve straight from the store.
 	if s.st != nil {
 		if rec, found := s.st.GetKey(key); found {
-			res := rec.Result
+			res := rec.Result.Cores[0]
 			w.Header().Set("Content-Type", "application/json")
 			writeJSON(w, SimStatus{
 				Key:       key,
 				Status:    StatusDone,
-				Workload:  rec.Config.Workload,
-				Mechanism: string(rec.Config.Mechanism),
+				Workload:  rec.Scenario.Cores[0].Workload,
+				Mechanism: string(rec.Scenario.Cores[0].Mechanism),
 				Result:    &res,
 			})
 			return
 		}
 	}
 	httpError(w, http.StatusNotFound, "unknown simulation key %q", key)
+}
+
+func (s *Server) handlePollScenario(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j, ok := s.jobs[key]
+	s.mu.Unlock()
+	if ok {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, j.scenarioSnapshot())
+		return
+	}
+	if s.st != nil {
+		if rec, found := s.st.GetKey(key); found {
+			st := scenarioStatusOf(key, StatusDone, rec.Scenario)
+			st.Result = &rec.Result
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, st)
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "unknown scenario key %q", key)
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -306,10 +516,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if format == "" {
 		format = "json"
 	}
-	// Render on demand: saturate the pool with the experiment's config
+	// Render on demand: saturate the pool with the experiment's scenario
 	// set (memo + store make repeats cheap), then assemble the table.
-	if exp.Configs != nil {
-		s.runner.Prefetch(exp.Configs())
+	if exp.Scenarios != nil {
+		s.runner.PrefetchScenarios(exp.Scenarios())
 	}
 	table := exp.Table(s.runner)
 	switch format {

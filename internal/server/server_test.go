@@ -153,6 +153,177 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+func postScenarios(t *testing.T, base string, scs []sim.Scenario) (submitScenariosResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(submitScenariosRequest{Scenarios: scs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/scenarios", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out submitScenariosResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp
+}
+
+// pollScenarioDone polls one scenario key until "done" (or the deadline).
+func pollScenarioDone(t *testing.T, base, key string) ScenarioStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/scenarios/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st ScenarioStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Status {
+		case StatusDone:
+			return st
+		case StatusFailed:
+			t.Fatalf("scenario %s failed: %s", key, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scenario %s still %q after deadline", key, st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestScenarioEndToEnd is the multi-core acceptance path: enqueue a
+// scenario batch over HTTP, poll to completion, then restart the
+// service on the same store and assert the identical batch is served
+// entirely from store hits with zero new puts.
+func TestScenarioEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, st1)
+
+	batch := []sim.Scenario{
+		{Cores: []sim.Config{
+			{Workload: "Nutch", Mechanism: sim.None},
+			{Workload: "Nutch", Mechanism: sim.FDIP},
+		}},
+		{Cores: []sim.Config{
+			{Workload: "Streaming", Mechanism: sim.Shotgun},
+			{Workload: "Nutch", Mechanism: sim.None},
+		}},
+	}
+	out, resp := postScenarios(t, ts1.URL, batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if len(out.Scenarios) != len(batch) {
+		t.Fatalf("echoed %d scenarios, want %d", len(out.Scenarios), len(batch))
+	}
+	var keys []string
+	for i, s := range out.Scenarios {
+		if s.Key == "" || s.Cores != len(batch[i].Cores) {
+			t.Fatalf("scenario %d echo wrong: %+v", i, s)
+		}
+		if s.Workloads[0] != batch[i].Cores[0].Workload {
+			t.Fatalf("scenario %d workloads wrong: %+v", i, s.Workloads)
+		}
+		done := pollScenarioDone(t, ts1.URL, s.Key)
+		if done.Result == nil || len(done.Result.Cores) != len(batch[i].Cores) {
+			t.Fatalf("scenario %d result wrong: %+v", i, done)
+		}
+		for c, res := range done.Result.Cores {
+			if res.Core.Instructions == 0 {
+				t.Fatalf("scenario %d core %d measured nothing", i, c)
+			}
+			if res.Workload != batch[i].Cores[c].Workload {
+				t.Fatalf("scenario %d core %d carries workload %s", i, c, res.Workload)
+			}
+		}
+		keys = append(keys, s.Key)
+	}
+	if st1.Stats().Puts != uint64(len(batch)) {
+		t.Fatalf("store puts = %d, want %d", st1.Stats().Puts, len(batch))
+	}
+
+	// Warm restart: fresh runner + fresh store handle, same directory.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, st2)
+	out2, _ := postScenarios(t, ts2.URL, batch)
+	for i, s := range out2.Scenarios {
+		if s.Key != keys[i] {
+			t.Fatalf("restart key %d drifted: %s vs %s", i, s.Key, keys[i])
+		}
+		pollScenarioDone(t, ts2.URL, s.Key)
+	}
+	s2 := st2.Stats()
+	if s2.Hits != uint64(len(batch)) {
+		t.Fatalf("restarted store hits = %d, want %d (batch must be served from the store)", s2.Hits, len(batch))
+	}
+	if s2.Puts != 0 {
+		t.Fatalf("restarted store puts = %d, want 0 (nothing should re-simulate)", s2.Puts)
+	}
+
+	// The scenario poll reports every core's identity...
+	got := pollScenarioDone(t, ts2.URL, keys[0])
+	if got.Mechanisms[1] != string(sim.FDIP) {
+		t.Fatalf("scenario mechanisms wrong: %+v", got.Mechanisms)
+	}
+	// ...and the same key is visible through the single-core poll
+	// endpoint as its core-0 view (store fallback included).
+	core0 := pollDone(t, ts2.URL, keys[0])
+	if core0.Workload != "Nutch" || core0.Mechanism != string(sim.None) ||
+		core0.Result == nil || *core0.Result != got.Result.Cores[0] {
+		t.Fatalf("/v1/sims core-0 view wrong: %+v", core0)
+	}
+}
+
+func TestScenarioSubmitRejectsBadBatches(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", "{"},
+		{"empty batch", `{"scenarios":[]}`},
+		{"no cores", `{"scenarios":[{"Cores":[]}]}`},
+		{"unknown workload", `{"scenarios":[{"Cores":[{"Workload":"NoSuch","Mechanism":"none"}]}]}`},
+		{"too many cores", `{"scenarios":[{"Cores":[` + strings.Repeat(`{"Workload":"Oracle","Mechanism":"none"},`, 16) +
+			`{"Workload":"Oracle","Mechanism":"none"}]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+	srv.mu.Lock()
+	n := len(srv.jobs)
+	srv.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("bad batches enqueued %d jobs, want 0", n)
+	}
+}
+
 // TestPollServedFromStoreWithoutSubmit covers polling a key this process
 // never saw: the store answers directly.
 func TestPollServedFromStoreWithoutSubmit(t *testing.T) {
@@ -220,6 +391,79 @@ func TestSubmitRejectsBadBatches(t *testing.T) {
 	}
 }
 
+// TestShutdownAbandonsQueuedWork: Shutdown must not drain a deep queue
+// — workers finish at most their in-flight job, and everything else
+// stays queued (the process is exiting; a store + resubmit recovers).
+func TestShutdownAbandonsQueuedWork(t *testing.T) {
+	srv := New(Config{Scale: tinyScale(), Workers: 1, QueueDepth: 16})
+	var batch []sim.Scenario
+	for _, wl := range []string{"Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2"} {
+		batch = append(batch, srv.runner.NormalizeScenario(
+			sim.SingleCore(sim.Config{Workload: wl, Mechanism: sim.None})))
+	}
+	jobs, err := srv.enqueueScenarios(batch)
+	if err != nil || len(jobs) != len(batch) {
+		t.Fatalf("enqueue: %v (%d jobs)", err, len(jobs))
+	}
+	srv.Shutdown()
+	left := 0
+	for _, j := range jobs {
+		if j.snapshot().Status == StatusQueued {
+			left++
+		}
+	}
+	if left == 0 {
+		t.Fatal("Shutdown drained the whole queue; want queued work abandoned")
+	}
+}
+
+// TestRejectNewStopsIntakeWithoutStopping: RejectNew (the pre-drain
+// step of graceful shutdown) must 503 new submissions while leaving the
+// pool alive, and a later Close must still work.
+func TestRejectNewStopsIntakeWithoutStopping(t *testing.T) {
+	srv := New(Config{Scale: tinyScale(), Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	srv.RejectNew()
+	body := `{"configs":[{"Workload":"Nutch","Mechanism":"none"}]}`
+	resp, err := http.Post(ts.URL+"/v1/sims", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(raw), "shutting down") {
+		t.Fatalf("post-RejectNew submit = %d %s, want 503 shutting down", resp.StatusCode, raw)
+	}
+	srv.Close()
+}
+
+// TestSubmitAfterCloseRejected covers the shutdown race: a handler that
+// outlives the HTTP drain deadline and submits after Close began must
+// get a 503, not a send-on-closed-channel panic.
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	srv := New(Config{Scale: tinyScale(), Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	srv.Close()
+	body := `{"configs":[{"Workload":"Nutch","Mechanism":"none"}]}`
+	resp, err := http.Post(ts.URL+"/v1/sims", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	// The body must say the server is going away, not "retry later".
+	if !strings.Contains(string(raw), "shutting down") {
+		t.Fatalf("shutdown rejection misleads the client: %s", raw)
+	}
+	// Close is idempotent.
+	srv.Close()
+}
+
 func TestPollUnknownKey(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	resp, err := http.Get(ts.URL + "/v1/sims/deadbeef")
@@ -247,8 +491,8 @@ func TestExperimentEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Experiments) != 12 {
-		t.Fatalf("listed %d experiments, want 12", len(list.Experiments))
+	if len(list.Experiments) != 13 {
+		t.Fatalf("listed %d experiments, want 13", len(list.Experiments))
 	}
 
 	// fig3 is a pure trace analysis: renders without timing simulation.

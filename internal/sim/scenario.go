@@ -1,0 +1,303 @@
+// Scenario layer: a simulation is no longer "one core plus a background
+// constant" but "N cores of a CMP sharing an uncore". Each core has its
+// own workload, control-flow delivery mechanism and private caches; the
+// LLC capacity and the mesh backlog are genuinely shared, so co-runner
+// interference (the paper's Figure 11 over-prefetch effect, shared-LLC
+// pressure, heterogeneous mixes) is emergent behaviour instead of a
+// baked-in fluid-queue constant. The single-core simulation of the
+// original evaluation is exactly the N=1 scenario.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"shotgun/internal/core"
+	"shotgun/internal/noc"
+	"shotgun/internal/prefetch"
+	"shotgun/internal/uncore"
+	"shotgun/internal/workload"
+)
+
+// MaxCores is the largest scenario the Table 3 CMP supports: one active
+// core per mesh tile of the 4x4 NoC.
+var MaxCores = noc.DefaultConfig().Tiles()
+
+// PerCoreLLCBytes is one core's modeled share of the 8MB NUCA LLC.
+const PerCoreLLCBytes = 1 << 20
+
+// TotalLLCBytes is the full Table 3 LLC capacity.
+const TotalLLCBytes = 8 << 20
+
+// Scenario describes one simulation of N cores over a shared uncore.
+type Scenario struct {
+	// Cores lists the per-core simulation specs, one per active core.
+	// Core 0 is the "primary" core by convention (single-core views such
+	// as the /v1/sims API report it); indices salt the per-core walk and
+	// data seeds so identical co-runners do not execute in lockstep.
+	Cores []Config
+	// LLCSizeBytes is the total shared LLC capacity. Zero derives the
+	// Table 3 share: PerCoreLLCBytes per active core, capped at the 8MB
+	// NUCA total.
+	LLCSizeBytes int
+}
+
+// SingleCore wraps one config as the N=1 scenario — the identity every
+// config-keyed caller (harness memo, store, /v1/sims) now runs through.
+func SingleCore(cfg Config) Scenario {
+	return Scenario{Cores: []Config{cfg}}
+}
+
+// DefaultLLCBytes returns the derived shared-LLC capacity for an n-core
+// scenario: each active core brings its 1MB NUCA share, up to the 8MB
+// Table 3 total.
+func DefaultLLCBytes(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	b := n * PerCoreLLCBytes
+	if b > TotalLLCBytes {
+		b = TotalLLCBytes
+	}
+	return b
+}
+
+// Normalized returns the scenario with every defaulted field made
+// explicit — per-core configs normalized and the derived LLC capacity
+// materialized — exactly the values RunScenario would use. Content
+// identity (harness memo keys, store hashes) is derived from this form,
+// so equivalent scenarios always collide and distinct ones never do.
+func (s Scenario) Normalized() Scenario {
+	cores := make([]Config, len(s.Cores))
+	for i, cfg := range s.Cores {
+		cores[i] = cfg.Normalized()
+	}
+	s.Cores = cores
+	if s.LLCSizeBytes == 0 {
+		s.LLCSizeBytes = DefaultLLCBytes(len(cores))
+	}
+	return s
+}
+
+// CanonicalBytes returns the canonical encoding of the normalized
+// scenario: the JSON of a struct with fixed field order — no maps, no
+// formatting choices — stable across processes and platforms. The
+// harness memo uses it directly as a map key; internal/store hashes it
+// for content addressing.
+func (s Scenario) CanonicalBytes() []byte {
+	b, err := json.Marshal(s.Normalized())
+	if err != nil {
+		// Scenario is a plain struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("sim: marshal scenario: %v", err))
+	}
+	return b
+}
+
+// Validate reports whether the scenario describes a runnable
+// simulation. Like Config.Validate it checks the normalized form.
+func (s Scenario) Validate() error {
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("sim: scenario needs at least one core")
+	}
+	if len(s.Cores) > MaxCores {
+		return fmt.Errorf("sim: scenario has %d cores; the %d-tile mesh supports at most %d",
+			len(s.Cores), MaxCores, MaxCores)
+	}
+	for i, cfg := range s.Cores {
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("sim: core %d: %w", i, err)
+		}
+	}
+	if s.LLCSizeBytes < 0 {
+		return fmt.Errorf("sim: negative LLC size %d", s.LLCSizeBytes)
+	}
+	if s.LLCSizeBytes != 0 && s.LLCSizeBytes < 64<<10 {
+		return fmt.Errorf("sim: shared LLC of %d bytes is below the 64KB floor", s.LLCSizeBytes)
+	}
+	// The ceiling is the chip's whole NUCA cache: scenarios model this
+	// CMP, and an unbounded size would let one (HTTP-submittable)
+	// scenario eagerly allocate an arbitrarily large cache array.
+	if s.LLCSizeBytes > TotalLLCBytes {
+		return fmt.Errorf("sim: shared LLC of %d bytes exceeds the %d-byte Table 3 NUCA", s.LLCSizeBytes, TotalLLCBytes)
+	}
+	return nil
+}
+
+// ScenarioResult is the outcome of one scenario: one Result per core,
+// in Cores order.
+type ScenarioResult struct {
+	Cores []Result
+}
+
+// RunScenario executes one scenario to completion. The default
+// single-core scenario takes the exact serial path of Run — byte-
+// identical results by construction — while every other shape runs the
+// lockstep multi-core engine over one shared uncore.
+func RunScenario(sc Scenario) (ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return ScenarioResult{}, err
+	}
+	sc = sc.Normalized()
+	if len(sc.Cores) == 1 && sc.LLCSizeBytes == DefaultLLCBytes(1) {
+		res, err := Run(sc.Cores[0])
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		return ScenarioResult{Cores: []Result{res}}, nil
+	}
+	return runLockstep(sc)
+}
+
+// MustRunScenario is RunScenario for static scenarios.
+func MustRunScenario(sc Scenario) ScenarioResult {
+	r, err := RunScenario(sc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// coreSalt perturbs per-core seeds so co-runners of the same workload
+// take decorrelated walks. Core 0 is unsalted: a one-core scenario is
+// bit-for-bit the classic single-core simulation.
+func coreSalt(i int) uint64 {
+	return uint64(i) * 0x9e3779b97f4a7c15
+}
+
+// phase is one instruction-bounded leg of a core's SMARTS schedule.
+type phase struct {
+	n       uint64
+	reset   bool // ResetStats at phase start (measurement window)
+	measure bool // accumulate stats when the phase completes
+}
+
+// phasesOf expands a config's warmup/skip/measure schedule — the same
+// sequence Run executes — into explicit phases the lockstep loop can
+// walk per core.
+func phasesOf(cfg Config) []phase {
+	ph := []phase{{n: cfg.WarmupInstr}}
+	perWindow := cfg.MeasureInstr / uint64(cfg.Samples)
+	for s := 0; s < cfg.Samples; s++ {
+		if s > 0 && cfg.SkipInstr > 0 {
+			ph = append(ph, phase{n: cfg.SkipInstr})
+		}
+		ph = append(ph, phase{n: perWindow, reset: true, measure: true})
+	}
+	return ph
+}
+
+// coreState tracks one core through the lockstep loop.
+type coreState struct {
+	c      *core.Core
+	engine prefetch.Engine
+	phases []phase
+	pi     int
+	target uint64
+	res    Result
+	done   bool
+}
+
+// startPhase applies the current phase's entry action and sets its
+// instruction target.
+func (cs *coreState) startPhase() {
+	p := cs.phases[cs.pi]
+	if p.reset {
+		cs.c.ResetStats()
+	}
+	cs.target = cs.c.Instructions() + p.n
+}
+
+// step advances the core's phase machine after a tick: a crossed target
+// closes the phase (accumulating measured windows) and opens the next.
+// The loop handles zero-length phases, which complete instantly. The
+// per-tick probe reads only the instruction counter — this runs every
+// cycle of every core, so it must not copy the whole Stats struct.
+func (cs *coreState) step() {
+	for !cs.done && cs.c.Instructions() >= cs.target {
+		if cs.phases[cs.pi].measure {
+			accumulate(&cs.res, cs.c, cs.engine)
+		}
+		cs.pi++
+		if cs.pi == len(cs.phases) {
+			cs.done = true
+			return
+		}
+		cs.startPhase()
+	}
+}
+
+// runLockstep drives N cores cycle-by-cycle over one shared uncore. All
+// cores tick in round-robin within each cycle, so their clocks never
+// drift by more than one cycle and shared-resource contention (LLC
+// occupancy, mesh backlog) is time-coherent. A core that finishes its
+// schedule keeps ticking — still generating real traffic — until every
+// core has finished measuring, but its extra work is never accumulated.
+func runLockstep(sc Scenario) (ScenarioResult, error) {
+	ucfg := uncore.DefaultConfig()
+	ucfg.LLCSizeBytes = sc.LLCSizeBytes
+	ucfg.Mesh = noc.SharedConfig(len(sc.Cores))
+	for _, cfg := range sc.Cores {
+		if cfg.Mechanism == Confluence {
+			// ConfluenceLLCReserveBytes is scaled to one core's 1MB LLC
+			// share, and each Confluence engine virtualizes its own
+			// history image (see prefetch.NewConfluence), so the reserve
+			// is charged once per Confluence core.
+			ucfg.LLCReserveBytes += prefetch.ConfluenceLLCReserveBytes
+		}
+	}
+	shared := uncore.NewShared(ucfg)
+
+	states := make([]*coreState, len(sc.Cores))
+	for i, cfg := range sc.Cores {
+		prof, err := workload.Get(cfg.Workload)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		salt := coreSalt(i)
+		stream := workload.NewWalkerConfig(prof.Program(), prof.WalkSeed^salt, prof.Walk)
+		hier := shared.AttachCore(i)
+		engine, err := buildEngine(prefetch.Context{Hier: hier, Dec: prof.Decoder()}, cfg)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		ccfg := core.Config{
+			LoadFrac:   prof.LoadFrac,
+			DataBlocks: prof.DataBlocks,
+			DataZipfS:  prof.DataZipfS,
+			DataSeed:   prof.WalkSeed ^ 0xd00d ^ salt,
+		}
+		cs := &coreState{
+			c:      core.New(ccfg, stream, engine, hier),
+			engine: engine,
+			phases: phasesOf(cfg),
+			res:    Result{Workload: cfg.Workload, Mechanism: cfg.Mechanism},
+		}
+		cs.startPhase()
+		states[i] = cs
+	}
+
+	// live counts cores still walking their schedule; finished cores
+	// keep ticking (real traffic) until the round in which the last
+	// core finishes, exactly like the rescan-every-cycle formulation
+	// but without the per-cycle O(N) scan.
+	live := len(states)
+	for live > 0 {
+		for _, cs := range states {
+			cs.c.Tick()
+			if cs.done {
+				continue
+			}
+			cs.step()
+			if cs.done {
+				live--
+			}
+		}
+	}
+
+	out := ScenarioResult{Cores: make([]Result, len(states))}
+	for i, cs := range states {
+		cs.res.PrefetchAccuracy = prefetchAccuracy(cs.res.Hier)
+		out.Cores[i] = cs.res
+	}
+	return out, nil
+}

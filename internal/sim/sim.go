@@ -188,8 +188,30 @@ func (r Result) StallCoverage(baseline Result) float64 {
 	return cov
 }
 
-// Run executes one simulation to completion.
+// Run executes one single-core simulation to completion. It is the N=1
+// special case of RunScenario, kept as a direct serial path so its
+// cycle-for-cycle behaviour (and therefore the golden corpus) is pinned
+// by construction.
 func Run(cfg Config) (Result, error) {
+	return runSingle(cfg, nil)
+}
+
+// RunStream executes one single-core simulation driven by an externally
+// supplied retire-order block stream (e.g. a recorded trace replayed
+// through trace.Stream) instead of the profile's walker. The config
+// still names the workload: its program supplies the predecode image
+// and data-side parameters, so the stream must have been recorded from
+// (or be consistent with) that program's address space.
+func RunStream(cfg Config, stream workload.Stream) (Result, error) {
+	if stream == nil {
+		return Result{}, fmt.Errorf("sim: RunStream requires a stream")
+	}
+	return runSingle(cfg, stream)
+}
+
+// runSingle is the shared body of Run and RunStream: a nil stream means
+// "walk the profile's program".
+func runSingle(cfg Config, stream workload.Stream) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -203,7 +225,9 @@ func Run(cfg Config) (Result, error) {
 	// immutable artifacts: built once per workload, walked by every
 	// simulation (serial or concurrent) of that workload.
 	prog := prof.Program()
-	walker := workload.NewWalkerConfig(prog, prof.WalkSeed, prof.Walk)
+	if stream == nil {
+		stream = workload.NewWalkerConfig(prog, prof.WalkSeed, prof.Walk)
+	}
 	dec := prof.Decoder()
 
 	ucfg := uncore.DefaultConfig()
@@ -225,7 +249,7 @@ func Run(cfg Config) (Result, error) {
 		DataZipfS:  prof.DataZipfS,
 		DataSeed:   prof.WalkSeed ^ 0xd00d,
 	}
-	c := core.New(ccfg, walker, engine, hier)
+	c := core.New(ccfg, stream, engine, hier)
 
 	// Warmup: populate caches, BTBs, predictor, history.
 	c.Run(cfg.WarmupInstr)

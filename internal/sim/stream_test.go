@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"shotgun/internal/isa"
+	"shotgun/internal/trace"
+	"shotgun/internal/workload"
+)
+
+// teeStream records every block it hands out.
+type teeStream struct {
+	s workload.Stream
+	w *trace.Writer
+	t *testing.T
+}
+
+func (ts teeStream) Next() isa.BasicBlock {
+	bb := ts.s.Next()
+	if err := ts.w.Write(bb); err != nil {
+		ts.t.Fatalf("tee write: %v", err)
+	}
+	return bb
+}
+
+// TestTraceRoundTripIdenticalStats is the trace-driven-workload
+// contract: recording the walker's stream while simulating, then
+// replaying the recorded trace through the looping adapter, must
+// produce bit-identical results — same core stats, same hierarchy
+// counters, same derived metrics.
+func TestTraceRoundTripIdenticalStats(t *testing.T) {
+	cfg := tinyCfg("Nutch", Shotgun)
+	prof, err := workload.Get(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walker := workload.NewWalkerConfig(prof.Program(), prof.WalkSeed, prof.Walk)
+	recorded, err := RunStream(cfg, teeStream{s: walker, w: tw, t: t})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The walker-driven RunStream must itself match plain Run (same
+	// walker construction, same engine).
+	direct := MustRun(cfg)
+	if recorded != direct {
+		t.Fatalf("teed run drifted from Run:\n%+v\n%+v", recorded, direct)
+	}
+
+	stream, err := trace.NewStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := RunStream(cfg, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != recorded {
+		t.Fatalf("trace replay drifted from the recorded run:\nreplayed: %+v\nrecorded: %+v",
+			replayed, recorded)
+	}
+	// The recorded span covered the whole simulation, so the replay
+	// never needed to loop.
+	if stream.Loops != 0 {
+		t.Fatalf("replay looped %d times over a full-length trace", stream.Loops)
+	}
+}
+
+// TestRunStreamLooping drives a simulation longer than the recorded
+// trace: the adapter must loop (bounded memory, endless supply) and the
+// simulation must still complete with sane results.
+func TestRunStreamLooping(t *testing.T) {
+	prof := workload.MustGet("Nutch")
+	walker := workload.NewWalkerConfig(prof.Program(), prof.WalkSeed, prof.Walk)
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~10K blocks is far fewer than the run consumes.
+	for i := 0; i < 10_000; i++ {
+		if err := tw.Write(walker.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := trace.NewStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStream(tinyCfg("Nutch", FDIP), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.Instructions < 80_000 {
+		t.Fatalf("instructions = %d", res.Core.Instructions)
+	}
+	if stream.Loops == 0 {
+		t.Fatal("short trace never looped")
+	}
+}
+
+func TestRunStreamNil(t *testing.T) {
+	if _, err := RunStream(tinyCfg("Nutch", None), nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+}

@@ -1,9 +1,10 @@
 // Package store persists simulation results on disk as a
 // content-addressed cache. Each record is keyed by the SHA-256 of the
-// canonical JSON of the *normalized* sim.Config, so two configs that
-// would run the same simulation always share one record and any semantic
-// difference gets its own — the same identity contract harness.Runner's
-// in-memory memo uses, extended across process restarts.
+// canonical encoding of the *normalized* sim.Scenario (single-core
+// simulations are N=1 scenarios), so two scenarios that would run the
+// same simulation always share one record and any semantic difference
+// gets its own — the same identity contract harness.Runner's in-memory
+// memo uses, extended across process restarts.
 //
 // On-disk layout (under the store root):
 //
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,7 +39,10 @@ import (
 // record schema, the key derivation, or anything else that changes the
 // meaning of persisted bytes changes; Open then invalidates (removes)
 // every record written by an older generation instead of serving it.
-const FormatVersion = 1
+// Generation 2: records hold scenarios (N cores + shared-uncore
+// parameters) and per-core result lists; keys hash the canonical
+// scenario encoding.
+const FormatVersion = 2
 
 const (
 	versionFile = "VERSION"
@@ -45,32 +50,44 @@ const (
 	recordsDir  = "records"
 )
 
-// Key returns the content address of a config: the SHA-256 hex digest of
-// the canonical JSON of its normalized form. Canonical means the
-// normalized struct's fixed field order — no maps, no formatting
-// choices — so the digest is stable across processes and platforms.
-func Key(cfg sim.Config) string {
-	b, err := json.Marshal(cfg.Normalized())
-	if err != nil {
-		// Config is a plain struct of scalars; Marshal cannot fail.
-		panic(fmt.Sprintf("store: marshal config: %v", err))
-	}
-	sum := sha256.Sum256(b)
+// ScenarioKey returns the content address of a scenario: the SHA-256
+// hex digest of its canonical encoding (sim.Scenario.CanonicalBytes —
+// the normalized struct's fixed field order, no maps, no formatting
+// choices), so the digest is stable across processes and platforms.
+func ScenarioKey(sc sim.Scenario) string {
+	sum := sha256.Sum256(sc.CanonicalBytes())
 	return hex.EncodeToString(sum[:])
+}
+
+// Key returns the content address of a single-core config: the key of
+// its N=1 scenario.
+func Key(cfg sim.Config) string {
+	return ScenarioKey(sim.SingleCore(cfg))
 }
 
 // Record is the on-disk form of one cached simulation.
 type Record struct {
-	Version int        `json:"version"`
-	Key     string     `json:"key"`
-	Config  sim.Config `json:"config"`
-	Result  sim.Result `json:"result"`
+	Version  int                `json:"version"`
+	Key      string             `json:"key"`
+	Scenario sim.Scenario       `json:"scenario"`
+	Result   sim.ScenarioResult `json:"result"`
 }
 
-// Entry is the index summary of one record.
+// Entry is the index summary of one record: the primary (core-0)
+// workload and mechanism plus the scenario's core count.
 type Entry struct {
 	Workload  string `json:"workload"`
 	Mechanism string `json:"mechanism"`
+	Cores     int    `json:"cores"`
+}
+
+// entryOf summarizes a normalized scenario.
+func entryOf(sc sim.Scenario) Entry {
+	return Entry{
+		Workload:  sc.Cores[0].Workload,
+		Mechanism: string(sc.Cores[0].Mechanism),
+		Cores:     len(sc.Cores),
+	}
 }
 
 // index is the on-disk form of index.json.
@@ -185,7 +202,7 @@ func (s *Store) loadIndex() error {
 		}
 		// Unindexed record: validate it now (load drops it if corrupt).
 		if rec, ok := s.load(key); ok {
-			s.idx[key] = Entry{Workload: rec.Config.Workload, Mechanism: string(rec.Config.Mechanism)}
+			s.idx[key] = entryOf(rec.Scenario)
 		}
 	}
 	return nil
@@ -203,7 +220,8 @@ func (s *Store) load(key string) (Record, bool) {
 		return Record{}, false
 	}
 	var rec Record
-	if json.Unmarshal(raw, &rec) != nil || rec.Version != FormatVersion || rec.Key != key {
+	if json.Unmarshal(raw, &rec) != nil || rec.Version != FormatVersion || rec.Key != key ||
+		len(rec.Scenario.Cores) == 0 || len(rec.Result.Cores) != len(rec.Scenario.Cores) {
 		s.drop(key)
 		return Record{}, false
 	}
@@ -219,13 +237,24 @@ func (s *Store) drop(key string) {
 	s.mu.Unlock()
 }
 
-// Get returns the stored result for a config, if present and intact.
+// GetScenario returns the stored result for a scenario, if present and
+// intact.
+func (s *Store) GetScenario(sc sim.Scenario) (sim.ScenarioResult, bool) {
+	rec, ok := s.GetKey(ScenarioKey(sc))
+	if !ok {
+		return sim.ScenarioResult{}, false
+	}
+	return rec.Result, true
+}
+
+// Get returns the stored result for a single-core config, if present
+// and intact.
 func (s *Store) Get(cfg sim.Config) (sim.Result, bool) {
-	rec, ok := s.GetKey(Key(cfg))
+	res, ok := s.GetScenario(sim.SingleCore(cfg))
 	if !ok {
 		return sim.Result{}, false
 	}
-	return rec.Result, true
+	return res.Cores[0], true
 }
 
 // GetKey returns the full stored record under a raw key (the server's
@@ -240,11 +269,11 @@ func (s *Store) GetKey(key string) (Record, bool) {
 	return rec, true
 }
 
-// Put persists one result. The record lands first (atomic rename), then
-// the index; a crash between the two leaves a valid record that the next
-// Open reconciles back into the index.
-func (s *Store) Put(cfg sim.Config, res sim.Result) error {
-	err := s.put(cfg, res)
+// PutScenario persists one scenario result. The record lands first
+// (atomic rename), then the index; a crash between the two leaves a
+// valid record that the next Open reconciles back into the index.
+func (s *Store) PutScenario(sc sim.Scenario, res sim.ScenarioResult) error {
+	err := s.put(sc, res)
 	if err != nil {
 		s.putErrors.Add(1)
 		return err
@@ -253,10 +282,18 @@ func (s *Store) Put(cfg sim.Config, res sim.Result) error {
 	return nil
 }
 
-func (s *Store) put(cfg sim.Config, res sim.Result) error {
-	cfg = cfg.Normalized()
-	key := Key(cfg)
-	rec := Record{Version: FormatVersion, Key: key, Config: cfg, Result: res}
+// Put persists one single-core result (as its N=1 scenario).
+func (s *Store) Put(cfg sim.Config, res sim.Result) error {
+	return s.PutScenario(sim.SingleCore(cfg), sim.ScenarioResult{Cores: []sim.Result{res}})
+}
+
+func (s *Store) put(sc sim.Scenario, res sim.ScenarioResult) error {
+	sc = sc.Normalized()
+	if len(res.Cores) != len(sc.Cores) {
+		return fmt.Errorf("store: %d results for %d cores", len(res.Cores), len(sc.Cores))
+	}
+	key := ScenarioKey(sc)
+	rec := Record{Version: FormatVersion, Key: key, Scenario: sc, Result: res}
 	raw, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: marshal record: %w", err)
@@ -267,7 +304,7 @@ func (s *Store) put(cfg sim.Config, res sim.Result) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := Entry{Workload: cfg.Workload, Mechanism: string(cfg.Mechanism)}
+	e := entryOf(sc)
 	if old, ok := s.idx[key]; ok && old == e {
 		// Re-put of a known key: the record was refreshed above; the
 		// index is unchanged, so skip the O(records) rewrite.
@@ -315,6 +352,78 @@ func (s *Store) Stats() Stats {
 		CorruptDropped: s.corrupt.Load(),
 		Records:        s.Len(),
 	}
+}
+
+// Prune evicts the oldest records (by record-file modification time,
+// newest kept first) until the records directory fits within maxBytes,
+// returning how many records were removed. A file that cannot be
+// unlinked keeps its index entry, still counts toward the occupancy
+// total (it really is on disk — so older files keep being evicted),
+// is excluded from the removed count, and the error is reported. The
+// index is rewritten once at the end; a crash mid-prune leaves index
+// entries whose files are gone, which the next Open reconciles away —
+// the records directory stays the source of truth.
+func (s *Store) Prune(maxBytes int64) (int, error) {
+	if maxBytes < 0 {
+		return 0, fmt.Errorf("store: negative prune budget %d", maxBytes)
+	}
+	dir := filepath.Join(s.dir, recordsDir)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	type recFile struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var files []recFile
+	for _, de := range names {
+		key, ok := strings.CutSuffix(de.Name(), ".json")
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent drop; nothing to evict
+		}
+		files = append(files, recFile{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	// Newest first; ties broken by key so the eviction order is
+	// deterministic on coarse-mtime filesystems.
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime > files[j].mtime
+		}
+		return files[i].key < files[j].key
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	var firstErr error
+	dropped := 0
+	for _, f := range files {
+		total += f.size
+		if total <= maxBytes {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, f.key+".json")); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("store: prune %s: %w", f.key, err)
+			}
+			continue // still on disk: keep it indexed, don't report it removed
+		}
+		delete(s.idx, f.key)
+		dropped++
+	}
+	if dropped == 0 {
+		return 0, firstErr
+	}
+	if err := s.writeIndexLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return dropped, firstErr
 }
 
 // writeFileAtomic writes data to path via a same-directory temp file and

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"shotgun/internal/btb"
 	"shotgun/internal/footprint"
@@ -272,6 +273,130 @@ func TestStaleRecordVersionDropped(t *testing.T) {
 	}
 	if _, ok := s.Get(cfg); ok {
 		t.Fatal("served a stale-version record")
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.Scenario{Cores: []sim.Config{
+		testConfig("Oracle"),
+		{Workload: "DB2", Mechanism: sim.FDIP, WarmupInstr: 1000, MeasureInstr: 2000, Samples: 1},
+	}}
+	want := sim.ScenarioResult{Cores: []sim.Result{
+		fakeResult("Oracle", 111),
+		fakeResult("DB2", 222),
+	}}
+	if err := s.PutScenario(sc, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetScenario(sc)
+	if !ok {
+		t.Fatal("GetScenario missed after PutScenario")
+	}
+	for i := range want.Cores {
+		if got.Cores[i] != want.Cores[i] {
+			t.Fatalf("core %d mismatch:\ngot  %+v\nwant %+v", i, got.Cores[i], want.Cores[i])
+		}
+	}
+	// The index summarizes the primary core and the core count.
+	for _, e := range s.Entries() {
+		if e.Workload != "Oracle" || e.Cores != 2 {
+			t.Fatalf("scenario entry wrong: %+v", e)
+		}
+	}
+	// A result list that doesn't match the core count is rejected.
+	if err := s.PutScenario(sc, sim.ScenarioResult{Cores: want.Cores[:1]}); err == nil {
+		t.Fatal("mismatched result list accepted")
+	}
+	// The single-core key space is the N=1 scenario key space.
+	cfg := testConfig("Zeus")
+	if Key(cfg) != ScenarioKey(sim.SingleCore(cfg)) {
+		t.Fatal("config key is not its N=1 scenario key")
+	}
+}
+
+// TestPrune covers the eviction path end to end: oldest records (by
+// file mtime) go first, the index matches the surviving records, and a
+// fresh Open of the pruned directory reconciles to the identical set.
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []string{"Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2"}
+	var sizes []int64
+	for i, wl := range workloads {
+		if err := s.Put(testConfig(wl), fakeResult(wl, uint64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(s.recordPath(Key(testConfig(wl))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+		// Strictly increasing mtimes even on coarse-granularity
+		// filesystems: stamp them explicitly.
+		mt := time.Unix(1_700_000_000+int64(i)*10, 0)
+		if err := os.Chtimes(s.recordPath(Key(testConfig(wl))), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Budget for the newest two records (plus change, below the third).
+	budget := sizes[5] + sizes[4] + 1
+	dropped, err := s.Prune(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 4 {
+		t.Fatalf("dropped %d records, want 4", dropped)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("index has %d records after prune, want 2", s.Len())
+	}
+	for _, wl := range workloads[:4] {
+		if _, ok := s.Get(testConfig(wl)); ok {
+			t.Fatalf("old record %s survived the prune", wl)
+		}
+	}
+	for _, wl := range workloads[4:] {
+		if _, ok := s.Get(testConfig(wl)); !ok {
+			t.Fatalf("new record %s evicted", wl)
+		}
+	}
+
+	// Records directory and index agree after a fresh Open.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened index has %d records, want 2", s2.Len())
+	}
+	ents := s2.Entries()
+	for _, wl := range workloads[4:] {
+		if _, ok := ents[Key(testConfig(wl))]; !ok {
+			t.Fatalf("reopened index missing %s", wl)
+		}
+	}
+
+	// A budget everything fits in is a no-op.
+	if n, err := s2.Prune(1 << 30); err != nil || n != 0 {
+		t.Fatalf("no-op prune = (%d, %v)", n, err)
+	}
+	// Zero budget empties the store; negative is rejected.
+	if _, err := s2.Prune(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if n, err := s2.Prune(0); err != nil || n != 2 {
+		t.Fatalf("zero-budget prune = (%d, %v), want 2 dropped", n, err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("store not emptied: %d records", s2.Len())
 	}
 }
 

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"shotgun/internal/program"
+	"shotgun/internal/workload"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: truncated or
+// corrupt varint streams must surface as errors from NewReader/Read,
+// never as panics or non-terminating loops. The CI fuzz-smoke job runs
+// this for a bounded wall-clock slice on every push.
+func FuzzReader(f *testing.F) {
+	// Seed with a real trace and interesting mutations of it.
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	w := workload.NewWalker(prog, 11)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tw.Write(w.Next()); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])       // truncated final record
+	f.Add(valid[:6])                  // truncated first record
+	f.Add(valid[:5])                  // header only
+	f.Add([]byte{})                   // empty
+	f.Add([]byte("SGTR"))             // short header
+	f.Add([]byte("SGTR\x01\xff\xff")) // varint runs off the end
+	mutated := append([]byte(nil), valid...)
+	mutated[10] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header rejected: fine
+		}
+		for i := 0; ; i++ {
+			bb, err := r.Read()
+			if err != nil {
+				if err == io.EOF && i == 0 && len(data) > 5 {
+					// EOF with leftover bytes is fine only at a record
+					// boundary; Read handles the distinction internally.
+				}
+				// Once failed, the reader must stay failed (no
+				// resurrection mid-corruption).
+				if _, err2 := r.Read(); err2 == nil {
+					t.Fatal("reader recovered after an error")
+				}
+				return
+			}
+			if err := bb.Validate(); err != nil {
+				t.Fatalf("decoded block fails validation: %v", err)
+			}
+			if i > 1<<20 {
+				t.Fatal("unbounded record stream from bounded input")
+			}
+		}
+	})
+}

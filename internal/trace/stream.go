@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"shotgun/internal/isa"
+)
+
+// Stream adapts a recorded trace to the endless retire-order contract
+// of workload.Stream (it satisfies that interface structurally, without
+// importing the package), so traces recorded by cmd/tracegen can drive
+// simulations. The trace is validated end-to-end once at construction;
+// afterwards blocks are decoded one record at a time — memory stays
+// bounded by the bufio window regardless of trace length — and the
+// stream loops by seeking back to the start when it runs out.
+type Stream struct {
+	src io.ReadSeeker
+	r   *Reader
+
+	// blocks is the validated per-pass block count; Loops counts
+	// completed passes (useful for tests and diagnostics).
+	blocks uint64
+	Loops  uint64
+}
+
+// NewStream validates the whole trace (header and every record) and
+// returns a stream positioned at the first block. A trace with no
+// blocks cannot loop and is rejected.
+func NewStream(src io.ReadSeeker) (*Stream, error) {
+	r, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	var blocks uint64
+	for {
+		if _, err := r.Read(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: record %d: %w", blocks, err)
+		}
+		blocks++
+	}
+	if blocks == 0 {
+		return nil, fmt.Errorf("trace: empty trace cannot drive a simulation")
+	}
+	s := &Stream{src: src, blocks: blocks}
+	if err := s.rewind(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Blocks returns the number of blocks in one pass of the trace.
+func (s *Stream) Blocks() uint64 { return s.blocks }
+
+// rewind seeks the source back to the start and re-reads the header.
+// Deltas restart from zero exactly as the writer emitted them, so every
+// pass decodes the identical block sequence.
+func (s *Stream) rewind() error {
+	if _, err := s.src.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: rewind: %w", err)
+	}
+	r, err := NewReader(s.src)
+	if err != nil {
+		return err
+	}
+	s.r = r
+	return nil
+}
+
+// Next returns the next block, looping at end of trace. The trace was
+// fully validated by NewStream, so a decode error here means the
+// underlying source changed mid-simulation — unrecoverable, and
+// Next has no error channel — so it panics with context.
+func (s *Stream) Next() isa.BasicBlock {
+	bb, err := s.r.Read()
+	if err == io.EOF {
+		s.Loops++
+		if err := s.rewind(); err != nil {
+			panic(fmt.Sprintf("trace: stream source changed mid-run: %v", err))
+		}
+		bb, err = s.r.Read()
+	}
+	if err != nil {
+		panic(fmt.Sprintf("trace: stream source changed mid-run: %v", err))
+	}
+	return bb
+}

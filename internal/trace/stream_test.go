@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"shotgun/internal/isa"
+	"shotgun/internal/program"
+	"shotgun/internal/workload"
+)
+
+func TestStreamLoops(t *testing.T) {
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	w := workload.NewWalker(prog, 7)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	want := make([]isa.BasicBlock, 0, n)
+	for i := 0; i < n; i++ {
+		bb := w.Next()
+		want = append(want, bb)
+		if err := tw.Write(bb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != n {
+		t.Fatalf("Blocks = %d, want %d", s.Blocks(), n)
+	}
+	// Three full passes: each must replay the identical sequence (the
+	// rewind restarts the delta chain exactly as the writer emitted it).
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			if got := s.Next(); got != want[i] {
+				t.Fatalf("pass %d block %d: got %+v want %+v", pass, i, got, want[i])
+			}
+		}
+	}
+	if s.Loops != 2 {
+		t.Fatalf("Loops = %d, want 2", s.Loops)
+	}
+}
+
+func TestStreamRejectsEmptyAndCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStream(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+
+	prog := program.MustGenerate(program.GenParams{NumAppFuncs: 60, NumKernelFuncs: 16}, 1)
+	w := workload.NewWalker(prog, 9)
+	buf.Reset()
+	tw, _ = NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		tw.Write(w.Next())
+	}
+	tw.Flush()
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := NewStream(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := NewStream(bytes.NewReader([]byte("NOPE0"))); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}

@@ -9,6 +9,20 @@
 // arriving while a prefetch for the same block is outstanding observes
 // only the residual latency — exactly the "in-flight prefetch" partial
 // coverage the paper's stall-cycle metric is designed to capture.
+//
+// A Shared holds the portion of the hierarchy that is genuinely common
+// to every core of a CMP scenario — one finite-capacity LLC and one
+// mesh backlog — and AttachCore hangs per-core private hierarchies off
+// it. New (the single-core constructor) is the N=1 special case: a
+// Shared with exactly one core attached.
+//
+// Concurrency contract: a Shared and every Hierarchy attached to it
+// must be driven by ONE goroutine (the scenario's lockstep loop). None
+// of the structures lock — per-cycle calls are the simulator's hottest
+// path — so concurrent use from two goroutines is a data race (caught
+// by the race-detector tests). Concurrency belongs one level up:
+// independent simulations, each with its own Shared, may run in
+// parallel freely.
 package uncore
 
 import (
@@ -158,9 +172,92 @@ func (s Stats) AvgDataFillCycles() float64 {
 	return float64(s.DataFillCycles) / float64(s.DataFillSamples)
 }
 
-// Hierarchy is the assembled memory system for one core.
-type Hierarchy struct {
+// Shared is the uncore state all cores of a scenario contend for: one
+// finite-capacity LLC (occupancy and eviction are real, so one core's
+// fills displace another's blocks) and one mesh backlog (every core's
+// messages queue behind each other). See the package comment for the
+// single-goroutine driving contract.
+type Shared struct {
 	cfg Config
+
+	LLC  *cache.Cache
+	Mesh *noc.Mesh
+
+	cores int
+}
+
+// asidShift places the per-core address-space tag above every address
+// the core model generates (code sits low; the synthetic data segment
+// at 2^45). Tagging LLC traffic with the core's ASID keeps co-runners'
+// address spaces distinct — like separate processes — so shared-LLC
+// contention is pure capacity/bandwidth interference, never bogus
+// cross-core hits on coincidentally equal addresses.
+const asidShift = 48
+
+// NewShared builds the shared LLC and mesh from cfg (zero fields
+// defaulted). Scenario callers size cfg.LLCSizeBytes to the total
+// capacity the active cores share; the single-core default (1MB) is one
+// core's modeled NUCA share.
+func NewShared(cfg Config) *Shared {
+	cfg.setDefaults()
+	// The LLC reserve (virtualized prefetcher metadata) is charged by
+	// trimming associativity: the set count stays a power of two while
+	// whole ways are given up, mirroring way-partitioned pinning.
+	sets := 1
+	for sets*2 <= cfg.LLCSizeBytes/isa.BlockBytes/cfg.LLCWays {
+		sets *= 2
+	}
+	ways := (cfg.LLCSizeBytes - cfg.LLCReserveBytes) / (sets * isa.BlockBytes)
+	if ways < 1 {
+		ways = 1
+	}
+	llcSize := sets * ways * isa.BlockBytes
+	return &Shared{
+		cfg:  cfg,
+		LLC:  cache.MustNew("LLC", llcSize, ways),
+		Mesh: noc.MustNew(cfg.Mesh),
+	}
+}
+
+// Config returns the effective shared configuration.
+func (s *Shared) Config() Config { return s.cfg }
+
+// Cores returns how many hierarchies have been attached.
+func (s *Shared) Cores() int { return s.cores }
+
+// ResetStats clears the shared counters (LLC hit/miss, mesh traffic)
+// without touching contents or congestion state.
+func (s *Shared) ResetStats() {
+	s.LLC.ResetStats()
+	s.Mesh.ResetStats()
+}
+
+// AttachCore builds the private hierarchy (L1-I, L1-D, prefetch buffer,
+// in-flight tracker) of core coreID over this shared uncore. The coreID
+// becomes the core's address-space tag on all shared-LLC traffic.
+func (s *Shared) AttachCore(coreID int) *Hierarchy {
+	s.cores++
+	return &Hierarchy{
+		cfg:       s.cfg,
+		shared:    s,
+		asid:      isa.Addr(coreID) << asidShift,
+		L1I:       cache.MustNew("L1-I", s.cfg.L1ISizeBytes, s.cfg.L1IWays),
+		L1D:       cache.MustNew("L1-D", s.cfg.L1DSizeBytes, s.cfg.L1DWays),
+		LLC:       s.LLC,
+		PrefBuf:   cache.NewPrefetchBuffer(s.cfg.PrefetchBufferEntries),
+		Mesh:      s.Mesh,
+		inflight:  make(map[isa.Addr]*flight),
+		nextReady: noInflight,
+	}
+}
+
+// Hierarchy is one core's view of the memory system: private L1s and
+// prefetch buffer over the (possibly multi-core) shared LLC and mesh.
+type Hierarchy struct {
+	cfg    Config
+	shared *Shared
+	// asid tags this core's LLC traffic (see asidShift).
+	asid isa.Addr
 
 	L1I     *cache.Cache
 	L1D     *cache.Cache
@@ -190,32 +287,15 @@ type flight struct {
 	prefetch bool
 }
 
-// New builds a hierarchy from cfg (zero fields defaulted).
+// New builds a single-core hierarchy from cfg (zero fields defaulted):
+// a Shared of its own with one core attached — the N=1 special case of
+// the scenario layout.
 func New(cfg Config) *Hierarchy {
-	cfg.setDefaults()
-	// The LLC reserve (virtualized prefetcher metadata) is charged by
-	// trimming associativity: the set count stays a power of two while
-	// whole ways are given up, mirroring way-partitioned pinning.
-	sets := 1
-	for sets*2 <= cfg.LLCSizeBytes/isa.BlockBytes/cfg.LLCWays {
-		sets *= 2
-	}
-	ways := (cfg.LLCSizeBytes - cfg.LLCReserveBytes) / (sets * isa.BlockBytes)
-	if ways < 1 {
-		ways = 1
-	}
-	llcSize := sets * ways * isa.BlockBytes
-	return &Hierarchy{
-		cfg:       cfg,
-		L1I:       cache.MustNew("L1-I", cfg.L1ISizeBytes, cfg.L1IWays),
-		L1D:       cache.MustNew("L1-D", cfg.L1DSizeBytes, cfg.L1DWays),
-		LLC:       cache.MustNew("LLC", llcSize, ways),
-		PrefBuf:   cache.NewPrefetchBuffer(cfg.PrefetchBufferEntries),
-		Mesh:      noc.MustNew(cfg.Mesh),
-		inflight:  make(map[isa.Addr]*flight),
-		nextReady: noInflight,
-	}
+	return NewShared(cfg).AttachCore(0)
 }
+
+// Shared returns the shared uncore this hierarchy is attached to.
+func (h *Hierarchy) Shared() *Shared { return h.shared }
 
 // trackFill registers a new in-flight fill and lowers the arrival
 // watermark if this fill completes before every other outstanding one.
@@ -232,26 +312,31 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // Stats returns a snapshot of the hierarchy counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
-// ResetStats clears counters at the warmup/measurement boundary without
-// touching cache contents or in-flight state.
+// ResetStats clears this core's counters (and the shared LLC/mesh
+// counters, which per-core results never read) at the warmup/
+// measurement boundary without touching cache contents or in-flight
+// state.
 func (h *Hierarchy) ResetStats() {
 	h.stats = Stats{}
 	h.L1I.ResetStats()
 	h.L1D.ResetStats()
-	h.LLC.ResetStats()
-	h.Mesh.ResetStats()
+	h.shared.ResetStats()
 	h.PrefBuf.HitsCount = 0
 	h.PrefBuf.EvictedUnused = 0
 }
 
-// llcFill performs an LLC lookup (and fill from memory on miss),
-// returning the completion cycle and source.
+// llcFill performs a lookup in the shared LLC (and fill from memory on
+// miss), returning the completion cycle and source. The access is
+// tagged with this core's ASID, and both the mesh round trip and the
+// LLC occupancy are charged against state every attached core shares —
+// this is where multi-core contention enters the model.
 func (h *Hierarchy) llcFill(now uint64, block isa.Addr) (uint64, Source) {
 	lat := h.cfg.LLCLatencyCycles + h.Mesh.Traverse(now)
-	if h.LLC.Access(block) {
+	tagged := h.asid | block
+	if h.LLC.Access(tagged) {
 		return now + uint64(lat), SrcLLC
 	}
-	h.LLC.Insert(block)
+	h.LLC.Insert(tagged)
 	return now + uint64(lat+h.cfg.MemLatencyCycles), SrcMemory
 }
 
