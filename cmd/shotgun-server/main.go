@@ -5,15 +5,30 @@
 // restarted server answers previously computed configurations without
 // re-simulating.
 //
+// The same binary is every node of a scenario farm:
+//
+//   - default: single node — accept, simulate locally, serve.
+//   - -coordinator: own the job table and the store, but lease every
+//     simulation to -join workers over /v1/lease//v1/heartbeat/
+//     /v1/complete instead of running it here. Leases expire when a
+//     worker stops heartbeating and the job is requeued, so worker
+//     death costs latency, never results.
+//   - -join <url>: be a worker — an endless lease → simulate → push
+//     loop over the local harness.Runner; no listener, no store
+//     (records land in the coordinator's).
+//
 // The process shuts down gracefully: SIGINT/SIGTERM stop the listener,
 // in-flight HTTP requests get a deadline to finish, and the simulation
-// worker pool drains before exit, so no accepted work is lost silently.
+// backend stops (local pool: finishes in-flight work; worker: finishes
+// and pushes its current job), so no accepted work is lost silently.
 //
 // Usage:
 //
-//	shotgun-server -addr :8080 -store ./shotgun-store           # full scale
+//	shotgun-server -addr :8080 -store ./shotgun-store           # full scale, single node
 //	shotgun-server -scale quick -parallel 4                     # smoke scale
 //	shotgun-server -store ./s -store-max-bytes 1000000000       # prune to ~1GB on start
+//	shotgun-server -coordinator -store ./s -lease-ttl 30s       # cluster front-end
+//	shotgun-server -join http://coord:8080 -parallel 8          # simulation worker
 //
 // Example session:
 //
@@ -23,6 +38,7 @@
 //	    -d '{"scenarios":[{"Cores":[{"Workload":"Oracle","Mechanism":"shotgun"},{"Workload":"DB2","Mechanism":"fdip"}]}]}'
 //	curl -s localhost:8080/v1/scenarios/<key>
 //	curl -s localhost:8080/v1/experiments/fig7?format=csv
+//	curl -s localhost:8080/v1/cluster                            # coordinator only
 package main
 
 import (
@@ -39,10 +55,36 @@ import (
 	"syscall"
 	"time"
 
+	"shotgun/internal/dispatch"
 	"shotgun/internal/harness"
 	"shotgun/internal/server"
 	"shotgun/internal/store"
 )
+
+// runWorker is the -join path: no listener, no store — just a lease →
+// simulate → push loop against the coordinator until the signal
+// context cancels (the in-flight job finishes and is pushed first).
+func runWorker(ctx context.Context, opts options, scale harness.Scale, stdout, stderr io.Writer) int {
+	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Coordinator: opts.join,
+		ID:          opts.workerID,
+		Runner:      harness.NewRunnerWorkers(scale, opts.parallel),
+		Concurrency: opts.parallel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "worker %s: shutdown complete\n", w.ID())
+	return 0
+}
 
 func main() {
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels the context
@@ -65,6 +107,10 @@ type options struct {
 	storeMaxBytes   int64
 	queue           int
 	shutdownTimeout time.Duration
+	coordinator     bool
+	leaseTTL        time.Duration
+	join            string
+	workerID        string
 }
 
 // parseOptions parses and validates flags; all validation errors are
@@ -82,6 +128,14 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&opts.queue, "queue", 4096, "pending-simulation queue depth")
 	fs.DurationVar(&opts.shutdownTimeout, "shutdown-timeout", 10*time.Second,
 		"deadline for in-flight HTTP requests on SIGINT/SIGTERM")
+	fs.BoolVar(&opts.coordinator, "coordinator", false,
+		"lease simulations to -join workers instead of running them in this process")
+	fs.DurationVar(&opts.leaseTTL, "lease-ttl", dispatch.DefaultLeaseTTL,
+		"worker heartbeat deadline before a leased job is requeued (coordinator mode)")
+	fs.StringVar(&opts.join, "join", "",
+		"coordinator URL to join as a simulation worker (e.g. http://coord:8080)")
+	fs.StringVar(&opts.workerID, "worker-id", "",
+		"worker name in leases (default hostname-pid; worker mode)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -106,6 +160,20 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	if opts.shutdownTimeout <= 0 {
 		return options{}, fmt.Errorf("-shutdown-timeout must be positive (got %v)", opts.shutdownTimeout)
 	}
+	if opts.leaseTTL <= 0 {
+		return options{}, fmt.Errorf("-lease-ttl must be positive (got %v)", opts.leaseTTL)
+	}
+	if opts.join != "" {
+		if opts.coordinator {
+			return options{}, fmt.Errorf("-join and -coordinator are mutually exclusive (a node is a worker or a coordinator)")
+		}
+		if opts.storeDir != "" {
+			return options{}, fmt.Errorf("-join workers keep no store (records land in the coordinator's); drop -store")
+		}
+	}
+	if opts.workerID != "" && opts.join == "" {
+		return options{}, fmt.Errorf("-worker-id requires -join")
+	}
 	return opts, nil
 }
 
@@ -127,6 +195,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	scale := harness.FullScale()
 	if opts.scale == "quick" {
 		scale = harness.QuickScale()
+	}
+	if opts.join != "" {
+		return runWorker(ctx, opts, scale, stdout, stderr)
 	}
 	cfg := server.Config{
 		Scale:      scale,
@@ -155,7 +226,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "store: %s (%d records)\n", st.Dir(), st.Len())
 	}
 
+	// Coordinator mode swaps the local worker pool for a lease table:
+	// accepted jobs wait for -join workers instead of simulating here.
+	var coord *dispatch.Coordinator
+	if opts.coordinator {
+		cfg.NewExecutor = func(_ *harness.Runner, sink dispatch.Sink) dispatch.Executor {
+			coord = dispatch.NewCoordinator(dispatch.CoordinatorConfig{
+				LeaseTTL:   opts.leaseTTL,
+				QueueDepth: opts.queue,
+				Store:      cfg.Store,
+				Sink:       sink,
+			})
+			return coord
+		}
+	}
 	srv := server.New(cfg)
+	handler := srv.Handler()
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		coord.Register(mux)
+		handler = mux
+	}
 
 	// Listen before announcing, so "listening on" is never a lie and
 	// tests can bind :0 and read the chosen port.
@@ -165,10 +257,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s)\n", ln.Addr(), opts.scale)
+	mode := "single-node"
+	if opts.coordinator {
+		mode = fmt.Sprintf("coordinator, lease TTL %v", opts.leaseTTL)
+	}
+	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s, %s)\n", ln.Addr(), opts.scale, mode)
 
 	select {
 	case err := <-serveErr:

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,6 +26,10 @@ func TestParseOptionsRejectsBadFlags(t *testing.T) {
 		{"negative store budget", []string{"-store-max-bytes", "-1"}, "non-negative"},
 		{"budget without store", []string{"-store-max-bytes", "1000"}, "requires -store"},
 		{"zero shutdown timeout", []string{"-shutdown-timeout", "0s"}, "positive"},
+		{"zero lease ttl", []string{"-coordinator", "-lease-ttl", "0s"}, "positive"},
+		{"join and coordinator", []string{"-join", "http://x:1", "-coordinator"}, "mutually exclusive"},
+		{"worker with store", []string{"-join", "http://x:1", "-store", "./s"}, "drop -store"},
+		{"worker id without join", []string{"-worker-id", "w1"}, "requires -join"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -49,6 +54,9 @@ func TestParseOptionsDefaults(t *testing.T) {
 	}
 	if opts.shutdownTimeout != 10*time.Second {
 		t.Fatalf("shutdown timeout default = %v", opts.shutdownTimeout)
+	}
+	if opts.coordinator || opts.join != "" || opts.leaseTTL != 30*time.Second {
+		t.Fatalf("cluster defaults wrong: %+v (single-node must be the zero-flag default)", opts)
 	}
 }
 
@@ -123,5 +131,124 @@ func TestGracefulShutdown(t *testing.T) {
 	// The listener must actually be gone.
 	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
 		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// waitListen spins until a run() goroutine announces its address.
+func waitListen(t *testing.T, out *syncBuffer, errBuf *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout: %q stderr: %q", out.String(), errBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorWorkerSmoke boots the real binary paths of both
+// cluster roles — a coordinator run() and a worker run() — submits one
+// simulation over HTTP, and asserts the worker leases, simulates and
+// pushes it back to "done". This is the two-terminal README walkthrough
+// as a test.
+func TestCoordinatorWorkerSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var coordOut, coordErr syncBuffer
+	coordDone := make(chan int, 1)
+	go func() {
+		coordDone <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-scale", "quick", "-coordinator",
+			"-lease-ttl", "5s", "-store", t.TempDir(),
+		}, &coordOut, &coordErr)
+	}()
+	addr := waitListen(t, &coordOut, &coordErr)
+	if !strings.Contains(coordOut.String(), "coordinator") {
+		t.Fatalf("coordinator mode not announced: %q", coordOut.String())
+	}
+
+	var workerOut, workerErr syncBuffer
+	workerDone := make(chan int, 1)
+	go func() {
+		workerDone <- run(ctx, []string{
+			"-join", "http://" + addr, "-worker-id", "smoke-worker", "-parallel", "1",
+		}, &workerOut, &workerErr)
+	}()
+
+	// Submit one quick simulation and poll it to completion.
+	body := `{"configs":[{"Workload":"Nutch","Mechanism":"none"}]}`
+	resp, err := http.Post("http://"+addr+"/v1/sims", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Sims []struct {
+			Key string `json:"key"`
+		} `json:"sims"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || len(sub.Sims) != 1 {
+		t.Fatalf("submit: %v %+v", err, sub)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/sims/" + sub.Sims[0].Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %q; worker: %q %q", st.Status, workerOut.String(), workerErr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The cluster endpoint reports the lease traffic.
+	resp, err = http.Get("http://" + addr + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs struct {
+		Completed uint64 `json:"completed"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cs)
+	resp.Body.Close()
+	if err != nil || cs.Completed != 1 {
+		t.Fatalf("cluster stats: %v %+v", err, cs)
+	}
+
+	cancel()
+	for name, ch := range map[string]chan int{"coordinator": coordDone, "worker": workerDone} {
+		select {
+		case code := <-ch:
+			if code != 0 {
+				t.Fatalf("%s exit code %d", name, code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not shut down", name)
+		}
+	}
+	if !strings.Contains(workerOut.String(), "shutdown complete") {
+		t.Fatalf("worker never drained: %q", workerOut.String())
 	}
 }

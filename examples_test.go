@@ -1,0 +1,65 @@
+// Compile-and-run coverage for the examples/ programs: `go build ./...`
+// only proves they compile, so a runtime regression (a renamed
+// workload, a changed API contract, a panic on startup) in example code
+// was invisible to CI until a human tried one. Each example is built
+// into a scratch dir and executed to completion, and its output is
+// checked for the landmarks a reader of that example is promised.
+package shotgun_test
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// examplePrograms lists every example with the output landmarks that
+// prove it did its job (not just exited zero).
+var examplePrograms = []struct {
+	name string
+	args []string
+	want []string
+}{
+	{name: "quickstart", want: []string{"DB2 baseline:", "DB2 Shotgun:", "speedup:"}},
+	{name: "prefetcher_compare", args: []string{"-workload", "Nutch"},
+		want: []string{"mechanism", "shotgun", "ideal"}},
+	{name: "btb_pressure",
+		want: []string{"dynamic branch coverage", "measured BTB MPKI"}},
+	{name: "footprint_explorer", args: []string{"-funcs", "200", "-blocks", "100000"},
+		want: []string{"cumulative access probability", "footprint"}},
+}
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run real simulations; skipped in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	bindir := t.TempDir()
+	for _, ex := range examplePrograms {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, ex.name)
+			build := exec.Command(gobin, "build", "-o", bin, "./examples/"+ex.name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, bin, ex.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			for _, want := range ex.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

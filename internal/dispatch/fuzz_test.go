@@ -1,0 +1,46 @@
+package dispatch
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzCoordinatorEndpoints feeds arbitrary bodies to every dispatch
+// route: malformed JSON, truncated leases and oversized garbage must
+// all answer 4xx — never panic, never 5xx. A real task is seeded so
+// well-formed fuzz inputs can reach the grant/renew/complete paths too.
+func FuzzCoordinatorEndpoints(f *testing.F) {
+	f.Add(0, []byte(`{"worker":"w1","max":1}`))
+	f.Add(1, []byte(`{"worker":"w1","keys":["deadbeef"]}`))
+	f.Add(2, []byte(`{"worker":"w1","key":"deadbeef","result":{"Cores":[{}]},"error":""}`))
+	f.Add(2, []byte(`{"worker":"w1","key":"deadbeef","error":"boom"}`))
+	f.Add(0, []byte(`{`))
+	f.Add(1, []byte(``))
+	f.Add(2, []byte(`{"worker":"","key":""}`))
+	f.Add(0, []byte(`{"worker":"`+string(bytes.Repeat([]byte("x"), 300))+`"}`))
+
+	paths := []string{"/v1/lease", "/v1/heartbeat", "/v1/complete"}
+	f.Fuzz(func(t *testing.T, which int, body []byte) {
+		c := NewCoordinator(CoordinatorConfig{
+			LeaseTTL: time.Minute,
+			Sink:     newRecSink(),
+			Now:      newFakeClock().Now,
+		})
+		if err := c.Enqueue("deadbeef", scenarioOf(1)); err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		c.Register(mux)
+
+		path := paths[((which%len(paths))+len(paths))%len(paths)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d for body %q (want 200 or 400)", path, rec.Code, body)
+		}
+	})
+}

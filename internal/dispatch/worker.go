@@ -1,0 +1,287 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/sim"
+)
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (required), e.g.
+	// "http://10.0.0.1:8080".
+	Coordinator string
+	// ID names this worker in leases; default "<hostname>-<pid>".
+	ID string
+	// Runner executes leased scenarios (required). Its memo still
+	// dedups re-leases of a key within this process.
+	Runner *harness.Runner
+	// Client issues the HTTP calls (default: 30s-timeout client).
+	Client *http.Client
+	// Poll is the idle wait between empty leases (default 500ms).
+	Poll time.Duration
+	// Concurrency is how many leased jobs simulate at once (default 1).
+	Concurrency int
+	// OnLease, when non-nil, observes every granted lease before
+	// simulation starts (tests use it to kill a worker mid-lease).
+	OnLease func(keys []string)
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Worker is the -join side of the cluster: an endless lease → simulate
+// → push-back loop over the local harness.Runner. It holds no state the
+// coordinator cannot reconstruct — killing a worker at any point loses
+// at most the work in flight, which the lease TTL returns to the queue.
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker validates the config and applies defaults.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("dispatch: worker needs a coordinator URL")
+	}
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("dispatch: worker needs a runner")
+	}
+	if cfg.ID == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if len(cfg.ID) > maxWorkerID {
+		return nil, fmt.Errorf("dispatch: worker id longer than %d bytes", maxWorkerID)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// ID returns the worker's lease name.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Run leases and executes jobs until ctx is canceled. In-flight
+// simulations finish and push their results (their completions use
+// their own timeouts, not ctx) before Run returns, so a graceful
+// worker shutdown never wastes compute.
+func (w *Worker) Run(ctx context.Context) error {
+	slots := make(chan struct{}, w.cfg.Concurrency)
+	for i := 0; i < w.cfg.Concurrency; i++ {
+		slots <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	w.cfg.Logf("worker %s: joined %s", w.cfg.ID, w.cfg.Coordinator)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-slots:
+		}
+		jobs, ttl, err := w.lease(ctx, 1)
+		if err != nil {
+			slots <- struct{}{}
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.cfg.Logf("worker %s: lease: %v", w.cfg.ID, err)
+			if !w.sleep(ctx, w.cfg.Poll) {
+				return nil
+			}
+			continue
+		}
+		if len(jobs) == 0 {
+			slots <- struct{}{}
+			if !w.sleep(ctx, w.cfg.Poll) {
+				return nil
+			}
+			continue
+		}
+		if w.cfg.OnLease != nil {
+			w.cfg.OnLease([]string{jobs[0].Key})
+		}
+		if ctx.Err() != nil {
+			// Killed between lease and simulation: abandon the lease
+			// (the TTL will requeue it) rather than start work the
+			// shutdown would only have to wait for.
+			slots <- struct{}{}
+			return nil
+		}
+		jb := jobs[0]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { slots <- struct{}{} }()
+			w.runJob(jb, ttl)
+		}()
+	}
+}
+
+// runJob simulates one leased scenario, heartbeating at a third of the
+// TTL, and pushes the record (or the panic message) back.
+func (w *Worker) runJob(jb LeasedJob, ttl time.Duration) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go w.heartbeatLoop(jb.Key, ttl, stop)
+
+	res, errMsg := w.simulate(jb.Scenario)
+	if errMsg != "" {
+		w.cfg.Logf("worker %s: job %s failed: %s", w.cfg.ID, jb.Key, errMsg)
+	}
+	if err := w.complete(jb.Key, res, errMsg); err != nil {
+		// The lease will expire and another worker will redo the job;
+		// nothing else to do from here.
+		w.cfg.Logf("worker %s: push %s back: %v", w.cfg.ID, jb.Key, err)
+		return
+	}
+	w.cfg.Logf("worker %s: completed %s", w.cfg.ID, jb.Key)
+}
+
+// simulate runs the scenario exactly as leased (the coordinator pinned
+// its scale already), converting panics into an error message.
+func (w *Worker) simulate(sc sim.Scenario) (res sim.ScenarioResult, errMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			errMsg = fmt.Sprint(r)
+		}
+	}()
+	return w.cfg.Runner.RunScenarioExact(sc), ""
+}
+
+// heartbeatLoop renews the lease until stop closes. A heartbeat that
+// reports the key lost stops early: the coordinator gave the job away,
+// so renewing is pointless (the eventual complete is still pushed —
+// whoever finishes first wins, the other sees accepted=false).
+func (w *Worker) heartbeatLoop(key string, ttl time.Duration, stop <-chan struct{}) {
+	period := ttl / 3
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			var resp heartbeatResponse
+			err := w.post(context.Background(), "/v1/heartbeat",
+				heartbeatRequest{Worker: w.cfg.ID, Keys: []string{key}}, &resp)
+			if err != nil {
+				w.cfg.Logf("worker %s: heartbeat %s: %v", w.cfg.ID, key, err)
+				continue
+			}
+			if len(resp.Lost) > 0 {
+				w.cfg.Logf("worker %s: lease on %s lost", w.cfg.ID, key)
+				return
+			}
+		}
+	}
+}
+
+// lease asks the coordinator for up to max jobs.
+func (w *Worker) lease(ctx context.Context, max int) ([]LeasedJob, time.Duration, error) {
+	var resp leaseResponse
+	if err := w.post(ctx, "/v1/lease", leaseRequest{Worker: w.cfg.ID, Max: max}, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Jobs, time.Duration(resp.TTLMillis) * time.Millisecond, nil
+}
+
+// complete pushes one finished job back, retrying transient failures —
+// a lost completion costs a whole re-simulation after lease expiry, so
+// it is worth a few attempts. A 4xx is the coordinator deterministically
+// rejecting this request (wrong shape, oversized body): resending the
+// identical bytes can never succeed, so give up immediately instead of
+// burning the retry budget.
+func (w *Worker) complete(key string, res sim.ScenarioResult, errMsg string) error {
+	req := completeRequest{Worker: w.cfg.ID, Key: key, Result: res, Error: errMsg}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		var resp completeResponse
+		lastErr = w.post(ctx, "/v1/complete", req, &resp)
+		cancel()
+		if lastErr == nil {
+			return nil
+		}
+		var se *statusError
+		if errors.As(lastErr, &se) && se.code >= 400 && se.code < 500 {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// statusError is a non-2xx HTTP response, carrying the code so callers
+// can tell permanent rejections (4xx) from retryable trouble.
+type statusError struct {
+	path string
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("%s: status %d: %s", e.path, e.code, e.msg)
+}
+
+// post issues one JSON request/response round trip.
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &statusError{path: path, code: resp.StatusCode, msg: string(bytes.TrimSpace(msg))}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleep waits d or until ctx cancels, reporting whether to continue.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

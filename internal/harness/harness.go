@@ -160,16 +160,23 @@ func (r *Runner) Normalize(cfg sim.Config) sim.Config {
 	return r.pinScale(cfg).Normalized()
 }
 
-// NormalizeScenario pins the runner's scale onto every core of the
-// scenario and normalizes the result — the scenario-level identity the
-// memo, the store and the HTTP job table all share.
-func (r *Runner) NormalizeScenario(sc sim.Scenario) sim.Scenario {
+// pinScenario stamps the runner's scale onto every core of a scenario,
+// preserving the caller's core order.
+func (r *Runner) pinScenario(sc sim.Scenario) sim.Scenario {
 	cores := make([]sim.Config, len(sc.Cores))
 	for i, cfg := range sc.Cores {
 		cores[i] = r.pinScale(cfg)
 	}
 	sc.Cores = cores
-	return sc.Normalized()
+	return sc
+}
+
+// NormalizeScenario pins the runner's scale onto every core of the
+// scenario and normalizes the result (canonical core order included) —
+// the scenario-level identity the memo, the store and the HTTP job
+// table all share.
+func (r *Runner) NormalizeScenario(sc sim.Scenario) sim.Scenario {
+	return r.pinScenario(sc).Normalized()
 }
 
 // flightFor returns the (created-once) flight for a normalized scenario.
@@ -185,13 +192,25 @@ func (r *Runner) flightFor(sc sim.Scenario) *flight {
 	return f
 }
 
-// RunScenario executes (or recalls) one scenario. Concurrent callers of
-// the same scenario share a single execution.
+// RunScenario executes (or recalls) one scenario at the runner's scale.
+// Concurrent callers of the same scenario — including callers holding
+// per-core permutations of it — share a single execution; results come
+// back in the caller's core order.
 func (r *Runner) RunScenario(sc sim.Scenario) sim.ScenarioResult {
-	sc = r.NormalizeScenario(sc)
-	f := r.flightFor(sc)
-	f.once.Do(func() { f.res = r.compute(sc) })
-	return f.res
+	return r.RunScenarioExact(r.pinScenario(sc))
+}
+
+// RunScenarioExact executes (or recalls) one scenario exactly as given,
+// without pinning the runner's scale onto it. Dispatch workers run
+// coordinator-leased scenarios through this path: the coordinator
+// already pinned its scale, and re-pinning with the worker's would
+// silently record results under the wrong identity if the two processes
+// were started at different scales.
+func (r *Runner) RunScenarioExact(sc sim.Scenario) sim.ScenarioResult {
+	norm, perm := sc.NormalizedPerm()
+	f := r.flightFor(norm)
+	f.once.Do(func() { f.res = r.compute(norm) })
+	return f.res.Reorder(perm)
 }
 
 // Run executes (or recalls) one single-core simulation: the N=1

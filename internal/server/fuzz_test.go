@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shotgun/internal/dispatch"
+	"shotgun/internal/harness"
+	"shotgun/internal/sim"
+)
+
+// sinkExec swallows every job without simulating, so fuzz inputs that
+// happen to be valid batches cost microseconds instead of simulations.
+type sinkExec struct{}
+
+func (sinkExec) Enqueue(string, sim.Scenario) error { return nil }
+func (sinkExec) Stop(bool)                          {}
+
+// FuzzSubmitEndpoints feeds arbitrary bodies to both submission routes:
+// malformed JSON, truncated bodies, wrong-typed fields and oversized
+// batches must all answer 4xx (202/503 for well-formed ones) — never a
+// panic, never a 5xx.
+func FuzzSubmitEndpoints(f *testing.F) {
+	srv := New(Config{
+		Scale:     tinyScale(),
+		ScaleName: "tiny",
+		MaxBatch:  8,
+		NewExecutor: func(*harness.Runner, dispatch.Sink) dispatch.Executor {
+			return sinkExec{}
+		},
+	})
+	f.Cleanup(func() { srv.Close() })
+	handler := srv.Handler()
+
+	f.Add(true, []byte(`{"configs":[{"Workload":"Oracle","Mechanism":"none"}]}`))
+	f.Add(false, []byte(`{"scenarios":[{"Cores":[{"Workload":"Oracle","Mechanism":"shotgun"}]}]}`))
+	f.Add(true, []byte(`{`))
+	f.Add(false, []byte(``))
+	f.Add(true, []byte(`{"configs":[]}`))
+	f.Add(false, []byte(`{"scenarios":[{"Cores":[]}]}`))
+	f.Add(true, []byte(`{"configs":"not-a-list"}`))
+	f.Add(false, []byte(`{"scenarios":[{"Cores":[{"Workload":"Oracle","Mechanism":"none"}],"LLCSizeBytes":-5}]}`))
+	// Oversized batch: 9 configs against MaxBatch 8.
+	f.Add(true, []byte(`{"configs":[`+strings.Repeat(`{"Workload":"Oracle","Mechanism":"none"},`, 8)+
+		`{"Workload":"Oracle","Mechanism":"none"}]}`))
+
+	f.Fuzz(func(t *testing.T, sims bool, body []byte) {
+		path := "/v1/scenarios"
+		if sims {
+			path = "/v1/sims"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusAccepted, http.StatusBadRequest, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("%s: status %d for body %q", path, rec.Code, body)
+		}
+	})
+}

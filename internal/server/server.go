@@ -16,10 +16,12 @@
 //
 // Every job is a sim.Scenario — /v1/sims wraps each config as an N=1
 // scenario, so both endpoints share one job table, one key space and
-// one store. Simulations are executed asynchronously by a fixed worker
-// pool backed by the memoizing harness.Runner, so duplicate keys —
-// within a batch, across batches, or across server restarts (via the
-// persistent store) — never simulate twice.
+// one store. Simulations are executed asynchronously by a pluggable
+// internal/dispatch executor — by default a fixed local worker pool
+// backed by the memoizing harness.Runner, or a dispatch.Coordinator
+// leasing jobs to remote workers — so duplicate keys (within a batch,
+// across batches, across permuted core orders, or across server
+// restarts via the persistent store) never simulate twice.
 package server
 
 import (
@@ -29,6 +31,7 @@ import (
 	"net/http"
 	"sync"
 
+	"shotgun/internal/dispatch"
 	"shotgun/internal/harness"
 	"shotgun/internal/report"
 	"shotgun/internal/sim"
@@ -56,9 +59,17 @@ type Config struct {
 	// Store, when non-nil, persists results across restarts and is
 	// consulted before simulating.
 	Store *store.Store
-	// QueueDepth bounds the pending-job channel (default 4096); a full
+	// QueueDepth bounds the pending-job backlog (default 4096); a full
 	// queue rejects new batches with 503 rather than blocking accepts.
 	QueueDepth int
+	// MaxBatch bounds configs/scenarios per submission (default 1024);
+	// oversized batches are rejected with 400 before any validation.
+	MaxBatch int
+	// NewExecutor, when non-nil, builds the execution backend from the
+	// server's runner and its job-table sink (cluster mode passes a
+	// dispatch.Coordinator constructor here). Nil builds the local
+	// worker pool — the classic single-node path.
+	NewExecutor func(r *harness.Runner, sink dispatch.Sink) dispatch.Executor
 }
 
 // job tracks one submitted scenario through the pool.
@@ -146,26 +157,18 @@ type Server struct {
 	runner    *harness.Runner
 	st        *store.Store
 	scaleName string
+	maxBatch  int
+	exec      dispatch.Executor
 
 	mu   sync.Mutex
 	jobs map[string]*job
-	// closed rejects new submissions (RejectNew/Close/Shutdown);
-	// stopped records that the channels below are closed. closed is set
-	// (under mu) no later than the queue channel closes, so
-	// enqueueScenarios — which sends while holding mu — can never send
-	// on a closed channel even if an HTTP handler outlives a shutdown
-	// deadline and submits after Close began.
-	closed  bool
-	stopped bool
-
-	queue chan *job
-	// quit, when closed, tells workers to exit after their in-flight
-	// job instead of draining the queue (Shutdown vs Close).
-	quit chan struct{}
-	wg   sync.WaitGroup
+	// closed rejects new submissions (RejectNew/Close/Shutdown) before
+	// they reach the executor, so a late handler gets an honest 503.
+	closed bool
 }
 
-// New builds a server and starts its worker pool. Call Close to drain.
+// New builds a server and starts its execution backend. Call Close to
+// drain.
 func New(cfg Config) *Server {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -175,6 +178,10 @@ func New(cfg Config) *Server {
 	if depth <= 0 {
 		depth = 4096
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 1024
+	}
 	runner := harness.NewRunnerWorkers(cfg.Scale, workers)
 	if cfg.Store != nil {
 		runner.SetStore(cfg.Store)
@@ -183,15 +190,70 @@ func New(cfg Config) *Server {
 		runner:    runner,
 		st:        cfg.Store,
 		scaleName: cfg.ScaleName,
+		maxBatch:  maxBatch,
 		jobs:      make(map[string]*job),
-		queue:     make(chan *job, depth),
-		quit:      make(chan struct{}),
 	}
-	s.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go s.worker()
+	if cfg.NewExecutor != nil {
+		s.exec = cfg.NewExecutor(runner, s)
+	} else {
+		s.exec = dispatch.NewLocalPool(runner, s, depth)
 	}
 	return s
+}
+
+// jobByKey looks a job up without touching its state.
+func (s *Server) jobByKey(key string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[key]
+}
+
+// The dispatch.Sink implementation: executors report job lifecycle
+// transitions here. Unknown keys are ignored — the executor outliving
+// a job table entry is not possible today (jobs are never evicted),
+// but a sink must not panic on protocol slack.
+
+// JobRunning implements dispatch.Sink.
+func (s *Server) JobRunning(key string) {
+	if j := s.jobByKey(key); j != nil {
+		j.mu.Lock()
+		if j.status == StatusQueued {
+			j.status = StatusRunning
+		}
+		j.mu.Unlock()
+	}
+}
+
+// JobRequeued implements dispatch.Sink (a lease expired; the job went
+// back to the cluster queue).
+func (s *Server) JobRequeued(key string) {
+	if j := s.jobByKey(key); j != nil {
+		j.mu.Lock()
+		if j.status == StatusRunning {
+			j.status = StatusQueued
+		}
+		j.mu.Unlock()
+	}
+}
+
+// JobDone implements dispatch.Sink.
+func (s *Server) JobDone(key string, res sim.ScenarioResult) {
+	if j := s.jobByKey(key); j != nil {
+		j.mu.Lock()
+		j.status = StatusDone
+		j.result = res
+		j.mu.Unlock()
+	}
+}
+
+// JobFailed implements dispatch.Sink.
+func (s *Server) JobFailed(key string, msg string) {
+	if j := s.jobByKey(key); j != nil {
+		j.mu.Lock()
+		j.status = StatusFailed
+		j.err = msg
+		j.mu.Unlock()
+	}
 }
 
 // Close stops accepting new work and DRAINS the queue: every accepted
@@ -219,59 +281,13 @@ func (s *Server) RejectNew() {
 	s.mu.Unlock()
 }
 
-// stop implements Close/Shutdown. Both reject submissions that race
-// past it (the closed flag, checked under the same mutex the enqueue
-// path sends under) with 503 instead of panicking on the closed queue.
+// stop implements Close/Shutdown: reject new submissions, then stop
+// the executor (drain or abandon).
 func (s *Server) stop(abandon bool) {
 	s.mu.Lock()
 	s.closed = true
-	if !s.stopped {
-		s.stopped = true
-		if abandon {
-			close(s.quit)
-		}
-		close(s.queue)
-	}
 	s.mu.Unlock()
-	s.wg.Wait()
-}
-
-// worker drains the queue until it closes (or quit fires). Runner.Run
-// consults the in-memory memo and the persistent store before
-// simulating, so a worker picking up an already-computed key completes
-// instantly.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		select {
-		case <-s.quit:
-			return // Shutdown: abandon the rest of the queue
-		default:
-		}
-		j.mu.Lock()
-		j.status = StatusRunning
-		j.mu.Unlock()
-		s.runOne(j)
-	}
-}
-
-// runOne executes one job, converting a panic (e.g. a config that
-// validated but still cannot simulate) into a failed status instead of
-// killing the worker.
-func (s *Server) runOne(j *job) {
-	defer func() {
-		if r := recover(); r != nil {
-			j.mu.Lock()
-			j.status = StatusFailed
-			j.err = fmt.Sprint(r)
-			j.mu.Unlock()
-		}
-	}()
-	res := s.runner.RunScenario(j.sc)
-	j.mu.Lock()
-	j.status = StatusDone
-	j.result = res
-	j.mu.Unlock()
+	s.exec.Stop(abandon)
 }
 
 // Handler returns the server's HTTP routes.
@@ -300,36 +316,50 @@ type submitResponse struct {
 	Sims []SimStatus `json:"sims"`
 }
 
-// enqueue failure modes, distinguished so handlers can tell clients
-// whether retrying is useful.
-var (
-	errQueueFull = errors.New("queue full")
-	errClosing   = errors.New("server shutting down")
-)
-
 // enqueueScenarios registers and enqueues pre-validated, pinned
-// scenarios under one job-table lock hold (the channel send is
-// non-blocking, so holding the lock is safe): a job becomes visible in
-// s.jobs only once it is actually on the queue, so no concurrent
-// submitter can ever be handed a key that later disappears. On overflow
-// the already-enqueued prefix stands — it is valid work, and a retry
-// dedups onto it — and errQueueFull tells the caller to 503 the rest;
-// errClosing means Close has begun and retrying this server is
-// pointless. The returned jobs include deduplicated hits on existing
-// keys, in batch order.
+// scenarios under one job-table lock hold (executor Enqueues never
+// block): a job becomes visible in s.jobs only once the executor
+// actually holds it (or the store already held its result), so no
+// concurrent submitter can ever be handed a key that later disappears.
+// A key the persistent store already has is born done without touching
+// the executor — the path that lets a restarted cluster serve known
+// scenarios without re-leasing anything. On overflow the already-
+// enqueued prefix stands — it is valid work, and a retry dedups onto
+// it — and dispatch.ErrQueueFull tells the caller to 503 the rest;
+// dispatch.ErrClosing means Close has begun and retrying this server
+// is pointless. The returned jobs include deduplicated hits on
+// existing keys, in batch order.
 func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
-	// Hash content keys before taking the job-table lock: SHA-256 over
-	// a canonical marshal per scenario is the expensive part, and doing
-	// it here keeps concurrent submitters from serializing behind it.
+	// Hash content keys and consult the persistent store before taking
+	// the job-table lock: SHA-256 over a canonical marshal and a disk
+	// read per scenario are the expensive parts, and doing them here
+	// keeps concurrent submitters (and every Sink callback) from
+	// serializing behind them. The store peek races benignly with
+	// concurrent submits of the same key — whoever takes the lock first
+	// registers the job, and the loser below reuses it.
 	keys := make([]string, len(scs))
 	for i, sc := range scs {
 		keys[i] = store.ScenarioKey(sc)
+	}
+	stored := make(map[string]sim.ScenarioResult)
+	if s.st != nil {
+		for _, key := range keys {
+			if _, seen := stored[key]; seen {
+				continue
+			}
+			if known := s.jobByKey(key); known != nil {
+				continue // already tracked; no store read needed
+			}
+			if rec, found := s.st.GetKey(key); found {
+				stored[key] = rec.Result
+			}
+		}
 	}
 	jobs := make([]*job, 0, len(scs))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return jobs, errClosing
+		return jobs, dispatch.ErrClosing
 	}
 	for i, sc := range scs {
 		key := keys[i]
@@ -338,35 +368,71 @@ func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
 			continue
 		}
 		j := &job{key: key, sc: sc, status: StatusQueued}
-		select {
-		case s.queue <- j:
+		if res, found := stored[key]; found {
+			// Already persisted by a previous life of this service (or
+			// another node on the same store): born done, the executor
+			// never sees it.
+			j.status = StatusDone
+			j.result = res
 			s.jobs[key] = j
 			jobs = append(jobs, j)
-		default:
-			return jobs, errQueueFull
+			continue
 		}
+		if err := s.exec.Enqueue(key, sc); err != nil {
+			return jobs, err
+		}
+		s.jobs[key] = j
+		jobs = append(jobs, j)
 	}
 	return jobs, nil
 }
 
 // enqueueError maps an enqueue failure to its 503 body.
 func (s *Server) enqueueError(w http.ResponseWriter, err error) {
-	if errors.Is(err, errClosing) {
+	if errors.Is(err, dispatch.ErrClosing) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down; submit elsewhere")
 		return
 	}
-	httpError(w, http.StatusServiceUnavailable,
-		"queue full (%d pending); retry later", cap(s.queue))
+	httpError(w, http.StatusServiceUnavailable, "queue full; retry later")
+}
+
+// maxBodyBytes bounds submission bodies: a full MaxBatch of scenarios
+// fits comfortably, and an unbounded body must never reach the JSON
+// decoder (fuzz-hardened: malformed, truncated or oversized bodies all
+// answer 4xx, never a panic or a 5xx).
+const maxBodyBytes = 8 << 20
+
+// decodeBody decodes a size-capped JSON submission, mapping every
+// failure (bad JSON, truncation, over-size) to a 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+		return false
+	}
+	return true
+}
+
+// checkBatch enforces the non-empty / max-size envelope every
+// submission batch shares.
+func (s *Server) checkBatch(w http.ResponseWriter, n int, what string) bool {
+	if n == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: body must carry at least one %s", what)
+		return false
+	}
+	if n > s.maxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d %ss exceeds the %d-per-request limit", n, what, s.maxBatch)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Configs) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch: body must carry at least one config")
+	if !s.checkBatch(w, len(req.Configs), "config") {
 		return
 	}
 	// Validate the whole batch before enqueueing any of it, so a batch
@@ -407,12 +473,10 @@ type submitScenariosResponse struct {
 
 func (s *Server) handleSubmitScenarios(w http.ResponseWriter, r *http.Request) {
 	var req submitScenariosRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Scenarios) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch: body must carry at least one scenario")
+	if !s.checkBatch(w, len(req.Scenarios), "scenario") {
 		return
 	}
 	scs := make([]sim.Scenario, 0, len(req.Scenarios))

@@ -204,14 +204,17 @@ func pollScenarioDone(t *testing.T, base, key string) ScenarioStatus {
 // TestScenarioEndToEnd is the multi-core acceptance path: enqueue a
 // scenario batch over HTTP, poll to completion, then restart the
 // service on the same store and assert the identical batch is served
-// entirely from store hits with zero new puts.
+// entirely from store hits with zero new puts. Job views report cores
+// in canonical scenario order (core lists are multisets — permuted
+// submissions share one key), so expectations are written against the
+// normalized form.
 func TestScenarioEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	st1, err := store.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ts1 := newTestServer(t, st1)
+	srv1, ts1 := newTestServer(t, st1)
 
 	batch := []sim.Scenario{
 		{Cores: []sim.Config{
@@ -222,6 +225,10 @@ func TestScenarioEndToEnd(t *testing.T) {
 			{Workload: "Streaming", Mechanism: sim.Shotgun},
 			{Workload: "Nutch", Mechanism: sim.None},
 		}},
+	}
+	canon := make([]sim.Scenario, len(batch))
+	for i, sc := range batch {
+		canon[i] = srv1.runner.NormalizeScenario(sc)
 	}
 	out, resp := postScenarios(t, ts1.URL, batch)
 	if resp.StatusCode != http.StatusAccepted {
@@ -235,8 +242,8 @@ func TestScenarioEndToEnd(t *testing.T) {
 		if s.Key == "" || s.Cores != len(batch[i].Cores) {
 			t.Fatalf("scenario %d echo wrong: %+v", i, s)
 		}
-		if s.Workloads[0] != batch[i].Cores[0].Workload {
-			t.Fatalf("scenario %d workloads wrong: %+v", i, s.Workloads)
+		if s.Workloads[0] != canon[i].Cores[0].Workload {
+			t.Fatalf("scenario %d workloads wrong: %+v (canonical %+v)", i, s.Workloads, canon[i].Cores)
 		}
 		done := pollScenarioDone(t, ts1.URL, s.Key)
 		if done.Result == nil || len(done.Result.Cores) != len(batch[i].Cores) {
@@ -246,8 +253,8 @@ func TestScenarioEndToEnd(t *testing.T) {
 			if res.Core.Instructions == 0 {
 				t.Fatalf("scenario %d core %d measured nothing", i, c)
 			}
-			if res.Workload != batch[i].Cores[c].Workload {
-				t.Fatalf("scenario %d core %d carries workload %s", i, c, res.Workload)
+			if res.Workload != canon[i].Cores[c].Workload {
+				t.Fatalf("scenario %d core %d carries workload %s (canonical %+v)", i, c, res.Workload, canon[i].Cores)
 			}
 		}
 		keys = append(keys, s.Key)
@@ -277,17 +284,26 @@ func TestScenarioEndToEnd(t *testing.T) {
 		t.Fatalf("restarted store puts = %d, want 0 (nothing should re-simulate)", s2.Puts)
 	}
 
-	// The scenario poll reports every core's identity...
+	// The scenario poll reports every core's identity (in canonical
+	// order: [Nutch/fdip, Nutch/none])...
 	got := pollScenarioDone(t, ts2.URL, keys[0])
-	if got.Mechanisms[1] != string(sim.FDIP) {
+	if got.Mechanisms[0] != string(sim.FDIP) || got.Mechanisms[1] != string(sim.None) {
 		t.Fatalf("scenario mechanisms wrong: %+v", got.Mechanisms)
 	}
 	// ...and the same key is visible through the single-core poll
-	// endpoint as its core-0 view (store fallback included).
+	// endpoint as its canonical core-0 view (store fallback included).
 	core0 := pollDone(t, ts2.URL, keys[0])
-	if core0.Workload != "Nutch" || core0.Mechanism != string(sim.None) ||
+	if core0.Workload != "Nutch" || core0.Mechanism != string(sim.FDIP) ||
 		core0.Result == nil || *core0.Result != got.Result.Cores[0] {
 		t.Fatalf("/v1/sims core-0 view wrong: %+v", core0)
+	}
+
+	// A permutation of an already-served scenario is the same content
+	// identity: submitting it dedups onto the existing key.
+	swapped := sim.Scenario{Cores: []sim.Config{batch[1].Cores[1], batch[1].Cores[0]}}
+	out3, _ := postScenarios(t, ts2.URL, []sim.Scenario{swapped})
+	if out3.Scenarios[0].Key != keys[1] {
+		t.Fatalf("permuted scenario got key %s, want %s", out3.Scenarios[0].Key, keys[1])
 	}
 }
 

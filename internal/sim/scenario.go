@@ -11,7 +11,10 @@ package sim
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 
+	"shotgun/internal/btb"
 	"shotgun/internal/core"
 	"shotgun/internal/noc"
 	"shotgun/internal/prefetch"
@@ -30,11 +33,19 @@ const PerCoreLLCBytes = 1 << 20
 const TotalLLCBytes = 8 << 20
 
 // Scenario describes one simulation of N cores over a shared uncore.
+//
+// A scenario's core list is a multiset: two scenarios whose Cores are
+// permutations of each other describe the same simulation and share one
+// content identity (Normalized sorts cores into the canonical order, and
+// RunScenario maps per-core results back to the caller's order). Callers
+// still read "their" core i at Cores[i] of the result — permuting the
+// input permutes the output identically.
 type Scenario struct {
 	// Cores lists the per-core simulation specs, one per active core.
-	// Core 0 is the "primary" core by convention (single-core views such
-	// as the /v1/sims API report it); indices salt the per-core walk and
-	// data seeds so identical co-runners do not execute in lockstep.
+	// The caller's core 0 is the "primary" core by convention
+	// (single-core views such as the /v1/sims API report the canonical
+	// first core); canonical indices salt the per-core walk and data
+	// seeds so identical co-runners do not execute in lockstep.
 	Cores []Config
 	// LLCSizeBytes is the total shared LLC capacity. Zero derives the
 	// Table 3 share: PerCoreLLCBytes per active core, capped at the 8MB
@@ -62,28 +73,113 @@ func DefaultLLCBytes(n int) int {
 	return b
 }
 
-// Normalized returns the scenario with every defaulted field made
-// explicit — per-core configs normalized and the derived LLC capacity
-// materialized — exactly the values RunScenario would use. Content
+// compareConfigs is the total order behind the canonical core order:
+// field-by-field on the normalized config, cheapest discriminators
+// first. The order is arbitrary but frozen — golden scenarios (the
+// interference sweep's primary-then-co-runners shape) are already
+// canonically ordered under it, which keeps their executed core
+// indices, and therefore their index-salted seeds, bit-stable.
+func compareConfigs(a, b Config) int {
+	if c := strings.Compare(a.Workload, b.Workload); c != 0 {
+		return c
+	}
+	if c := strings.Compare(string(a.Mechanism), string(b.Mechanism)); c != 0 {
+		return c
+	}
+	ints := [][2]int{
+		{a.BTBEntries, b.BTBEntries},
+		{a.Layout.Before, b.Layout.Before},
+		{a.Layout.After, b.Layout.After},
+		{int(a.RegionMode), int(b.RegionMode)},
+		{sizesRank(a.ShotgunSizes), sizesRank(b.ShotgunSizes)},
+		{a.Samples, b.Samples},
+	}
+	if a.ShotgunSizes != nil && b.ShotgunSizes != nil {
+		ints = append(ints, [2]int{a.ShotgunSizes.UEntries, b.ShotgunSizes.UEntries},
+			[2]int{a.ShotgunSizes.CEntries, b.ShotgunSizes.CEntries},
+			[2]int{a.ShotgunSizes.REntries, b.ShotgunSizes.REntries})
+	}
+	for _, p := range ints {
+		if p[0] != p[1] {
+			if p[0] < p[1] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for _, p := range [][2]uint64{
+		{a.WarmupInstr, b.WarmupInstr},
+		{a.MeasureInstr, b.MeasureInstr},
+		{a.SkipInstr, b.SkipInstr},
+	} {
+		if p[0] != p[1] {
+			if p[0] < p[1] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// sizesRank orders the absence of an explicit size override before any
+// explicit one.
+func sizesRank(s *btb.Sizes) int {
+	if s == nil {
+		return 0
+	}
+	return 1
+}
+
+// Normalized returns the scenario in canonical form: every defaulted
+// field made explicit (per-core configs normalized, the derived LLC
+// capacity materialized) and the cores stable-sorted into the canonical
+// order — exactly the values RunScenario would execute. Content
 // identity (harness memo keys, store hashes) is derived from this form,
-// so equivalent scenarios always collide and distinct ones never do.
+// so equivalent scenarios — including per-core permutations of each
+// other — always collide and distinct ones never do.
 func (s Scenario) Normalized() Scenario {
+	n, _ := s.NormalizedPerm()
+	return n
+}
+
+// NormalizedPerm returns the canonical scenario plus the permutation
+// that links it to the caller's core order: perm[i] is the canonical
+// position of input core i, so a result computed in canonical order
+// reads back as out[i] = canonical.Cores[perm[i]]. The sort is stable,
+// which makes the mapping well-defined even for duplicate configs (the
+// k-th copy in input order is the k-th copy in canonical order).
+func (s Scenario) NormalizedPerm() (Scenario, []int) {
 	cores := make([]Config, len(s.Cores))
 	for i, cfg := range s.Cores {
 		cores[i] = cfg.Normalized()
 	}
-	s.Cores = cores
-	if s.LLCSizeBytes == 0 {
-		s.LLCSizeBytes = DefaultLLCBytes(len(cores))
+	order := make([]int, len(cores)) // order[k] = input index at canonical position k
+	for i := range order {
+		order[i] = i
 	}
-	return s
+	sort.SliceStable(order, func(a, b int) bool {
+		return compareConfigs(cores[order[a]], cores[order[b]]) < 0
+	})
+	sorted := make([]Config, len(cores))
+	perm := make([]int, len(cores))
+	for k, orig := range order {
+		sorted[k] = cores[orig]
+		perm[orig] = k
+	}
+	s.Cores = sorted
+	if s.LLCSizeBytes == 0 {
+		s.LLCSizeBytes = DefaultLLCBytes(len(sorted))
+	}
+	return s, perm
 }
 
 // CanonicalBytes returns the canonical encoding of the normalized
 // scenario: the JSON of a struct with fixed field order — no maps, no
-// formatting choices — stable across processes and platforms. The
-// harness memo uses it directly as a map key; internal/store hashes it
-// for content addressing.
+// formatting choices — stable across processes and platforms, and
+// invariant under per-core permutation (Normalized sorts the cores).
+// The harness memo uses it directly as a map key; internal/store hashes
+// it for content addressing.
 func (s Scenario) CanonicalBytes() []byte {
 	b, err := json.Marshal(s.Normalized())
 	if err != nil {
@@ -132,20 +228,49 @@ type ScenarioResult struct {
 // RunScenario executes one scenario to completion. The default
 // single-core scenario takes the exact serial path of Run — byte-
 // identical results by construction — while every other shape runs the
-// lockstep multi-core engine over one shared uncore.
+// lockstep multi-core engine over one shared uncore. Execution happens
+// in canonical core order (so permuted scenarios are literally one
+// simulation); the returned Cores are mapped back to the caller's
+// order, so result.Cores[i] always describes the caller's Cores[i].
 func RunScenario(sc Scenario) (ScenarioResult, error) {
 	if err := sc.Validate(); err != nil {
 		return ScenarioResult{}, err
 	}
-	sc = sc.Normalized()
-	if len(sc.Cores) == 1 && sc.LLCSizeBytes == DefaultLLCBytes(1) {
-		res, err := Run(sc.Cores[0])
+	norm, perm := sc.NormalizedPerm()
+	if len(norm.Cores) == 1 && norm.LLCSizeBytes == DefaultLLCBytes(1) {
+		res, err := Run(norm.Cores[0])
 		if err != nil {
 			return ScenarioResult{}, err
 		}
 		return ScenarioResult{Cores: []Result{res}}, nil
 	}
-	return runLockstep(sc)
+	canon, err := runLockstep(norm)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	return canon.Reorder(perm), nil
+}
+
+// Reorder maps a canonical-order result back to a caller's core order:
+// out.Cores[i] = r.Cores[perm[i]], with perm as NormalizedPerm returns
+// it. A memoized canonical result can be served to every permutation of
+// its scenario this way.
+func (r ScenarioResult) Reorder(perm []int) ScenarioResult {
+	identity := true
+	for i, k := range perm {
+		if i != k {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return r
+	}
+	out := ScenarioResult{Cores: make([]Result, len(perm))}
+	for i, k := range perm {
+		out.Cores[i] = r.Cores[k]
+	}
+	return out
 }
 
 // MustRunScenario is RunScenario for static scenarios.

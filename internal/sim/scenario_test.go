@@ -219,10 +219,16 @@ func TestCanonicalBytesStable(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Fatal("canonical encoding unstable")
 	}
-	// Core order is semantic (core 0 is the primary): swapping cores is
-	// a different scenario.
+	// A scenario's core list is a multiset: swapping cores is the SAME
+	// scenario (one simulation, one store record, cluster-wide dedup) —
+	// RunScenario maps results back to each caller's order.
 	swapped := Scenario{Cores: []Config{sc.Cores[1], sc.Cores[0]}}
-	if bytes.Equal(a, swapped.CanonicalBytes()) {
-		t.Fatal("core order not part of the identity")
+	if !bytes.Equal(a, swapped.CanonicalBytes()) {
+		t.Fatal("permuted cores changed the content identity")
+	}
+	// A genuinely different core list is a different identity.
+	other := Scenario{Cores: []Config{sc.Cores[0], sc.Cores[0]}}
+	if bytes.Equal(a, other.CanonicalBytes()) {
+		t.Fatal("distinct scenarios collided")
 	}
 }

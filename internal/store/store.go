@@ -41,8 +41,11 @@ import (
 // every record written by an older generation instead of serving it.
 // Generation 2: records hold scenarios (N cores + shared-uncore
 // parameters) and per-core result lists; keys hash the canonical
-// scenario encoding.
-const FormatVersion = 2
+// scenario encoding. Generation 3: the canonical encoding orders cores
+// canonically, so per-core permutations of one scenario share one key
+// — records written under order-sensitive keys must not linger as
+// unreachable (or, worse, colliding) debris.
+const FormatVersion = 3
 
 const (
 	versionFile = "VERSION"
@@ -238,13 +241,16 @@ func (s *Store) drop(key string) {
 }
 
 // GetScenario returns the stored result for a scenario, if present and
-// intact.
+// intact. Records hold canonical-order results; the returned Cores are
+// mapped back to the caller's core order, so any permutation of a
+// stored scenario reads its own view of the one shared record.
 func (s *Store) GetScenario(sc sim.Scenario) (sim.ScenarioResult, bool) {
-	rec, ok := s.GetKey(ScenarioKey(sc))
+	norm, perm := sc.NormalizedPerm()
+	rec, ok := s.GetKey(ScenarioKey(norm))
 	if !ok {
 		return sim.ScenarioResult{}, false
 	}
-	return rec.Result, true
+	return rec.Result.Reorder(perm), true
 }
 
 // Get returns the stored result for a single-core config, if present
@@ -288,10 +294,18 @@ func (s *Store) Put(cfg sim.Config, res sim.Result) error {
 }
 
 func (s *Store) put(sc sim.Scenario, res sim.ScenarioResult) error {
-	sc = sc.Normalized()
-	if len(res.Cores) != len(sc.Cores) {
-		return fmt.Errorf("store: %d results for %d cores", len(res.Cores), len(sc.Cores))
+	norm, perm := sc.NormalizedPerm()
+	if len(res.Cores) != len(norm.Cores) {
+		return fmt.Errorf("store: %d results for %d cores", len(res.Cores), len(norm.Cores))
 	}
+	// Persist results in canonical core order, matching the canonical
+	// scenario the record carries (the caller may hold any permutation).
+	canon := make([]sim.Result, len(res.Cores))
+	for i, k := range perm {
+		canon[k] = res.Cores[i]
+	}
+	sc = norm
+	res = sim.ScenarioResult{Cores: canon}
 	key := ScenarioKey(sc)
 	rec := Record{Version: FormatVersion, Key: key, Scenario: sc, Result: res}
 	raw, err := json.MarshalIndent(rec, "", "  ")

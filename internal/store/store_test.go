@@ -301,11 +301,26 @@ func TestScenarioRoundTrip(t *testing.T) {
 			t.Fatalf("core %d mismatch:\ngot  %+v\nwant %+v", i, got.Cores[i], want.Cores[i])
 		}
 	}
-	// The index summarizes the primary core and the core count.
+	// The index summarizes the canonical-first core and the core count
+	// (canonical order sorts DB2 before Oracle).
 	for _, e := range s.Entries() {
-		if e.Workload != "Oracle" || e.Cores != 2 {
+		if e.Workload != "DB2" || e.Cores != 2 {
 			t.Fatalf("scenario entry wrong: %+v", e)
 		}
+	}
+
+	// A per-core permutation is the same record — and its Get view maps
+	// each result back to the permuted caller's core order.
+	swapped := sim.Scenario{Cores: []sim.Config{sc.Cores[1], sc.Cores[0]}}
+	if ScenarioKey(swapped) != ScenarioKey(sc) {
+		t.Fatal("permuted scenario has its own key")
+	}
+	gotSwapped, ok := s.GetScenario(swapped)
+	if !ok {
+		t.Fatal("permuted Get missed")
+	}
+	if gotSwapped.Cores[0] != want.Cores[1] || gotSwapped.Cores[1] != want.Cores[0] {
+		t.Fatalf("permuted view misaligned:\n%+v\nwant swap of %+v", gotSwapped.Cores, want.Cores)
 	}
 	// A result list that doesn't match the core count is rejected.
 	if err := s.PutScenario(sc, sim.ScenarioResult{Cores: want.Cores[:1]}); err == nil {

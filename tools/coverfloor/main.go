@@ -1,0 +1,84 @@
+// Command coverfloor enforces per-package statement-coverage floors: it
+// aggregates a `go test -coverprofile` profile by package and fails
+// (exit 1) when any package named in the floors file regresses below
+// its checked-in floor or is missing from the profile entirely. CI runs
+// it after the coverage job so a PR that deletes tests — or adds a pile
+// of untested code to a guarded package — fails the build with the
+// exact numbers in the log.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./internal/...
+//	go run ./tools/coverfloor -profile cover.out -floors tools/coverfloor/floors.json
+//
+// The floors file maps import paths to minimum coverage percentages:
+//
+//	{"shotgun/internal/dispatch": 75.0, "shotgun/internal/store": 80.0}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	floors := flag.String("floors", "tools/coverfloor/floors.json", "JSON map of import path -> minimum coverage %")
+	flag.Parse()
+
+	if err := run(*profile, *floors, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(profilePath, floorsPath string, out *os.File) error {
+	rawFloors, err := os.ReadFile(floorsPath)
+	if err != nil {
+		return fmt.Errorf("coverfloor: %w", err)
+	}
+	var want map[string]float64
+	if err := json.Unmarshal(rawFloors, &want); err != nil {
+		return fmt.Errorf("coverfloor: parse floors: %w", err)
+	}
+
+	raw, err := os.ReadFile(profilePath)
+	if err != nil {
+		return fmt.Errorf("coverfloor: %w", err)
+	}
+	got, err := coverageByPackage(string(raw))
+	if err != nil {
+		return fmt.Errorf("coverfloor: %w", err)
+	}
+
+	pkgs := make([]string, 0, len(want))
+	for pkg := range want {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	var failures []string
+	for _, pkg := range pkgs {
+		floor := want[pkg]
+		cov, ok := got[pkg]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: absent from profile (floor %.1f%%)", pkg, floor))
+		case cov+1e-9 < floor:
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < floor %.1f%%", pkg, cov, floor))
+		default:
+			fmt.Fprintf(out, "ok\t%s\t%.1f%% (floor %.1f%%)\n", pkg, cov, floor)
+		}
+	}
+	if len(failures) > 0 {
+		msg := "coverage regression:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

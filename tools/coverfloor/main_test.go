@@ -1,0 +1,90 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile and devNull keep TestRunEnforcesFloors readable.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+const sampleProfile = `mode: atomic
+shotgun/internal/dispatch/coordinator.go:10.2,12.3 2 5
+shotgun/internal/dispatch/coordinator.go:14.2,16.3 3 0
+shotgun/internal/dispatch/worker.go:8.2,9.3 5 1
+shotgun/internal/store/store.go:20.2,22.3 4 0
+`
+
+func TestCoverageByPackage(t *testing.T) {
+	got, err := coverageByPackage(sampleProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dispatch: (2+5)/(2+3+5) = 70%; store: 0/4 = 0%.
+	if cov := got["shotgun/internal/dispatch"]; math.Abs(cov-70) > 1e-9 {
+		t.Fatalf("dispatch coverage = %v, want 70", cov)
+	}
+	if cov := got["shotgun/internal/store"]; cov != 0 {
+		t.Fatalf("store coverage = %v, want 0", cov)
+	}
+}
+
+func TestCoverageByPackageRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no-separator-line",
+		"file.go:1.2,3.4 too few",
+		"file.go:1.2,3.4 x y z",
+	} {
+		if _, err := coverageByPackage("mode: set\n" + bad + "\n"); err == nil {
+			t.Errorf("profile %q accepted", bad)
+		}
+	}
+}
+
+func TestRunEnforcesFloors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := writeFile(p, content); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	profile := write("cover.out", sampleProfile)
+
+	// Floors that hold: passes.
+	ok := write("ok.json", `{"shotgun/internal/dispatch": 50}`)
+	if err := run(profile, ok, devNull(t)); err != nil {
+		t.Fatalf("holding floor failed: %v", err)
+	}
+
+	// A floor above measured coverage: fails with the numbers.
+	bad := write("bad.json", `{"shotgun/internal/dispatch": 90}`)
+	err := run(profile, bad, devNull(t))
+	if err == nil || !strings.Contains(err.Error(), "70.0% < floor 90.0%") {
+		t.Fatalf("regressed floor not reported: %v", err)
+	}
+
+	// A guarded package missing from the profile entirely: fails.
+	missing := write("missing.json", `{"shotgun/internal/server": 10}`)
+	err = run(profile, missing, devNull(t))
+	if err == nil || !strings.Contains(err.Error(), "absent from profile") {
+		t.Fatalf("missing package not reported: %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// blockStats accumulates one package's statement counts.
+type blockStats struct {
+	total   int
+	covered int
+}
+
+// coverageByPackage parses a go coverage profile ("mode:" header, then
+// `file.go:L.C,L.C numStmts hitCount` lines) and returns statement
+// coverage percentages keyed by import path. Duplicate blocks (the
+// atomic/count modes re-emit blocks per test binary) are merged by
+// summing counts, matching `go tool cover -func` totals closely enough
+// for floor checks.
+func coverageByPackage(profile string) (map[string]float64, error) {
+	stats := make(map[string]*blockStats)
+	for i, line := range strings.Split(profile, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: no file separator in %q", i+1, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want 'range numStmts hits', got %q", i+1, line)
+		}
+		var stmts, hits int
+		if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &stmts, &hits); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		pkg := path.Dir(file)
+		s := stats[pkg]
+		if s == nil {
+			s = &blockStats{}
+			stats[pkg] = s
+		}
+		s.total += stmts
+		if hits > 0 {
+			s.covered += stmts
+		}
+	}
+	out := make(map[string]float64, len(stats))
+	for pkg, s := range stats {
+		if s.total == 0 {
+			continue
+		}
+		out[pkg] = 100 * float64(s.covered) / float64(s.total)
+	}
+	return out, nil
+}
