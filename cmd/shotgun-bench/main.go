@@ -10,12 +10,14 @@
 //
 //	shotgun-bench                 # run everything at full scale
 //	shotgun-bench -quick          # short smoke-scale run
+//	shotgun-bench -list           # list experiment ids
 //	shotgun-bench -only fig7,fig9 # a subset
 //	shotgun-bench -parallel 1     # serial (seed-equivalent) execution
 //	shotgun-bench -json -out report.json   # machine-readable report
 //	shotgun-bench -store ./shotgun-store   # persist/reuse results on disk
 //	shotgun-bench -store ./s -store-max-bytes 1000000000  # prune to ~1GB
 //	shotgun-bench -cores 2,4,8,16 -mix entire-region      # custom interference sweep
+//	shotgun-bench -spec my-sweep.json      # run a declarative sweep (docs/SPEC.md)
 //	shotgun-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -33,6 +35,7 @@ import (
 
 	"shotgun/internal/harness"
 	"shotgun/internal/report"
+	"shotgun/internal/spec"
 	"shotgun/internal/store"
 )
 
@@ -54,7 +57,12 @@ type options struct {
 	outPath       string
 	storeDir      string
 	storeMaxBytes int64
-	// selected experiments, in harness order (empty only with list).
+	// specScale is a scale pinned by a -spec file (nil: -quick/full).
+	specScale *harness.Scale
+	// specExps are the -spec files' tables (nil without -spec); -list
+	// shows them ahead of the built-in catalog.
+	specExps []harness.Experiment
+	// selected experiments, in catalog order (empty only with list).
 	run []harness.Experiment
 }
 
@@ -101,8 +109,9 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.Int64Var(&opts.storeMaxBytes, "store-max-bytes", 0,
 		"prune the store's oldest records down to this many bytes on open (0: keep everything)")
 	var (
-		cores = fs.String("cores", "", "interference sweep: comma-separated total core counts (default 2,4,8)")
-		mix   = fs.String("mix", "", "interference sweep: comma-separated mixes (shotgun-8bit, entire-region)")
+		cores    = fs.String("cores", "", "interference sweep: comma-separated total core counts (default 2,4,8)")
+		mix      = fs.String("mix", "", "interference sweep: comma-separated mixes (shotgun-8bit, entire-region)")
+		specList = fs.String("spec", "", "comma-separated sweep spec files (docs/SPEC.md); runs the specs' tables instead of the built-in catalog")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -121,6 +130,42 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	}
 	if opts.storeMaxBytes > 0 && opts.storeDir == "" {
 		return options{}, fmt.Errorf("-store-max-bytes requires -store")
+	}
+
+	// -spec swaps the experiment catalog for the named spec files'
+	// tables (the built-in catalog stays reachable through -only, which
+	// resolves ids against spec tables first, then built-ins). A spec
+	// that pins a scale pins the whole run's.
+	var specExps []harness.Experiment
+	if *specList != "" {
+		if *cores != "" || *mix != "" {
+			return options{}, fmt.Errorf("-cores/-mix customize the built-in interference experiment; declare an interference table in the spec instead")
+		}
+		seen := make(map[string]bool)
+		for _, path := range parseStringList(*specList) {
+			c, err := spec.CompileFile(path)
+			if err != nil {
+				return options{}, err
+			}
+			if sc := c.Spec.Scale; sc != nil {
+				hs := sc.Harness()
+				if opts.quick {
+					return options{}, fmt.Errorf("%s pins a scale; it cannot combine with -quick", path)
+				}
+				if opts.specScale != nil && *opts.specScale != hs {
+					return options{}, fmt.Errorf("-spec files pin conflicting scales (%+v vs %+v)", *opts.specScale, hs)
+				}
+				opts.specScale = &hs
+			}
+			for _, e := range c.Experiments() {
+				if seen[e.ID] {
+					return options{}, fmt.Errorf("duplicate experiment id %q across -spec files", e.ID)
+				}
+				seen[e.ID] = true
+				specExps = append(specExps, e)
+			}
+		}
+		opts.specExps = specExps
 	}
 
 	// -cores/-mix customize the interference sweep (harness defaults
@@ -165,15 +210,26 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		return e
 	}
 
-	exps := harness.Experiments()
 	if only == "" {
-		for _, e := range exps {
+		if specExps != nil {
+			opts.run = specExps
+			return opts, nil
+		}
+		for _, e := range harness.Experiments() {
 			opts.run = append(opts.run, substitute(e))
 		}
 		return opts, nil
 	}
+	fromSpec := make(map[string]harness.Experiment, len(specExps))
+	for _, e := range specExps {
+		fromSpec[e.ID] = e
+	}
 	for _, id := range strings.Split(only, ",") {
 		id = strings.TrimSpace(id)
+		if e, ok := fromSpec[id]; ok {
+			opts.run = append(opts.run, e)
+			continue
+		}
 		e, ok := harness.Find(id)
 		if !ok {
 			return options{}, fmt.Errorf("unknown experiment %q in -only; use -list", id)
@@ -209,6 +265,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if opts.list {
+		// Spec tables lead: -only resolves their ids first, so the
+		// listing mirrors the selection order.
+		for _, e := range opts.specExps {
+			fmt.Fprintf(stdout, "%-8s %s (spec)\n", e.ID, e.Desc)
+		}
 		for _, e := range harness.Experiments() {
 			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Desc)
 		}
@@ -253,6 +314,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if opts.quick {
 		scale = harness.QuickScale()
 		scaleName = "quick"
+	}
+	if opts.specScale != nil {
+		scale = *opts.specScale
+		scaleName = "spec"
 	}
 	runner := harness.NewRunnerWorkers(scale, opts.parallel)
 	if opts.storeDir != "" {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -116,5 +118,97 @@ func TestParseOptionsRejectsUnknownFlag(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "frobnicate") {
 		t.Fatalf("flag error not reported to stderr: %q", errBuf.String())
+	}
+}
+
+// specFile writes a minimal valid spec and returns its path.
+func specFile(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tinySpecBody = `{
+  "version": 1, "name": "tiny",
+  "tables": [{"id": "tinytable", "title": "t", "grid": {
+    "workloads": ["Nutch"],
+    "columns": [{"name": "none", "config": {"mechanism": "none"}}],
+    "metric": "ipc"}}]
+}`
+
+func TestParseOptionsSpecCatalog(t *testing.T) {
+	path := specFile(t, "tiny.json", tinySpecBody)
+
+	// -spec alone runs exactly the spec's tables.
+	opts, err := parseOptions([]string{"-spec", path}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.run) != 1 || opts.run[0].ID != "tinytable" {
+		t.Fatalf("run = %+v, want the spec's table", opts.run)
+	}
+
+	// -only resolves across spec tables and built-ins.
+	opts, err = parseOptions([]string{"-spec", path, "-only", "tinytable,fig7"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.run) != 2 || opts.run[0].ID != "tinytable" || opts.run[1].ID != "fig7" {
+		t.Fatalf("run = %+v, want [tinytable fig7]", opts.run)
+	}
+
+	// A broken spec file fails parsing, not the run.
+	bad := specFile(t, "bad.json", `{"version": 1, "bogus": true}`)
+	if _, err := parseOptions([]string{"-spec", bad}, io.Discard); err == nil {
+		t.Fatal("broken spec accepted")
+	}
+
+	// -cores/-mix tune the built-in interference sweep only.
+	if _, err := parseOptions([]string{"-spec", path, "-cores", "2"}, io.Discard); err == nil {
+		t.Fatal("-spec with -cores accepted")
+	}
+}
+
+func TestParseOptionsSpecScale(t *testing.T) {
+	pinned := specFile(t, "pinned.json", `{
+	  "version": 1, "name": "pinned",
+	  "scale": {"warmup_instr": 1000, "measure_instr": 2000, "samples": 1},
+	  "tables": [{"id": "p", "title": "t", "grid": {
+	    "workloads": ["Nutch"],
+	    "columns": [{"name": "none", "config": {"mechanism": "none"}}],
+	    "metric": "ipc"}}]
+	}`)
+	opts, err := parseOptions([]string{"-spec", pinned}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.specScale == nil || opts.specScale.WarmupInstr != 1000 {
+		t.Fatalf("spec scale not pinned: %+v", opts.specScale)
+	}
+	if _, err := parseOptions([]string{"-spec", pinned, "-quick"}, io.Discard); err == nil {
+		t.Fatal("pinned scale with -quick accepted")
+	}
+}
+
+// TestListIncludesSpecTables: -list must reflect the -spec catalog
+// swap, showing spec table ids ahead of the built-ins.
+func TestListIncludesSpecTables(t *testing.T) {
+	path := specFile(t, "tiny.json", tinySpecBody)
+	var out strings.Builder
+	if code := run([]string{"-spec", path, "-list"}, &out, io.Discard); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	listing := out.String()
+	if !strings.Contains(listing, "tinytable") || !strings.Contains(listing, "(spec)") {
+		t.Fatalf("-list missing the spec table:\n%s", listing)
+	}
+	if !strings.Contains(listing, "fig7") {
+		t.Fatalf("-list missing built-ins:\n%s", listing)
+	}
+	if strings.Index(listing, "tinytable") > strings.Index(listing, "fig7") {
+		t.Fatalf("spec tables should lead the listing:\n%s", listing)
 	}
 }

@@ -27,8 +27,10 @@
 //	shotgun-server -addr :8080 -store ./shotgun-store           # full scale, single node
 //	shotgun-server -scale quick -parallel 4                     # smoke scale
 //	shotgun-server -store ./s -store-max-bytes 1000000000       # prune to ~1GB on start
+//	shotgun-server -queue 8192 -shutdown-timeout 30s            # backlog + drain deadline
 //	shotgun-server -coordinator -store ./s -lease-ttl 30s       # cluster front-end
 //	shotgun-server -join http://coord:8080 -parallel 8          # simulation worker
+//	shotgun-server -join http://coord:8080 -worker-id rack3-a   # named worker
 //
 // Example session:
 //
@@ -38,6 +40,7 @@
 //	    -d '{"scenarios":[{"Cores":[{"Workload":"Oracle","Mechanism":"shotgun"},{"Workload":"DB2","Mechanism":"fdip"}]}]}'
 //	curl -s localhost:8080/v1/scenarios/<key>
 //	curl -s localhost:8080/v1/experiments/fig7?format=csv
+//	curl -s -X POST --data-binary @specs/fig7.json 'localhost:8080/v1/sweeps?format=text'
 //	curl -s localhost:8080/v1/cluster                            # coordinator only
 package main
 

@@ -6,24 +6,33 @@
 //
 //	shotgun-sim -workload Oracle -mechanism shotgun -btb 2048 \
 //	    -warmup 2000000 -measure 3000000 -samples 3
+//	shotgun-sim -workload Oracle -region entire -bits 32   # a footprint variant
 //	shotgun-sim -workload DB2 -json -out result.json
 //	shotgun-sim -workload Oracle -cores 4                  # 3 identical co-runners
 //	shotgun-sim -workload Oracle -mix fdip,none            # 2 co-runners, mixed mechanisms
+//	shotgun-sim -workload Oracle -cores 8 -llc 4194304     # shared-LLC override
 //	shotgun-sim -workload Oracle -trace oracle.trace       # replay a recorded trace
+//	shotgun-sim -spec specs/fig7.json                      # run a sweep spec locally
+//	shotgun-sim -spec sweep.json -submit http://coord:8080 # ... or on a farm (/v1/sweeps)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"shotgun/internal/footprint"
+	"shotgun/internal/harness"
 	"shotgun/internal/prefetch"
+	"shotgun/internal/report"
 	"shotgun/internal/sim"
+	"shotgun/internal/spec"
 	"shotgun/internal/trace"
 	"shotgun/internal/workload"
 )
@@ -39,6 +48,8 @@ var errPrinted = errors.New("flag parse error")
 type options struct {
 	scenario  sim.Scenario
 	tracePath string
+	specPath  string
+	submitURL string
 	jsonOut   bool
 	outPath   string
 }
@@ -65,6 +76,8 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	)
 	opts := options{}
 	fs.StringVar(&opts.tracePath, "trace", "", "drive core 0 from this recorded trace instead of the workload walker")
+	fs.StringVar(&opts.specPath, "spec", "", "run a sweep spec file (docs/SPEC.md) instead of a single scenario")
+	fs.StringVar(&opts.submitURL, "submit", "", "POST the -spec file to this server's /v1/sweeps instead of running locally")
 	fs.BoolVar(&opts.jsonOut, "json", false, "emit the result as JSON instead of text")
 	fs.StringVar(&opts.outPath, "out", "", "write the output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +85,26 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 			return options{}, err
 		}
 		return options{}, errPrinted
+	}
+	// -spec runs a whole declared sweep; the single-scenario flags
+	// describe exactly one simulation. Mixing the two would silently
+	// ignore one side, so reject every explicit scenario flag.
+	if opts.specPath != "" {
+		var conflicting []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spec", "submit", "json", "out":
+			default:
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return options{}, fmt.Errorf("-spec runs the spec file's tables; drop %s", strings.Join(conflicting, ", "))
+		}
+		return opts, nil
+	}
+	if opts.submitURL != "" {
+		return options{}, fmt.Errorf("-submit posts a spec file; it requires -spec")
 	}
 	// Zero-valued config fields mean "use the default" after
 	// normalization, so an explicit 0 would silently run at full
@@ -168,6 +201,103 @@ type jsonResult struct {
 	Result   sim.ScenarioResult `json:"result"`
 }
 
+// outWriter resolves -out: the named file, or fallback.
+func outWriter(opts options, fallback io.Writer, stderr io.Writer) (io.Writer, func(), int) {
+	if opts.outPath == "" {
+		return fallback, func() {}, 0
+	}
+	f, err := os.Create(opts.outPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, nil, 1
+	}
+	return f, func() { f.Close() }, 0
+}
+
+// runSpec is the -spec path: compile the file and either run its
+// tables on a private local runner — at the spec's pinned scale, or
+// the paper's full scale when the spec pins none — or post it to a
+// farm's /v1/sweeps and relay the rendered response.
+func runSpec(opts options, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(opts.specPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Compile locally even when submitting: a broken spec should fail
+	// here with a local error message, not travel to the server.
+	compiled, err := spec.Compile(data)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// -out is opened only after the sweep has succeeded (like the
+	// single-scenario path, which simulates before creating the file),
+	// so a failed run or an unreachable farm never truncates an
+	// existing report.
+	if opts.submitURL != "" {
+		format := "text"
+		if opts.jsonOut {
+			format = "json"
+		}
+		url := strings.TrimRight(opts.submitURL, "/") + "/v1/sweeps?format=" + format
+		resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "%s: %s\n%s", url, resp.Status, body)
+			return 1
+		}
+		out, closeOut, code := outWriter(opts, stdout, stderr)
+		if code != 0 {
+			return code
+		}
+		defer closeOut()
+		if _, err := out.Write(body); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	scale := harness.FullScale()
+	scaleName := "full"
+	if sc := compiled.Spec.Scale; sc != nil {
+		scale = sc.Harness()
+		scaleName = "spec"
+	}
+	runner := harness.NewRunner(scale)
+	exps := compiled.Experiments()
+	// All simulation work happens here; rendering below only reads the
+	// memo, so opening -out after this point cannot strand a truncated
+	// file behind minutes of lost work.
+	runner.PrefetchScenarios(harness.AllScenarios(exps))
+	out, closeOut, code := outWriter(opts, stdout, stderr)
+	if code != 0 {
+		return code
+	}
+	defer closeOut()
+	if opts.jsonOut {
+		if err := report.FromExperiments(runner, exps, scaleName).WriteJSON(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	for _, e := range exps {
+		fmt.Fprintln(out, e.Run(runner))
+	}
+	return 0
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	opts, err := parseOptions(args, stderr)
 	if err != nil {
@@ -178,6 +308,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 		}
 		return 2
+	}
+	if opts.specPath != "" {
+		return runSpec(opts, stdout, stderr)
 	}
 
 	var res sim.ScenarioResult
@@ -207,16 +340,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	out := stdout
-	if opts.outPath != "" {
-		f, err := os.Create(opts.outPath)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		defer f.Close()
-		out = f
+	out, closeOut, code := outWriter(opts, stdout, stderr)
+	if code != 0 {
+		return code
 	}
+	defer closeOut()
 	if opts.jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -151,5 +153,68 @@ func TestRunScenarioText(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+func TestParseOptionsSpecMode(t *testing.T) {
+	opts, err := parseOptions([]string{"-spec", "sweep.json", "-json", "-out", "r.json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.specPath != "sweep.json" || !opts.jsonOut || opts.outPath != "r.json" {
+		t.Fatalf("spec options not carried: %+v", opts)
+	}
+
+	// Scenario flags conflict with -spec: the spec declares the sweep.
+	for _, args := range [][]string{
+		{"-spec", "s.json", "-workload", "Oracle"},
+		{"-spec", "s.json", "-cores", "4"},
+		{"-spec", "s.json", "-trace", "t.sgtr"},
+	} {
+		if _, err := parseOptions(args, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+
+	// -submit without -spec has nothing to post.
+	if _, err := parseOptions([]string{"-submit", "http://coord:8080"}, io.Discard); err == nil {
+		t.Fatal("-submit without -spec accepted")
+	}
+}
+
+// TestRunSpecFile drives the -spec path through real run(): a
+// scale-pinned tiny sweep must render its declared table.
+func TestRunSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.json")
+	doc := `{
+	  "version": 1, "name": "tiny",
+	  "scale": {"warmup_instr": 40000, "measure_instr": 60000, "samples": 1},
+	  "tables": [{"id": "t", "title": "tiny ipc", "grid": {
+	    "workloads": ["Nutch"],
+	    "columns": [{"name": "none", "config": {"mechanism": "none"}}],
+	    "metric": "ipc"}}]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-spec", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "tiny ipc") || !strings.Contains(out.String(), "Nutch") {
+		t.Fatalf("unexpected render:\n%s", out.String())
+	}
+
+	// A broken spec fails with exit 1 and a named error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"bogus":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errBad strings.Builder
+	if code := run([]string{"-spec", bad}, io.Discard, &errBad); code != 1 {
+		t.Fatalf("broken spec exit %d, want 1", code)
+	}
+	if !strings.Contains(errBad.String(), "bogus") {
+		t.Fatalf("error does not name the unknown field: %s", errBad.String())
 	}
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"testing"
+
+	"shotgun/internal/cmdtest"
+)
+
+// TestUsageMentionsAllFlags guards the command's documentation against
+// flag drift: every flag the parser registers (as printed by -h) must
+// be mentioned in main.go's leading doc comment. The scan itself lives
+// in internal/cmdtest, shared by all four commands.
+func TestUsageMentionsAllFlags(t *testing.T) {
+	var usage bytes.Buffer
+	if _, err := parseOptions([]string{"-h"}, &usage); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h did not trigger help: %v", err)
+	}
+	cmdtest.UsageMentionsAllFlags(t, usage.String(), "main.go")
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"shotgun/internal/harness"
@@ -24,13 +25,15 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current model")
 
-// goldenRunner runs the full quick-scale evaluation once, shared by the
-// per-experiment subtests.
-func goldenRunner() *harness.Runner {
+// goldenRunner runs the full quick-scale evaluation once per test
+// process, shared by the per-experiment subtests and by the spec
+// parity test (spec_golden_test.go) — both assemble tables from the
+// same memoized results instead of simulating the suite twice.
+var goldenRunner = sync.OnceValue(func() *harness.Runner {
 	r := harness.NewRunner(harness.QuickScale())
 	r.PrefetchScenarios(harness.AllScenarios(harness.Experiments()))
 	return r
-}
+})
 
 func TestGolden(t *testing.T) {
 	exps := harness.Experiments()

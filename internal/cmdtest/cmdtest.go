@@ -1,0 +1,50 @@
+// Package cmdtest holds the shared test helper behind every command's
+// TestUsageMentionsAllFlags guard: the flag-extraction and doc-comment
+// scan live here once, so tightening the guard tightens it for all
+// four commands at the same time.
+package cmdtest
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// flagRE extracts flag names from a FlagSet's -h output ("  -name ...").
+var flagRE = regexp.MustCompile(`(?m)^\s+-([a-zA-Z0-9][a-zA-Z0-9-]*)\b`)
+
+// UsageMentionsAllFlags asserts that every flag printed by the
+// command's -h output (the parser's ground truth) is mentioned,
+// spelled "-name", in the leading doc comment of the mainFile in the
+// caller's working directory. A new flag without a doc-comment mention
+// fails, so a command's usage text can never silently fall behind its
+// implementation.
+func UsageMentionsAllFlags(t *testing.T, usage, mainFile string) {
+	t.Helper()
+	matches := flagRE.FindAllStringSubmatch(usage, -1)
+	if len(matches) == 0 {
+		t.Fatalf("no flags found in -h output:\n%s", usage)
+	}
+	src, err := os.ReadFile(mainFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := bytes.Index(src, []byte("\npackage "))
+	if pkg < 0 {
+		t.Fatalf("%s has no package clause", mainFile)
+	}
+	doc := string(src[:pkg])
+	seen := make(map[string]bool)
+	for _, m := range matches {
+		name := m[1]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !strings.Contains(doc, "-"+name) {
+			t.Errorf("%s's doc comment does not mention -%s", mainFile, name)
+		}
+	}
+}

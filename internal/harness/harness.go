@@ -192,6 +192,18 @@ func (r *Runner) flightFor(sc sim.Scenario) *flight {
 	return f
 }
 
+// Seed primes the memo with an externally computed result for a
+// normalized scenario — the bridge that lets results computed OUTSIDE
+// this runner (a dispatch cluster's workers, whose records live only
+// in a job table) serve later renders instead of re-simulating. The
+// scenario must be normalized and res in its core order; if the key is
+// already memoized or in flight, the existing result wins (it is the
+// same simulation by identity).
+func (r *Runner) Seed(sc sim.Scenario, res sim.ScenarioResult) {
+	f := r.flightFor(sc)
+	f.once.Do(func() { f.res = res })
+}
+
 // RunScenario executes (or recalls) one scenario at the runner's scale.
 // Concurrent callers of the same scenario — including callers holding
 // per-core permutations of it — share a single execution; results come

@@ -128,3 +128,19 @@ func TestCacheKeyCollisions(t *testing.T) {
 		t.Error("explicit default LLC size changed the key")
 	}
 }
+
+// TestSeedShortCircuitsSimulation: a result seeded from outside (a
+// dispatch cluster's job table) must be served by the memo verbatim,
+// with no local simulation.
+func TestSeedShortCircuitsSimulation(t *testing.T) {
+	r := NewRunnerWorkers(QuickScale(), 1)
+	cfg := sim.Config{Workload: "Nutch", Mechanism: sim.None}
+	sc := r.NormalizeScenario(sim.SingleCore(cfg))
+	fake := sim.ScenarioResult{Cores: []sim.Result{{Workload: "Nutch", Mechanism: sim.None}}}
+	fake.Cores[0].Core.Instructions = 12345 // marker no real run produces at this scale
+	r.Seed(sc, fake)
+	got := r.RunScenario(sim.SingleCore(cfg))
+	if got.Cores[0].Core.Instructions != 12345 {
+		t.Fatalf("seeded result not served: instructions = %d", got.Cores[0].Core.Instructions)
+	}
+}

@@ -9,6 +9,8 @@
 //	GET  /v1/sims/{key}           poll one simulation; result embedded when done
 //	POST /v1/scenarios            {"scenarios":[sim.Scenario...]} -> 202 {"scenarios":[{key,status,...}]}
 //	GET  /v1/scenarios/{key}      poll one scenario; per-core results embedded when done
+//	POST /v1/sweeps               body: a spec document (internal/spec); expand, run, render
+//	                              (?format=json|csv|text, ?tables=id,... to select tables)
 //	GET  /v1/experiments          list experiment ids
 //	GET  /v1/experiments/{name}   render a table/figure (?format=json|csv|text)
 //	GET  /v1/store/stats          persistent-store traffic counters
@@ -77,10 +79,34 @@ type job struct {
 	key string
 	sc  sim.Scenario // pinned to the server scale
 
+	// done closes when the job reaches a terminal state (done or
+	// failed); synchronous waiters (the sweep handler) select on it.
+	done chan struct{}
+
 	mu     sync.Mutex
 	status string
 	result sim.ScenarioResult
 	err    string
+}
+
+// newJob builds a queued job for a pinned scenario.
+func newJob(key string, sc sim.Scenario) *job {
+	return &job{key: key, sc: sc, status: StatusQueued, done: make(chan struct{})}
+}
+
+// finish moves the job to a terminal state exactly once; redundant
+// completions (a stale cluster worker pushing after a requeue) leave
+// the first outcome in place.
+func (j *job) finish(status string, res sim.ScenarioResult, msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusDone || j.status == StatusFailed {
+		return
+	}
+	j.status = status
+	j.result = res
+	j.err = msg
+	close(j.done)
 }
 
 // snapshot is the single-core (/v1/sims) view of a job: core 0's
@@ -156,6 +182,7 @@ type ScenarioStatus struct {
 type Server struct {
 	runner    *harness.Runner
 	st        *store.Store
+	scale     harness.Scale
 	scaleName string
 	maxBatch  int
 	exec      dispatch.Executor
@@ -165,6 +192,15 @@ type Server struct {
 	// closed rejects new submissions (RejectNew/Close/Shutdown) before
 	// they reach the executor, so a late handler gets an honest 503.
 	closed bool
+	// abandonCh closes when Shutdown ABANDONS queued jobs (which never
+	// close their done channels), waking synchronous waiters (the sweep
+	// handler) to answer 503. It deliberately does NOT close on
+	// RejectNew or Close: during a graceful drain in-flight sweeps keep
+	// waiting — their jobs are still allowed to finish, and a sweep
+	// whose last job completes inside the drain window delivers its
+	// rendered result instead of a premature 503.
+	abandoned bool
+	abandonCh chan struct{}
 }
 
 // New builds a server and starts its execution backend. Call Close to
@@ -189,9 +225,11 @@ func New(cfg Config) *Server {
 	s := &Server{
 		runner:    runner,
 		st:        cfg.Store,
+		scale:     cfg.Scale,
 		scaleName: cfg.ScaleName,
 		maxBatch:  maxBatch,
 		jobs:      make(map[string]*job),
+		abandonCh: make(chan struct{}),
 	}
 	if cfg.NewExecutor != nil {
 		s.exec = cfg.NewExecutor(runner, s)
@@ -239,20 +277,14 @@ func (s *Server) JobRequeued(key string) {
 // JobDone implements dispatch.Sink.
 func (s *Server) JobDone(key string, res sim.ScenarioResult) {
 	if j := s.jobByKey(key); j != nil {
-		j.mu.Lock()
-		j.status = StatusDone
-		j.result = res
-		j.mu.Unlock()
+		j.finish(StatusDone, res, "")
 	}
 }
 
 // JobFailed implements dispatch.Sink.
 func (s *Server) JobFailed(key string, msg string) {
 	if j := s.jobByKey(key); j != nil {
-		j.mu.Lock()
-		j.status = StatusFailed
-		j.err = msg
-		j.mu.Unlock()
+		j.finish(StatusFailed, sim.ScenarioResult{}, msg)
 	}
 }
 
@@ -282,10 +314,16 @@ func (s *Server) RejectNew() {
 }
 
 // stop implements Close/Shutdown: reject new submissions, then stop
-// the executor (drain or abandon).
+// the executor. Only the abandoning path wakes sweep waiters — a
+// draining Close runs every queued job to completion, so waiters
+// finish naturally through their done channels.
 func (s *Server) stop(abandon bool) {
 	s.mu.Lock()
 	s.closed = true
+	if abandon && !s.abandoned {
+		s.abandoned = true
+		close(s.abandonCh)
+	}
 	s.mu.Unlock()
 	s.exec.Stop(abandon)
 }
@@ -297,6 +335,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sims/{key}", s.handlePoll)
 	mux.HandleFunc("POST /v1/scenarios", s.handleSubmitScenarios)
 	mux.HandleFunc("GET /v1/scenarios/{key}", s.handlePollScenario)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
@@ -330,17 +369,24 @@ type submitResponse struct {
 // is pointless. The returned jobs include deduplicated hits on
 // existing keys, in batch order.
 func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
-	// Hash content keys and consult the persistent store before taking
-	// the job-table lock: SHA-256 over a canonical marshal and a disk
-	// read per scenario are the expensive parts, and doing them here
-	// keeps concurrent submitters (and every Sink callback) from
-	// serializing behind them. The store peek races benignly with
-	// concurrent submits of the same key — whoever takes the lock first
-	// registers the job, and the loser below reuses it.
 	keys := make([]string, len(scs))
 	for i, sc := range scs {
 		keys[i] = store.ScenarioKey(sc)
 	}
+	return s.enqueueKeyed(keys, scs)
+}
+
+// enqueueKeyed is enqueueScenarios for callers that already computed
+// the content keys (the sweep handler hashes during its own dedup
+// pass); keys[i] must be store.ScenarioKey(scs[i]).
+//
+// The store is consulted before taking the job-table lock: hashing and
+// a disk read per scenario are the expensive parts, and doing them
+// here keeps concurrent submitters (and every Sink callback) from
+// serializing behind them. The store peek races benignly with
+// concurrent submits of the same key — whoever takes the lock first
+// registers the job, and the loser below reuses it.
+func (s *Server) enqueueKeyed(keys []string, scs []sim.Scenario) ([]*job, error) {
 	stored := make(map[string]sim.ScenarioResult)
 	if s.st != nil {
 		for _, key := range keys {
@@ -367,13 +413,12 @@ func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
 			jobs = append(jobs, existing)
 			continue
 		}
-		j := &job{key: key, sc: sc, status: StatusQueued}
+		j := newJob(key, sc)
 		if res, found := stored[key]; found {
 			// Already persisted by a previous life of this service (or
 			// another node on the same store): born done, the executor
 			// never sees it.
-			j.status = StatusDone
-			j.result = res
+			j.finish(StatusDone, res, "")
 			s.jobs[key] = j
 			jobs = append(jobs, j)
 			continue

@@ -1,0 +1,208 @@
+package server
+
+// POST /v1/sweeps: declarative sweep execution. The body is a spec
+// document (internal/spec); the server validates and expands it,
+// enqueues every expanded scenario through the ordinary job table — so
+// sweep jobs dedup against /v1/sims, /v1/scenarios, compiled-in
+// experiment renders, and the persistent store by content key — waits
+// for the expansion to finish, and renders the chosen tables.
+//
+//	POST /v1/sweeps?format=json|csv|text&tables=id1,id2   body: spec JSON
+//
+// json responses wrap the report with the sweep's scenario keys, so a
+// client can re-poll individual results via GET /v1/scenarios/{key}
+// afterwards; csv and text responses are the bare rendered tables.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/report"
+	"shotgun/internal/sim"
+	"shotgun/internal/spec"
+	"shotgun/internal/stats"
+	"shotgun/internal/store"
+)
+
+// sweepResponse is POST /v1/sweeps' json body.
+type sweepResponse struct {
+	// Name echoes the spec's name.
+	Name string `json:"name"`
+	// Scale is the server's scale label (the spec ran pinned to it).
+	Scale string `json:"scale,omitempty"`
+	// Keys lists the expanded scenarios' content keys in deterministic
+	// expansion order (deduplicated, first occurrence kept); each is
+	// pollable via GET /v1/scenarios/{key}.
+	Keys []string `json:"keys"`
+	// Report carries the rendered tables.
+	Report report.Report `json:"report"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "csv", "text":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (json, csv, text)", format)
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	compiled, err := spec.Compile(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Content keys derive from the server's pinned scale; a spec that
+	// pins a different scale would silently run at the wrong one.
+	if sc := compiled.Spec.Scale; sc != nil && sc.Harness() != s.scale {
+		httpError(w, http.StatusBadRequest,
+			"spec pins scale %+v but this server runs %q (%+v); drop the spec's scale or submit to a matching server",
+			*sc, s.scaleName, s.scale)
+		return
+	}
+
+	exps := compiled.Experiments()
+	if sel := r.URL.Query().Get("tables"); sel != "" {
+		byID := make(map[string]int, len(exps))
+		for i, e := range exps {
+			byID[e.ID] = i
+		}
+		var picked []harness.Experiment
+		seen := make(map[string]bool)
+		for _, id := range strings.Split(sel, ",") {
+			id = strings.TrimSpace(id)
+			i, ok := byID[id]
+			if !ok {
+				httpError(w, http.StatusBadRequest, "spec %q has no table %q", compiled.Spec.Name, id)
+				return
+			}
+			if !seen[id] {
+				seen[id] = true
+				picked = append(picked, exps[i])
+			}
+		}
+		exps = picked
+	}
+
+	// Expand the selected tables' work list, pin it to the server
+	// scale, and push it through the shared job table — identical keys
+	// dedup onto existing jobs (or store records) exactly like the
+	// batch endpoints.
+	scs := harness.AllScenarios(exps)
+	var keys []string
+	var pinned []sim.Scenario
+	seenKeys := make(map[string]bool, len(scs))
+	for _, sc := range scs {
+		n := s.runner.NormalizeScenario(sc)
+		key := store.ScenarioKey(n)
+		if seenKeys[key] {
+			continue
+		}
+		seenKeys[key] = true
+		keys = append(keys, key)
+		pinned = append(pinned, n)
+	}
+	jobs, err := s.enqueueKeyed(keys, pinned)
+	if err != nil {
+		s.enqueueError(w, err)
+		return
+	}
+
+	// Wait for the expansion to finish. The request context bounds the
+	// wait: a gone client stops consuming worker results here, but the
+	// enqueued jobs keep running — their results stay pollable (and
+	// store-persisted), so a retry after a timeout is all hits. Job
+	// ABANDONMENT also wakes the wait: Shutdown leaves queued jobs
+	// behind without closing their done channels, so without the signal
+	// this handler would stall until the HTTP drain deadline killed the
+	// connection instead of answering an honest 503. A graceful drain
+	// (Close, or the pre-drain RejectNew) deliberately does not wake
+	// waiters — in-flight jobs may still finish inside the drain
+	// window, and a sweep whose last job completes there delivers its
+	// rendered result.
+	ctx := r.Context()
+	for _, j := range jobs {
+		// Fast path first: select picks uniformly among ready cases, so
+		// without it a just-closed abandonCh could win over an equally
+		// closed done channel and 503 a sweep whose work all finished.
+		select {
+		case <-j.done:
+			continue
+		default:
+		}
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			httpError(w, http.StatusServiceUnavailable,
+				"sweep %q interrupted while simulating; results keep computing and dedup on resubmit", compiled.Spec.Name)
+			return
+		case <-s.abandonCh:
+			httpError(w, http.StatusServiceUnavailable,
+				"server shutting down mid-sweep %q; completed results persist and dedup on resubmit", compiled.Spec.Name)
+			return
+		}
+	}
+	var failed []string
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.status == StatusFailed {
+			failed = append(failed, fmt.Sprintf("%s: %s", j.key, j.err))
+		}
+		j.mu.Unlock()
+	}
+	if len(failed) > 0 {
+		httpError(w, http.StatusInternalServerError, "sweep %q: %d scenarios failed: %s",
+			compiled.Spec.Name, len(failed), strings.Join(failed, "; "))
+		return
+	}
+
+	// Seed the runner's memo with every completed job's result, then
+	// assemble. With a LocalPool this is a no-op (the pool already ran
+	// through this runner); with a coordinator it is what makes the
+	// farm's work reach local table assembly even when no store is
+	// attached — without it the render below would re-simulate the
+	// whole sweep.
+	for _, j := range jobs {
+		j.mu.Lock()
+		done := j.status == StatusDone
+		res := j.result
+		j.mu.Unlock()
+		if done {
+			s.runner.Seed(j.sc, res)
+		}
+	}
+	tables := make([]*stats.Table, len(exps))
+	for i, e := range exps {
+		tables[i] = e.Table(s.runner)
+	}
+	switch format {
+	case "json", "csv":
+		rep := report.Report{Version: report.Version, Scale: s.scaleName}
+		for i, e := range exps {
+			rep.Tables = append(rep.Tables, report.FromStats(e.ID, tables[i]))
+		}
+		if format == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			_ = rep.WriteCSV(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, sweepResponse{Name: compiled.Spec.Name, Scale: s.scaleName, Keys: keys, Report: rep})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, tab := range tables {
+			fmt.Fprintln(w, tab.String())
+		}
+	}
+}

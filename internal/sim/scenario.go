@@ -1,11 +1,12 @@
-// Scenario layer: a simulation is no longer "one core plus a background
-// constant" but "N cores of a CMP sharing an uncore". Each core has its
-// own workload, control-flow delivery mechanism and private caches; the
-// LLC capacity and the mesh backlog are genuinely shared, so co-runner
-// interference (the paper's Figure 11 over-prefetch effect, shared-LLC
-// pressure, heterogeneous mixes) is emergent behaviour instead of a
-// baked-in fluid-queue constant. The single-core simulation of the
-// original evaluation is exactly the N=1 scenario.
+// This file is the scenario layer: a simulation is no longer "one core
+// plus a background constant" but "N cores of a CMP sharing an uncore".
+// Each core has its own workload, control-flow delivery mechanism and
+// private caches; the LLC capacity and the mesh backlog are genuinely
+// shared, so co-runner interference (the paper's Figure 11 over-prefetch
+// effect, shared-LLC pressure, heterogeneous mixes) is emergent
+// behaviour instead of a baked-in fluid-queue constant. The single-core
+// simulation of the original evaluation is exactly the N=1 scenario.
+
 package sim
 
 import (

@@ -3,6 +3,16 @@
 // hierarchy into a core, runs SMARTS-style warmup+measurement sampling,
 // and returns the statistics every experiment in the paper is built
 // from.
+//
+// Two units exist. A Config describes one core's simulation; a Scenario
+// (scenario.go) is the general unit — N configured cores over one
+// genuinely shared LLC and NoC — of which Run(cfg) is exactly the N=1
+// special case, bit-for-bit. Identity contract: Scenario.Normalized
+// makes every default explicit and sorts cores canonically, and
+// CanonicalBytes of that form is THE content identity — the harness
+// memo keys on it, internal/store hashes it, and the dispatch cluster
+// leases by it, so equivalent scenarios (including per-core
+// permutations) always collide and distinct ones never do.
 package sim
 
 import (

@@ -1,0 +1,44 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecParse holds the spec surface to its contract: arbitrary
+// bytes — malformed JSON, truncated documents, hostile field values —
+// must either parse into a valid spec or return an error. Never a
+// panic, in Parse or in the Compile expansion of whatever parsed.
+// Wired into the CI fuzz-smoke job next to the trace/server/dispatch
+// targets.
+func FuzzSpecParse(f *testing.F) {
+	// Seed with the real checked-in specs (best mutation starting
+	// points) plus targeted malformed shapes.
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.json")); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(goodSpec))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"name":"x","tables":[{"id":"t","title":"t","grid":{"columns":[{"name":"c","config":{"mechanism":"none"}}],"metric":"ipc","format":"%999f"}}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","tables":[{"id":"t","title":"t","interference":{"co_runners":[-1],"mixes":[{"name":"m","co_runner":{}}]}}]}`))
+	f.Add([]byte(`{"version":1,"name":"x","tables":[{"id":"t","title":"t","region_cdf":{"distances":[0],"blocks":-1}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must also compile without panicking (errors
+		// are fine: compile-level checks like the scenario cap live
+		// there).
+		_, _ = s.Compile()
+	})
+}

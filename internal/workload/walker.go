@@ -8,6 +8,13 @@
 // branches according to per-branch biases and loop trip counts, and
 // occasionally trapping into kernel handlers. The emitted stream is the
 // retire-order basic-block trace that drives every simulation.
+//
+// Immutability contract: a workload's program and predecode image are
+// process-wide shared artifacts, generated once per (generation, seed)
+// by the registry (registry.go) and then never mutated. Every
+// simulation — serial or concurrent — walks the same instance, so
+// anything reachable from Profile.Program or Profile.Decoder must be
+// treated as read-only; per-walk state lives entirely in the Walker.
 package workload
 
 import (

@@ -1,0 +1,111 @@
+// The spec/compiled parity gate: every experiment of the paper's
+// evaluation exists twice — compiled into internal/harness and declared
+// as a spec file under specs/ — and the two must agree byte for byte.
+// For each specs/*.json this test proves
+//
+//  1. the spec's rendered table is identical to the checked-in golden
+//     file (and therefore to the compiled-in render, which TestGolden
+//     pins to the same bytes), and
+//  2. the spec expands to exactly the compiled-in experiment's scenario
+//     key set, so spec-driven jobs dedup against compiled-in ones in
+//     the memo, the store, and the cluster.
+//
+// It also fails when a harness experiment has no spec file, so the two
+// catalogs cannot drift apart silently.
+package shotgun_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shotgun/internal/harness"
+	"shotgun/internal/sim"
+	"shotgun/internal/spec"
+	"shotgun/internal/store"
+)
+
+// keySet reduces a scenario list to its normalized content-key set
+// under the runner's scale — the identity the memo, the store and the
+// dispatch layer share.
+func keySet(r *harness.Runner, scs []sim.Scenario) map[string]bool {
+	set := make(map[string]bool, len(scs))
+	for _, sc := range scs {
+		set[store.ScenarioKey(r.NormalizeScenario(sc))] = true
+	}
+	return set
+}
+
+func TestSpecGoldenParity(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no spec files under specs/")
+	}
+	r := goldenRunner()
+
+	covered := make(map[string]bool)
+	for _, path := range files {
+		c, err := spec.CompileFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if c.Spec.Scale != nil {
+			t.Errorf("%s: paper specs must not pin a scale (golden parity runs at the golden runner's)", path)
+		}
+		for _, exp := range c.Experiments() {
+			exp := exp
+			t.Run(exp.ID, func(t *testing.T) {
+				if covered[exp.ID] {
+					t.Fatalf("experiment id %q declared by more than one spec file", exp.ID)
+				}
+				covered[exp.ID] = true
+
+				builtin, ok := harness.Find(exp.ID)
+				if !ok {
+					t.Fatalf("spec experiment %q has no compiled-in counterpart", exp.ID)
+				}
+
+				// Identity parity: the spec must expand to exactly the
+				// compiled-in scenario key set.
+				if (exp.Scenarios == nil) != (builtin.Scenarios == nil) {
+					t.Fatalf("scenario declarations disagree: spec nil=%v, builtin nil=%v",
+						exp.Scenarios == nil, builtin.Scenarios == nil)
+				}
+				if exp.Scenarios != nil {
+					got, want := keySet(r, exp.Scenarios()), keySet(r, builtin.Scenarios())
+					for k := range got {
+						if !want[k] {
+							t.Errorf("spec expands scenario key %s the compiled-in experiment never runs", k[:12])
+						}
+					}
+					for k := range want {
+						if !got[k] {
+							t.Errorf("spec misses compiled-in scenario key %s", k[:12])
+						}
+					}
+				}
+
+				// Render parity: byte-identical to the golden corpus.
+				goldenPath := filepath.Join("testdata", "golden", exp.ID+".txt")
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("missing golden file for spec experiment %q: %v", exp.ID, err)
+				}
+				if got := exp.Run(r); got != string(want) {
+					t.Errorf("%s rendered from %s drifted from the golden corpus:\n%s",
+						exp.ID, path, firstDiff(string(want), got))
+				}
+			})
+		}
+	}
+
+	// Completeness: every compiled-in experiment must have a spec twin.
+	for _, e := range harness.Experiments() {
+		if !covered[e.ID] {
+			t.Errorf("compiled-in experiment %q has no specs/*.json declaration", e.ID)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command doclint is the documentation gate behind the CI doc-lint
+// job. It enforces three repo invariants that drift silently otherwise:
+//
+//  1. every Go package (including commands and tools) carries exactly
+//     one package doc comment — zero means an undocumented contract,
+//     two means godoc picks one arbitrarily;
+//  2. every checked-in sweep spec under specs/ parses and compiles, so
+//     a format change can never orphan the declarative catalog;
+//  3. every relative link in README.md and docs/*.md points at a file
+//     that exists (external URLs and paths escaping the repo, like
+//     GitHub badge routes, are skipped — they are not filesystem
+//     claims).
+//
+// Usage: doclint [-root dir]. Exit status 1 lists every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"shotgun/internal/spec"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+	problems := lint(*root)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doclint: ok")
+}
+
+// lint runs every check and returns the combined findings.
+func lint(root string) []string {
+	var problems []string
+	problems = append(problems, lintPackageDocs(root)...)
+	problems = append(problems, lintSpecs(root)...)
+	problems = append(problems, lintLinks(root)...)
+	return problems
+}
+
+// skipDirs are trees that hold no lintable packages.
+var skipDirs = map[string]bool{".git": true, ".github": true, "testdata": true}
+
+// lintPackageDocs walks every directory containing non-test Go files
+// and requires exactly one package doc comment per package.
+func lintPackageDocs(root string) []string {
+	byDir := make(map[string][]string) // dir -> files carrying a package doc
+	counted := make(map[string]int)    // dir -> non-test go files
+	fset := token.NewFileSet()
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		counted[dir]++
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: parse: %v", path, err))
+			return nil
+		}
+		if f.Doc != nil {
+			byDir[dir] = append(byDir[dir], filepath.Base(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return append(problems, fmt.Sprintf("walk %s: %v", root, err))
+	}
+	dirs := make([]string, 0, len(counted))
+	for dir := range counted {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		docs := byDir[dir]
+		switch len(docs) {
+		case 1:
+		case 0:
+			problems = append(problems, fmt.Sprintf("%s: package has no doc comment", dir))
+		default:
+			sort.Strings(docs)
+			problems = append(problems, fmt.Sprintf(
+				"%s: package doc comment in %d files (%s) — godoc picks one arbitrarily; keep exactly one",
+				dir, len(docs), strings.Join(docs, ", ")))
+		}
+	}
+	return problems
+}
+
+// lintSpecs compiles every checked-in sweep spec.
+func lintSpecs(root string) []string {
+	paths, err := filepath.Glob(filepath.Join(root, "specs", "*.json"))
+	if err != nil {
+		return []string{fmt.Sprintf("glob specs: %v", err)}
+	}
+	if len(paths) == 0 {
+		return []string{fmt.Sprintf("%s: no sweep specs found (the declarative catalog is part of the repo contract)",
+			filepath.Join(root, "specs"))}
+	}
+	var problems []string
+	for _, p := range paths {
+		if _, err := spec.CompileFile(p); err != nil {
+			problems = append(problems, fmt.Sprintf("%v", err))
+		}
+	}
+	return problems
+}
+
+// linkRE matches markdown link/image targets: [text](target).
+var linkRE = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+// lintLinks checks that relative links in README.md and docs/*.md
+// resolve to existing files.
+func lintLinks(root string) []string {
+	files, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("glob docs: %v", err)}
+	}
+	if _, err := os.Stat(filepath.Join(root, "README.md")); err == nil {
+		files = append([]string{filepath.Join(root, "README.md")}, files...)
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return []string{fmt.Sprintf("abs %s: %v", root, err)}
+	}
+	var problems []string
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external URL
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			abs, err := filepath.Abs(resolved)
+			if err != nil || !strings.HasPrefix(abs, absRoot+string(filepath.Separator)) {
+				continue // escapes the repo (e.g. GitHub badge routes); not a filesystem claim
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", file, m[1]))
+			}
+		}
+	}
+	return problems
+}

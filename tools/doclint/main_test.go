@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file (and its parents) under root.
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validSpec is the smallest compilable sweep spec.
+const validSpec = `{"version":1,"name":"ok","tables":[{"id":"t","title":"t",
+	"region_cdf":{"workloads":["Oracle"],"distances":[0]}}]}`
+
+func TestLintPackageDocs(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "good/good.go", "// Package good is documented.\npackage good\n")
+	write(t, root, "bare/bare.go", "package bare\n")
+	write(t, root, "twice/a.go", "// Package twice, once.\npackage twice\n")
+	write(t, root, "twice/b.go", "// Package twice, again.\npackage twice\n")
+	// Test files and testdata never need docs.
+	write(t, root, "good/good_test.go", "package good\n")
+	write(t, root, "good/testdata/ignored.go", "package ignored\n")
+
+	problems := lintPackageDocs(root)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want undocumented bare/ and double-documented twice/", problems)
+	}
+	if !strings.Contains(problems[0], "bare") || !strings.Contains(problems[0], "no doc comment") {
+		t.Errorf("missing bare finding: %v", problems)
+	}
+	if !strings.Contains(problems[1], "twice") || !strings.Contains(problems[1], "2 files") {
+		t.Errorf("missing twice finding: %v", problems)
+	}
+}
+
+func TestLintSpecs(t *testing.T) {
+	root := t.TempDir()
+	if probs := lintSpecs(root); len(probs) != 1 || !strings.Contains(probs[0], "no sweep specs") {
+		t.Fatalf("empty specs dir should be flagged, got %v", probs)
+	}
+	write(t, root, "specs/ok.json", validSpec)
+	write(t, root, "specs/broken.json", `{"version":1,"bogus":true}`)
+	probs := lintSpecs(root)
+	if len(probs) != 1 || !strings.Contains(probs[0], "broken.json") {
+		t.Fatalf("problems = %v, want exactly the broken spec", probs)
+	}
+}
+
+func TestLintLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "docs/REAL.md", "# real\n")
+	write(t, root, "README.md", strings.Join([]string{
+		"[good](docs/REAL.md)",
+		"[anchor](docs/REAL.md#section)",
+		"[external](https://example.com/x.md)",
+		"![badge](../../actions/workflows/ci.yml/badge.svg)",
+		"[broken](docs/MISSING.md)",
+	}, "\n"))
+	write(t, root, "docs/GUIDE.md", "[up](../README.md)\n[gone](./nope.md)\n")
+
+	probs := lintLinks(root)
+	if len(probs) != 2 {
+		t.Fatalf("problems = %v, want the two broken links only", probs)
+	}
+	if !strings.Contains(probs[0], "MISSING.md") || !strings.Contains(probs[1], "nope.md") {
+		t.Fatalf("wrong findings: %v", probs)
+	}
+}
+
+// TestLintRepo runs the real gate over the repository itself, so `go
+// test ./...` fails on doc debt before CI does.
+func TestLintRepo(t *testing.T) {
+	if probs := lint(filepath.Join("..", "..")); len(probs) > 0 {
+		t.Fatalf("repository doc lint failed:\n%s", strings.Join(probs, "\n"))
+	}
+}
