@@ -48,8 +48,8 @@ func TestParseOptionsDefaultsToAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(opts.run) != 13 {
-		t.Fatalf("default selection has %d experiments, want 13", len(opts.run))
+	if len(opts.run) != 14 {
+		t.Fatalf("default selection has %d experiments, want 14", len(opts.run))
 	}
 	if opts.parallel < 1 {
 		t.Fatalf("default parallel %d", opts.parallel)
@@ -76,8 +76,8 @@ func TestParseOptionsCustomInterferenceSweep(t *testing.T) {
 	}
 
 	for _, bad := range [][]string{
-		{"-cores", "1"},  // a sweep point needs a co-runner
-		{"-cores", "17"}, // beyond the 16-tile mesh
+		{"-cores", "1"},   // a sweep point needs a co-runner
+		{"-cores", "257"}, // beyond the 16x16-mesh ceiling
 		{"-cores", "two"},
 		{"-mix", "warp-drive"},
 		// A custom sweep that the selection never runs must fail loudly,

@@ -14,6 +14,7 @@
 //	shotgun-sim -workload Oracle -trace oracle.trace       # replay a recorded trace
 //	shotgun-sim -spec specs/fig7.json                      # run a sweep spec locally
 //	shotgun-sim -spec sweep.json -submit http://coord:8080 # ... or on a farm (/v1/sweeps)
+//	shotgun-sim -cpuprofile cpu.out -memprofile mem.out    # profile the run
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"shotgun/internal/footprint"
@@ -46,12 +49,14 @@ var errPrinted = errors.New("flag parse error")
 
 // options is the validated flag set.
 type options struct {
-	scenario  sim.Scenario
-	tracePath string
-	specPath  string
-	submitURL string
-	jsonOut   bool
-	outPath   string
+	scenario   sim.Scenario
+	tracePath  string
+	specPath   string
+	submitURL  string
+	jsonOut    bool
+	outPath    string
+	cpuprofile string
+	memprofile string
 }
 
 // parseOptions parses flags into a validated sim.Scenario — every bad
@@ -80,6 +85,8 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&opts.submitURL, "submit", "", "POST the -spec file to this server's /v1/sweeps instead of running locally")
 	fs.BoolVar(&opts.jsonOut, "json", false, "emit the result as JSON instead of text")
 	fs.StringVar(&opts.outPath, "out", "", "write the output to this file instead of stdout")
+	fs.StringVar(&opts.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&opts.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return options{}, err
@@ -93,7 +100,7 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		var conflicting []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "spec", "submit", "json", "out":
+			case "spec", "submit", "json", "out", "cpuprofile", "memprofile":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
@@ -298,6 +305,56 @@ func runSpec(opts options, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// profiles carries the -cpuprofile/-memprofile state. Both files are
+// created (and the CPU profile started) before any simulation work, so
+// a bad path fails fast instead of discarding a finished run.
+type profiles struct {
+	memf *os.File
+	cpu  bool
+}
+
+// startProfiles resolves the profiling flags (no-op when unset).
+func startProfiles(opts options, stderr io.Writer) (*profiles, int) {
+	p := &profiles{}
+	if opts.memprofile != "" {
+		f, err := os.Create(opts.memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		p.memf = f
+	}
+	if opts.cpuprofile != "" {
+		f, err := os.Create(opts.cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return nil, 1
+		}
+		p.cpu = true
+	}
+	return p, 0
+}
+
+// stop ends the CPU profile and writes the heap profile.
+func (p *profiles) stop(stderr io.Writer) int {
+	if p.cpu {
+		pprof.StopCPUProfile()
+	}
+	if p.memf != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(p.memf); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		p.memf.Close()
+	}
+	return 0
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	opts, err := parseOptions(args, stderr)
 	if err != nil {
@@ -309,9 +366,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	prof, code := startProfiles(opts, stderr)
+	if code != 0 {
+		return code
+	}
+	code = simulate(opts, stdout, stderr)
+	if pcode := prof.stop(stderr); code == 0 {
+		code = pcode
+	}
+	return code
+}
+
+// simulate runs the selected work — a sweep spec or a single scenario —
+// and renders the result (run handles flag parsing and profiling around
+// it).
+func simulate(opts options, stdout, stderr io.Writer) int {
 	if opts.specPath != "" {
 		return runSpec(opts, stdout, stderr)
 	}
+
+	var err error
 
 	var res sim.ScenarioResult
 	if opts.tracePath != "" {

@@ -101,7 +101,7 @@ func TestParseOptionsBuildsScenario(t *testing.T) {
 
 	for _, bad := range [][]string{
 		{"-cores", "-3"},
-		{"-cores", "17"},
+		{"-cores", "257"}, // above the 16x16 mesh ceiling
 		{"-cores", "1", "-mix", "fdip"}, // mix with no co-runner cores is a silent no-op
 		{"-mix", "warp"},
 		{"-trace", "x.trace", "-cores", "2"},
@@ -216,5 +216,43 @@ func TestRunSpecFile(t *testing.T) {
 	}
 	if !strings.Contains(errBad.String(), "bogus") {
 		t.Fatalf("error does not name the unknown field: %s", errBad.String())
+	}
+}
+
+// TestRunWritesProfiles runs a small scenario with -cpuprofile and
+// -memprofile and checks both files come out non-empty, and that a bad
+// profile path fails before any simulation work.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out, errBuf strings.Builder
+	code := run([]string{
+		"-workload", "Nutch", "-mechanism", "none",
+		"-warmup", "60000", "-measure", "80000", "-samples", "1",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+
+	errBuf.Reset()
+	code = run([]string{
+		"-workload", "Nutch", "-cpuprofile", filepath.Join(dir, "no/such/dir/cpu.out"),
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("bad -cpuprofile path: exit %d, want 1", code)
+	}
+	if errBuf.Len() == 0 {
+		t.Fatal("bad -cpuprofile path reported no error")
 	}
 }

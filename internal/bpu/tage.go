@@ -24,6 +24,15 @@ type TAGE struct {
 
 	ghist uint64 // global direction history, youngest bit at LSB
 
+	// Folded-history cache: the per-table fold terms of index() and
+	// tag() depend only on ghist, which advances once per retired
+	// branch, while lookups recompute them several times per branch.
+	// foldsValid is cleared whenever ghist changes and the folds are
+	// rebuilt lazily on the next lookup.
+	foldsValid bool
+	foldIdx    [numTables]uint64
+	foldTag    [numTables]uint64
+
 	// Lookups / Mispredicts count predictions and wrong predictions.
 	Lookups     uint64
 	Mispredicts uint64
@@ -81,15 +90,47 @@ func mix(pc isa.Addr) uint64 {
 	return x ^ (x >> 29)
 }
 
+// folds returns the cached per-table history folds, rebuilding them if
+// ghist advanced since the last lookup.
+func (t *TAGE) folds() {
+	if t.foldsValid {
+		return
+	}
+	for i := 0; i < numTables; i++ {
+		t.foldIdx[i] = fold(t.ghist, t.histLen[i], tableBits) ^ (fold(t.ghist, t.histLen[i], tableBits-1) << 1)
+		t.foldTag[i] = fold(t.ghist, t.histLen[i], tagBits)
+	}
+	t.foldsValid = true
+}
+
 func (t *TAGE) index(table int, pc isa.Addr) int {
-	h := mix(pc) ^ fold(t.ghist, t.histLen[table], tableBits) ^ (fold(t.ghist, t.histLen[table], tableBits-1) << 1)
-	return int(h & ((1 << tableBits) - 1))
+	t.folds()
+	return int((mix(pc) ^ t.foldIdx[table]) & ((1 << tableBits) - 1))
 }
 
 func (t *TAGE) tag(table int, pc isa.Addr) uint16 {
-	h := mix(pc)>>7 ^ fold(t.ghist, t.histLen[table], tagBits)
+	t.folds()
+	h := mix(pc)>>7 ^ t.foldTag[table]
 	tag := uint16(h&((1<<tagBits)-1)) | 1 // never zero: zero means empty
 	return tag
+}
+
+// lookup finds the longest-history table whose entry matches pc,
+// returning its table number and index, or table -1 when only the
+// bimodal base applies; pred is the resulting direction prediction.
+// It hoists the pc hash and the folded history out of the per-table
+// probes — index() and tag() applied across all tables, exactly.
+func (t *TAGE) lookup(pc isa.Addr) (table, idx int, pred bool) {
+	t.folds()
+	mixed := mix(pc)
+	for i := numTables - 1; i >= 0; i-- {
+		idx := int((mixed ^ t.foldIdx[i]) & ((1 << tableBits) - 1))
+		tag := uint16((mixed>>7^t.foldTag[i])&((1<<tagBits)-1)) | 1
+		if t.tables[i].tags[idx] == tag {
+			return i, idx, t.tables[i].ctr[idx] >= 0
+		}
+	}
+	return -1, 0, t.base[int(mixed&((1<<baseBits)-1))] >= 2
 }
 
 func (t *TAGE) baseIndex(pc isa.Addr) int {
@@ -99,33 +140,18 @@ func (t *TAGE) baseIndex(pc isa.Addr) int {
 // Predict returns the predicted direction for the conditional branch at pc.
 func (t *TAGE) Predict(pc isa.Addr) bool {
 	t.Lookups++
-	for i := numTables - 1; i >= 0; i-- {
-		idx := t.index(i, pc)
-		if t.tables[i].tags[idx] == t.tag(i, pc) {
-			return t.tables[i].ctr[idx] >= 0
-		}
-	}
-	return t.base[t.baseIndex(pc)] >= 2
+	_, _, pred := t.lookup(pc)
+	return pred
 }
 
 // Update trains the predictor with the actual outcome and advances the
 // global history. Call once per retired conditional branch.
 func (t *TAGE) Update(pc isa.Addr, taken bool) {
-	predicted := t.peek(pc)
+	// One scan yields both the prediction and the provider (the
+	// longest matching table).
+	provider, provIdx, predicted := t.lookup(pc)
 	if predicted != taken {
 		t.Mispredicts++
-	}
-
-	// Find the provider (longest matching table).
-	provider := -1
-	var provIdx int
-	for i := numTables - 1; i >= 0; i-- {
-		idx := t.index(i, pc)
-		if t.tables[i].tags[idx] == t.tag(i, pc) {
-			provider = i
-			provIdx = idx
-			break
-		}
 	}
 
 	if provider >= 0 {
@@ -183,23 +209,14 @@ func (t *TAGE) Update(pc isa.Addr, taken bool) {
 	}
 
 	t.ghist = t.ghist<<1 | b2u(taken)
-}
-
-// peek predicts without counting a lookup (used internally by Update).
-func (t *TAGE) peek(pc isa.Addr) bool {
-	for i := numTables - 1; i >= 0; i-- {
-		idx := t.index(i, pc)
-		if t.tables[i].tags[idx] == t.tag(i, pc) {
-			return t.tables[i].ctr[idx] >= 0
-		}
-	}
-	return t.base[t.baseIndex(pc)] >= 2
+	t.foldsValid = false
 }
 
 // NoteUncond advances history for unconditional transfers so the global
 // history reflects path information (they are always taken).
 func (t *TAGE) NoteUncond() {
 	t.ghist = t.ghist<<1 | 1
+	t.foldsValid = false
 }
 
 // MispredictRate returns the fraction of Update calls that disagreed with

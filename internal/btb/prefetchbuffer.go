@@ -6,10 +6,13 @@ import "shotgun/internal/isa"
 // have not yet been touched by the front-end (Boomerang's BTB prefetch
 // buffer, reused by Shotgun; 32 entries in the paper's configuration).
 // On a front-end hit the entry is moved into the appropriate BTB.
+//
+// At this capacity a linear scan over a compact key slice beats hashing:
+// keys live in FIFO order (oldest first) with values parallel to them.
 type PrefetchBuffer struct {
 	capacity int
-	fifo     []isa.Addr
-	entries  map[isa.Addr]Entry
+	keys     []isa.Addr
+	vals     []Entry
 
 	Hits          uint64
 	EvictedUnused uint64
@@ -22,7 +25,8 @@ func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
 	}
 	return &PrefetchBuffer{
 		capacity: capacity,
-		entries:  make(map[isa.Addr]Entry, capacity),
+		keys:     make([]isa.Addr, 0, capacity),
+		vals:     make([]Entry, 0, capacity),
 	}
 }
 
@@ -30,36 +34,37 @@ func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
 // evicting the oldest entry when full. Present keys are overwritten in
 // place (FIFO position kept).
 func (b *PrefetchBuffer) Insert(pc isa.Addr, e Entry) {
-	if _, ok := b.entries[pc]; ok {
-		b.entries[pc] = e
+	for i, k := range b.keys {
+		if k == pc {
+			b.vals[i] = e
+			return
+		}
+	}
+	if len(b.keys) >= b.capacity {
+		b.EvictedUnused++
+		copy(b.keys, b.keys[1:])
+		copy(b.vals, b.vals[1:])
+		b.keys[len(b.keys)-1] = pc
+		b.vals[len(b.vals)-1] = e
 		return
 	}
-	if len(b.fifo) >= b.capacity {
-		victim := b.fifo[0]
-		b.fifo = b.fifo[1:]
-		delete(b.entries, victim)
-		b.EvictedUnused++
-	}
-	b.fifo = append(b.fifo, pc)
-	b.entries[pc] = e
+	b.keys = append(b.keys, pc)
+	b.vals = append(b.vals, e)
 }
 
 // Take removes and returns the entry for pc (promotion into a BTB).
 func (b *PrefetchBuffer) Take(pc isa.Addr) (Entry, bool) {
-	e, ok := b.entries[pc]
-	if !ok {
-		return Entry{}, false
-	}
-	delete(b.entries, pc)
-	for i, a := range b.fifo {
-		if a == pc {
-			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
-			break
+	for i, k := range b.keys {
+		if k == pc {
+			e := b.vals[i]
+			b.keys = append(b.keys[:i], b.keys[i+1:]...)
+			b.vals = append(b.vals[:i], b.vals[i+1:]...)
+			b.Hits++
+			return e, true
 		}
 	}
-	b.Hits++
-	return e, true
+	return Entry{}, false
 }
 
 // Len returns the number of buffered entries.
-func (b *PrefetchBuffer) Len() int { return len(b.fifo) }
+func (b *PrefetchBuffer) Len() int { return len(b.keys) }

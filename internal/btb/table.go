@@ -29,21 +29,25 @@ func (s Stats) MissRate() float64 {
 
 // table is a generic set-associative, true-LRU table keyed by basic-block
 // start address. It underlies every BTB organization in this package.
+//
+// Keys, LRU timestamps, and values live in parallel arrays: a lookup
+// scans a whole set's keys (with the valid flag packed into the spare
+// top bit — instruction addresses stay far below 2^63), and keeping the
+// scan away from the payloads matters for the footprint-carrying U-BTB,
+// whose values span several host cache lines per set.
 type table[V any] struct {
 	name    string
 	ways    int
 	setMask uint64
 	tick    uint64
-	slots   []slot[V]
+	keys    []uint64 // sets*ways, set-major: pc | slotValid
+	used    []uint64 // LRU timestamps, parallel to keys
+	vals    []V
 	stats   Stats
 }
 
-type slot[V any] struct {
-	key   isa.Addr
-	valid bool
-	used  uint64
-	val   V
-}
+// slotValid marks an occupied way in its packed key word.
+const slotValid = 1 << 63
 
 // geometry factors an entry count into ways x power-of-two sets,
 // preferring mid-range associativities.
@@ -72,7 +76,9 @@ func newTable[V any](name string, entries int) (*table[V], error) {
 		name:    name,
 		ways:    ways,
 		setMask: uint64(sets - 1),
-		slots:   make([]slot[V], sets*ways),
+		keys:    make([]uint64, sets*ways),
+		used:    make([]uint64, sets*ways),
+		vals:    make([]V, sets*ways),
 	}, nil
 }
 
@@ -90,11 +96,12 @@ func (t *table[V]) Lookup(pc isa.Addr) (V, bool) {
 	t.tick++
 	t.stats.Lookups++
 	base := t.index(pc)
+	want := uint64(pc) | slotValid
 	for i := base; i < base+t.ways; i++ {
-		if t.slots[i].valid && t.slots[i].key == pc {
-			t.slots[i].used = t.tick
+		if t.keys[i] == want {
+			t.used[i] = t.tick
 			t.stats.Hits++
-			return t.slots[i].val, true
+			return t.vals[i], true
 		}
 	}
 	t.stats.Misses++
@@ -105,9 +112,10 @@ func (t *table[V]) Lookup(pc isa.Addr) (V, bool) {
 // Peek finds the entry without touching LRU state or counters.
 func (t *table[V]) Peek(pc isa.Addr) (V, bool) {
 	base := t.index(pc)
+	want := uint64(pc) | slotValid
 	for i := base; i < base+t.ways; i++ {
-		if t.slots[i].valid && t.slots[i].key == pc {
-			return t.slots[i].val, true
+		if t.keys[i] == want {
+			return t.vals[i], true
 		}
 	}
 	var zero V
@@ -118,12 +126,13 @@ func (t *table[V]) Peek(pc isa.Addr) (V, bool) {
 func (t *table[V]) Update(pc isa.Addr, v V) {
 	t.tick++
 	base := t.index(pc)
+	want := uint64(pc) | slotValid
 	// Tag match first — LRU victim bookkeeping is hoisted out of the
 	// match loop and only runs on actual insertions.
 	for i := base; i < base+t.ways; i++ {
-		if t.slots[i].valid && t.slots[i].key == pc {
-			t.slots[i].val = v
-			t.slots[i].used = t.tick
+		if t.keys[i] == want {
+			t.vals[i] = v
+			t.used[i] = t.tick
 			return
 		}
 	}
@@ -131,16 +140,18 @@ func (t *table[V]) Update(pc isa.Addr, v V) {
 	victim := -1
 	var oldest uint64 = ^uint64(0)
 	for i := base; i < base+t.ways; i++ {
-		if !t.slots[i].valid {
+		if t.keys[i]&slotValid == 0 {
 			victim = i
 			break
 		}
-		if t.slots[i].used < oldest {
-			oldest = t.slots[i].used
+		if t.used[i] < oldest {
+			oldest = t.used[i]
 			victim = i
 		}
 	}
-	t.slots[victim] = slot[V]{key: pc, valid: true, used: t.tick, val: v}
+	t.keys[victim] = want
+	t.used[victim] = t.tick
+	t.vals[victim] = v
 }
 
 // Mutate applies fn to the entry for pc if present (no LRU side effects),
@@ -148,9 +159,10 @@ func (t *table[V]) Update(pc isa.Addr, v V) {
 // write updates.
 func (t *table[V]) Mutate(pc isa.Addr, fn func(*V)) bool {
 	base := t.index(pc)
+	want := uint64(pc) | slotValid
 	for i := base; i < base+t.ways; i++ {
-		if t.slots[i].valid && t.slots[i].key == pc {
-			fn(&t.slots[i].val)
+		if t.keys[i] == want {
+			fn(&t.vals[i])
 			return true
 		}
 	}
@@ -158,13 +170,13 @@ func (t *table[V]) Mutate(pc isa.Addr, fn func(*V)) bool {
 }
 
 // Entries returns the table capacity.
-func (t *table[V]) Entries() int { return len(t.slots) }
+func (t *table[V]) Entries() int { return len(t.keys) }
 
 // Occupancy returns the number of valid entries.
 func (t *table[V]) Occupancy() int {
 	n := 0
-	for i := range t.slots {
-		if t.slots[i].valid {
+	for i := range t.keys {
+		if t.keys[i]&slotValid != 0 {
 			n++
 		}
 	}

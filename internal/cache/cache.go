@@ -20,21 +20,26 @@ type Stats struct {
 }
 
 // Cache is a set-associative, true-LRU, block-presence cache.
+//
+// Lines are stored as parallel arrays rather than an array of structs:
+// every lookup scans a whole set's tags, and packing the tags (with the
+// valid flag in the spare top bit — a tag is a block index shifted right
+// and block indices fit in 58 bits) keeps that scan to one cache line
+// per set on the host. LRU timestamps are only touched on a hit or
+// fill, so they live in their own array.
 type Cache struct {
 	name     string
 	ways     int
 	setMask  uint64
 	setShift uint
-	lines    []line // sets*ways, laid out set-major
+	tags     []uint64 // sets*ways, set-major: tag | lineValid
+	used     []uint64 // LRU timestamps, parallel to tags
 	tick     uint64
 	stats    Stats
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	used  uint64 // LRU timestamp
-}
+// lineValid marks an occupied way in its packed tag word.
+const lineValid = 1 << 63
 
 // New builds a cache of the given total size and associativity over
 // isa.BlockBytes blocks. Size must be a power-of-two multiple of
@@ -56,7 +61,8 @@ func New(name string, sizeBytes, ways int) (*Cache, error) {
 		ways:     ways,
 		setMask:  uint64(sets - 1),
 		setShift: uint(bits.TrailingZeros(uint(sets))),
-		lines:    make([]line, sets*ways),
+		tags:     make([]uint64, sets*ways),
+		used:     make([]uint64, sets*ways),
 	}, nil
 }
 
@@ -96,8 +102,9 @@ func (c *Cache) locate(addr isa.Addr) (setBase int, tag uint64) {
 // Contains reports block presence without touching LRU state or counters.
 func (c *Cache) Contains(addr isa.Addr) bool {
 	base, tag := c.locate(addr)
+	want := tag | lineValid
 	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
+		if c.tags[i] == want {
 			return true
 		}
 	}
@@ -109,9 +116,10 @@ func (c *Cache) Contains(addr isa.Addr) bool {
 func (c *Cache) Access(addr isa.Addr) bool {
 	c.tick++
 	base, tag := c.locate(addr)
+	want := tag | lineValid
 	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
-			c.lines[i].used = c.tick
+		if c.tags[i] == want {
+			c.used[i] = c.tick
 			c.stats.Hits++
 			return true
 		}
@@ -126,11 +134,12 @@ func (c *Cache) Access(addr isa.Addr) bool {
 func (c *Cache) Insert(addr isa.Addr) (evicted isa.Addr, didEvict bool) {
 	c.tick++
 	base, tag := c.locate(addr)
+	want := tag | lineValid
 	// Tag match first — the LRU victim scan only runs on actual fills,
 	// not on the (common) refresh of an already-present block.
 	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
-			c.lines[i].used = c.tick
+		if c.tags[i] == want {
+			c.used[i] = c.tick
 			return 0, false
 		}
 	}
@@ -138,33 +147,35 @@ func (c *Cache) Insert(addr isa.Addr) (evicted isa.Addr, didEvict bool) {
 	victim := -1
 	var oldest uint64 = ^uint64(0)
 	for i := base; i < base+c.ways; i++ {
-		if !c.lines[i].valid {
+		if c.tags[i]&lineValid == 0 {
 			victim = i
 			break
 		}
-		if c.lines[i].used < oldest {
-			oldest = c.lines[i].used
+		if c.used[i] < oldest {
+			oldest = c.used[i]
 			victim = i
 		}
 	}
 	c.stats.Inserts++
 	var ev isa.Addr
-	if c.lines[victim].valid {
+	if c.tags[victim]&lineValid != 0 {
 		c.stats.Evictions++
 		didEvict = true
 		set := uint64(base / c.ways)
-		ev = isa.Addr((c.lines[victim].tag<<c.setShift | set) * isa.BlockBytes)
+		ev = isa.Addr(((c.tags[victim]&^lineValid)<<c.setShift | set) * isa.BlockBytes)
 	}
-	c.lines[victim] = line{tag: tag, valid: true, used: c.tick}
+	c.tags[victim] = want
+	c.used[victim] = c.tick
 	return ev, didEvict
 }
 
 // Invalidate removes a block if present, returning whether it was there.
 func (c *Cache) Invalidate(addr isa.Addr) bool {
 	base, tag := c.locate(addr)
+	want := tag | lineValid
 	for i := base; i < base+c.ways; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
-			c.lines[i].valid = false
+		if c.tags[i] == want {
+			c.tags[i] = 0
 			return true
 		}
 	}
@@ -174,8 +185,8 @@ func (c *Cache) Invalidate(addr isa.Addr) bool {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for i := range c.tags {
+		if c.tags[i]&lineValid != 0 {
 			n++
 		}
 	}

@@ -7,10 +7,12 @@ import "shotgun/internal/isa"
 // first use (Table 3: 64-entry prefetch buffer). Keeping prefetches out
 // of the L1-I until they are referenced avoids polluting the cache with
 // inaccurate prefetches.
+//
+// At this capacity a linear scan over one compact FIFO-ordered slice
+// (oldest first) beats hashing on the per-fetch Contains probe.
 type PrefetchBuffer struct {
 	capacity int
 	fifo     []isa.Addr
-	present  map[isa.Addr]bool
 
 	// HitsCount / EvictedUnused track prefetch usefulness: a block
 	// evicted without ever being promoted was a useless prefetch.
@@ -25,47 +27,48 @@ func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
 	}
 	return &PrefetchBuffer{
 		capacity: capacity,
-		present:  make(map[isa.Addr]bool, capacity),
+		fifo:     make([]isa.Addr, 0, capacity),
 	}
 }
 
 // Contains reports whether the block is buffered.
 func (b *PrefetchBuffer) Contains(addr isa.Addr) bool {
-	return b.present[addr.Block()]
+	blk := addr.Block()
+	for _, a := range b.fifo {
+		if a == blk {
+			return true
+		}
+	}
+	return false
 }
 
 // Insert adds a block, evicting the oldest entry when full. Inserting a
 // present block is a no-op (the FIFO position is kept).
 func (b *PrefetchBuffer) Insert(addr isa.Addr) {
 	blk := addr.Block()
-	if b.present[blk] {
+	if b.Contains(blk) {
 		return
 	}
 	if len(b.fifo) >= b.capacity {
-		victim := b.fifo[0]
-		b.fifo = b.fifo[1:]
-		delete(b.present, victim)
 		b.EvictedUnused++
+		copy(b.fifo, b.fifo[1:])
+		b.fifo[len(b.fifo)-1] = blk
+		return
 	}
 	b.fifo = append(b.fifo, blk)
-	b.present[blk] = true
 }
 
 // Take removes the block (promotion into the L1-I), reporting presence.
 func (b *PrefetchBuffer) Take(addr isa.Addr) bool {
 	blk := addr.Block()
-	if !b.present[blk] {
-		return false
-	}
-	delete(b.present, blk)
 	for i, a := range b.fifo {
 		if a == blk {
 			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
-			break
+			b.HitsCount++
+			return true
 		}
 	}
-	b.HitsCount++
-	return true
+	return false
 }
 
 // Len returns the number of buffered blocks.

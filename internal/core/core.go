@@ -243,13 +243,117 @@ func (c *Core) ResetStats() {
 
 // Run advances the simulation until at least n instructions have retired
 // past the point this call was made, returning the cycle count consumed.
+//
+// Run is event-driven: after each real tick it skips ahead over the
+// provably-idle span to the core's next event (NextEvent/AdvanceIdle),
+// which is bit-identical to ticking every cycle — the scenario layer's
+// lockstep engine still ticks cycle-by-cycle, and the equality tests
+// (TestLockstepMatchesSerialSingleCore, TestEventKernelMatchesLockstep)
+// pin the two executions to the same results.
 func (c *Core) Run(n uint64) uint64 {
 	startCycles := c.stats.Cycles
 	target := c.stats.Instructions + n
 	for c.stats.Instructions < target {
 		c.Tick()
+		if c.stats.Instructions >= target {
+			// The crossing tick ends the run; skipping the idle span that
+			// follows it would charge cycles a per-cycle loop never runs.
+			break
+		}
+		if next := c.NextEvent(); next > c.now {
+			c.AdvanceIdle(next - c.now)
+		}
 	}
 	return c.stats.Cycles - startCycles
+}
+
+// NextEvent returns the earliest cycle at which Tick can do anything
+// beyond idle accounting: materialize an arrival, evaluate a block into
+// the FTQ, issue or complete a fetch, dispatch, or retire. Every cycle
+// in [Now, NextEvent) is provably idle — a Tick there mutates nothing
+// but the stall counters, Cycles, and the clock (exactly what
+// AdvanceIdle bulk-applies) and touches no shared uncore state.
+//
+// The deadline may be conservative (an "active" tick may still find
+// nothing to do after a flush re-steers state), but it is never late:
+// each branch below mirrors one gating condition of Tick's sub-units,
+// and each such condition can only change at a deadline this function
+// already includes. A finite value always exists while the trace has
+// blocks — the runahead can act whenever the FTQ has room and the path
+// is right, a wrong path implies an undispatched FTQ entry, and a full
+// FTQ implies fetch or retire has a pending deadline.
+func (c *Core) NextEvent() uint64 {
+	// Completed fills are materialized the cycle the watermark expires.
+	next := c.hier.NextArrival()
+
+	// Runahead: able to evaluate now unless stalled, wrong-path, or out
+	// of FTQ room; a pending reactive resolution is itself a deadline.
+	if !c.wrongPath && c.ftqLen < c.cfg.FTQEntries {
+		if c.now >= c.runStallUntil {
+			return c.now
+		}
+		if c.runStallUntil < next {
+			next = c.runStallUntil
+		}
+	}
+
+	// Fetch: the regime boundaries (fetch bandwidth busy, fill wait) are
+	// deadlines; an unissued head or a dispatchable head is activity now.
+	if c.ftqLen > 0 {
+		switch {
+		case c.now < c.fetchBusyUntil:
+			if c.fetchBusyUntil < next {
+				next = c.fetchBusyUntil
+			}
+		case !c.headIssued:
+			return c.now
+		case c.headReadyAt > c.now:
+			if c.headReadyAt < next {
+				next = c.headReadyAt
+			}
+		case c.robFree() >= c.pending[0].bb.NumInstr:
+			return c.now
+			// Otherwise the head waits on backend pressure, which only
+			// the retire deadline below can relieve.
+		}
+	}
+
+	// Retire: the head of the ROB completes at a known cycle.
+	if c.robLen > 0 && c.rob[c.robHead] < next {
+		next = c.rob[c.robHead]
+	}
+
+	if next < c.now {
+		return c.now
+	}
+	return next
+}
+
+// AdvanceIdle bulk-applies k idle cycles: exactly the state a Tick
+// performs on a cycle strictly before NextEvent — the fetch-stall,
+// front-end/back-end stall classification, the cycle counter and the
+// clock — with no other mutation. Callers must only skip spans that end
+// at or before NextEvent; the stall predicates below are constant
+// across such a span because every cycle that could flip them is a
+// deadline NextEvent includes.
+func (c *Core) AdvanceIdle(k uint64) {
+	if k == 0 {
+		return
+	}
+	// fetch() counts a fill-wait cycle iff it is past the bandwidth
+	// boundary with an issued head that has not arrived yet.
+	if c.ftqLen > 0 && c.now >= c.fetchBusyUntil && c.headIssued && c.headReadyAt > c.now {
+		c.stats.FetchStallCycles += k
+	}
+	// retire() classifies every zero-retire cycle; idle cycles retire
+	// nothing by definition.
+	if c.robLen == 0 {
+		c.stats.FrontEndStallCycles += k
+	} else {
+		c.stats.BackEndStallCycles += k
+	}
+	c.now += k
+	c.stats.Cycles += k
 }
 
 // Tick advances the simulation by one cycle.

@@ -195,3 +195,89 @@ func BenchmarkCoreTick(b *testing.B) {
 		c.Tick()
 	}
 }
+
+// TestEventSkipMatchesPerCycle pins the core-level event contract: a
+// per-cycle tick loop and the event-skipping Run must land on identical
+// core and hierarchy stats. This is the single-core seed of the
+// scenario-level TestEventKernelMatchesLockstep.
+func TestEventSkipMatchesPerCycle(t *testing.T) {
+	for _, mech := range []string{"none", "boomerang", "ideal"} {
+		ref, refHier := testSetup(t, mech)
+		evt, evtHier := testSetup(t, mech)
+
+		const target = 60_000
+		for ref.Instructions() < target {
+			ref.Tick()
+		}
+		evt.Run(target)
+
+		if ref.Stats() != evt.Stats() {
+			t.Fatalf("%s: event-skipping Run drifted from per-cycle ticking:\nper-cycle: %+v\nevent:     %+v",
+				mech, ref.Stats(), evt.Stats())
+		}
+		if refHier.Stats() != evtHier.Stats() {
+			t.Fatalf("%s: hierarchy stats drifted:\nper-cycle: %+v\nevent:     %+v",
+				mech, refHier.Stats(), evtHier.Stats())
+		}
+	}
+}
+
+// TestNextEventSkipsIdleSpans proves the skip is real: driving the core
+// through NextEvent/AdvanceIdle reaches the instruction target with
+// strictly fewer ticks than elapsed cycles (the difference is the idle
+// cycles bulk-accounted by AdvanceIdle).
+func TestNextEventSkipsIdleSpans(t *testing.T) {
+	c, _ := testSetup(t, "none")
+	ticks := uint64(0)
+	for c.Instructions() < 50_000 {
+		c.Tick()
+		ticks++
+		if next := c.NextEvent(); next > c.Now() {
+			c.AdvanceIdle(next - c.Now())
+		}
+	}
+	s := c.Stats()
+	if ticks >= s.Cycles {
+		t.Fatalf("no idle cycles skipped: %d ticks for %d cycles", ticks, s.Cycles)
+	}
+	t.Logf("ticks=%d cycles=%d (%.1f%% skipped)", ticks, s.Cycles,
+		100*float64(s.Cycles-ticks)/float64(s.Cycles))
+}
+
+// TestNextEventNeverLate asserts the deadline contract directly: from
+// any reachable state, every cycle strictly before NextEvent is idle —
+// ticking it changes nothing but the stall counters and the clock, and
+// leaves the hierarchy untouched.
+func TestNextEventNeverLate(t *testing.T) {
+	c, hier := testSetup(t, "boomerang")
+	for i := 0; i < 20_000; i++ {
+		next := c.NextEvent()
+		if next < c.Now() {
+			t.Fatalf("NextEvent %d is in the past (now %d)", next, c.Now())
+		}
+		if next > c.Now() {
+			// The span must be idle: tick one of its cycles and check
+			// only the idle-accounting fields moved.
+			before, hierBefore := c.Stats(), hier.Stats()
+			instr := before.Instructions
+			c.Tick()
+			after, hierAfter := c.Stats(), hier.Stats()
+			if hierBefore != hierAfter {
+				t.Fatalf("cycle %d: hierarchy mutated inside idle span ending %d", c.Now()-1, next)
+			}
+			if after.Instructions != instr {
+				t.Fatalf("cycle %d: instructions retired inside idle span ending %d", c.Now()-1, next)
+			}
+			before.Cycles = after.Cycles
+			before.FetchStallCycles = after.FetchStallCycles
+			before.FrontEndStallCycles = after.FrontEndStallCycles
+			before.BackEndStallCycles = after.BackEndStallCycles
+			if before != after {
+				t.Fatalf("cycle %d: non-idle mutation inside idle span ending %d:\nbefore: %+v\nafter:  %+v",
+					c.Now()-1, next, before, after)
+			}
+		} else {
+			c.Tick()
+		}
+	}
+}

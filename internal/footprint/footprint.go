@@ -81,22 +81,28 @@ func (l Layout) Contains(v Vector, dist int) bool {
 // around target (the target's own block is not included; callers fetch it
 // unconditionally).
 func (l Layout) Blocks(v Vector, target isa.Addr) []isa.Addr {
+	return l.AppendBlocks(nil, v, target)
+}
+
+// AppendBlocks is Blocks appending into dst — the prefetch engines call
+// it once per unconditional branch, so reusing one scratch slice keeps
+// the region expansion allocation-free.
+func (l Layout) AppendBlocks(dst []isa.Addr, v Vector, target isa.Addr) []isa.Addr {
 	if v == 0 {
-		return nil
+		return dst
 	}
 	base := target.Block()
-	var out []isa.Addr
 	for d := 1; d <= l.After; d++ {
 		if l.Contains(v, d) {
-			out = append(out, base+isa.Addr(d*isa.BlockBytes))
+			dst = append(dst, base+isa.Addr(d*isa.BlockBytes))
 		}
 	}
 	for d := 1; d <= l.Before; d++ {
 		if l.Contains(v, -d) {
-			out = append(out, base-isa.Addr(d*isa.BlockBytes))
+			dst = append(dst, base-isa.Addr(d*isa.BlockBytes))
 		}
 	}
-	return out
+	return dst
 }
 
 // PopCount returns the number of marked blocks.

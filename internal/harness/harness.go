@@ -844,6 +844,11 @@ func Experiments() []Experiment {
 			func() []sim.Scenario {
 				return InterferenceScenarios(InterferenceCoRunnerCounts, InterferenceMixes())
 			}},
+		{"interference64", "Shared-LLC/NoC interference on 16- and 64-core meshes",
+			func(r *Runner) *stats.Table { _, t := Interference64(r); return t },
+			func() []sim.Scenario {
+				return InterferenceScenarios(Interference64CoRunnerCounts, InterferenceMixes())
+			}},
 	}
 }
 

@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"shotgun/internal/sim"
 )
 
 // tinyScale keeps harness tests fast.
@@ -174,7 +176,7 @@ func TestInterferenceExperimentValidation(t *testing.T) {
 	if _, err := InterferenceExperiment([]int{1}, []string{"warp-drive"}); err == nil {
 		t.Fatal("unknown mix accepted")
 	}
-	if _, err := InterferenceExperiment([]int{16}, []string{"shotgun-8bit"}); err == nil {
+	if _, err := InterferenceExperiment([]int{sim.MaxCores}, []string{"shotgun-8bit"}); err == nil {
 		t.Fatal("oversubscribed mesh accepted")
 	}
 	e, err := InterferenceExperiment([]int{1, 2}, []string{"entire-region"})

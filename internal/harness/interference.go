@@ -88,9 +88,14 @@ type InterferenceRow struct {
 // InterferenceTable runs the sweep and renders it. The solo row anchors
 // both mixes (with no co-runners the mix is irrelevant).
 func InterferenceTable(r *Runner, counts []int, mixes []InterferenceMix) ([]InterferenceRow, *stats.Table) {
-	r.PrefetchScenarios(InterferenceScenarios(counts, mixes))
-	t := stats.NewTable(
+	return interferenceTable(r,
 		"Interference: core-0 IPC and L1-D fill latency vs co-runners over a shared LLC/NoC (Oracle, shotgun primary)",
+		counts, mixes)
+}
+
+func interferenceTable(r *Runner, title string, counts []int, mixes []InterferenceMix) ([]InterferenceRow, *stats.Table) {
+	r.PrefetchScenarios(InterferenceScenarios(counts, mixes))
+	t := stats.NewTable(title,
 		"Mix", "Co-runners", "IPC", "L1-D fill cycles")
 	var rows []InterferenceRow
 
@@ -120,6 +125,22 @@ func InterferenceTable(r *Runner, counts []int, mixes []InterferenceMix) ([]Inte
 // Interference runs the default sweep (the golden-gated table).
 func Interference(r *Runner) ([]InterferenceRow, *stats.Table) {
 	return InterferenceTable(r, InterferenceCoRunnerCounts, InterferenceMixes())
+}
+
+// Interference64CoRunnerCounts extends the sweep to the core counts the
+// event-driven kernel unlocks: the primary plus 15 co-runners fills the
+// Table 3 4x4 mesh, plus 63 fills the 8x8 scale-out mesh — both are
+// fully active meshes, the exact calibration points of the NoC ladder
+// (noc.SharedConfig).
+var Interference64CoRunnerCounts = []int{15, 63}
+
+// Interference64 runs the scale-out sweep (golden-gated). On the
+// lockstep engine the 64-core point alone made this table intractable
+// to gate; the event kernel is what put it in the corpus.
+func Interference64(r *Runner) ([]InterferenceRow, *stats.Table) {
+	return interferenceTable(r,
+		"Interference at scale: core-0 IPC and L1-D fill latency on fully active 16- and 64-core meshes (Oracle, shotgun primary)",
+		Interference64CoRunnerCounts, InterferenceMixes())
 }
 
 // InterferenceExperiment builds a custom-sweep experiment from CLI-style

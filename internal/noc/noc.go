@@ -45,11 +45,34 @@ func FabricServiceRate(rows, cols, hopCycles int) float64 {
 	return float64(links) / (2 * meanHops(rows, cols) * float64(hopCycles))
 }
 
+// MaxTiles is the largest mesh the scaled-config ladder reaches: the
+// 16x16 mesh of the 256-core scale-out design point (the Confluence
+// lineage's "many lean cores, one instruction-supply fabric").
+const MaxTiles = 256
+
+// meshFor picks the smallest supported square mesh with at least n
+// tiles: the Table 3 4x4 up to 16 cores, then 8x8 and 16x16 for the
+// scale-out scenarios. HopCycles stays at the Table 3 value — tile
+// geometry, not link latency, is what changes with scale.
+func meshFor(n int) Config {
+	d := DefaultConfig()
+	switch {
+	case n <= d.Tiles():
+		return d
+	case n <= 64:
+		d.Rows, d.Cols = 8, 8
+	default:
+		d.Rows, d.Cols = 16, 16
+	}
+	return d
+}
+
 // SharedConfig derives the mesh configuration for a scenario of n cores
-// draining one shared backlog. The service rate is the total fabric
-// capacity minus the background draw of the remaining (tiles-n) tiles,
-// with the per-tile background calibrated so that n=1 reproduces
-// DefaultConfig's single-core share exactly:
+// draining one shared backlog. Up to the 16 tiles of the Table 3 mesh,
+// the service rate is the total fabric capacity minus the background
+// draw of the remaining (tiles-n) tiles, with the per-tile background
+// calibrated so that n=1 reproduces DefaultConfig's single-core share
+// exactly:
 //
 //	rate(n) = Φ - (tiles-n)·(Φ - rate(1))/(tiles-1)
 //
@@ -57,8 +80,20 @@ func FabricServiceRate(rows, cols, hopCycles int) float64 {
 // other 15 cores are a constant — the traffic of the n active cores is
 // real: their messages share the backlog, so congestion (the paper's
 // Figure 11 effect) is emergent rather than baked in.
+//
+// Beyond 16 cores the scenario outgrows the 4x4 mesh and moves to the
+// smallest square mesh that seats every core (8x8 up to 64, 16x16 up to
+// MaxTiles). There is no background-traffic constant to extrapolate at
+// those sizes — every tile hosting a modeled core is real traffic — so
+// the rate is the n active tiles' fair share of the larger fabric:
+//
+//	rate(n) = Φ(mesh)·n/tiles(mesh)
+//
+// which joins the Table 3 ladder continuously in spirit (an all-active
+// mesh gets the whole fabric) while keeping every n ≤ 16 value — and
+// therefore every existing golden table — bit-identical.
 func SharedConfig(n int) Config {
-	d := DefaultConfig()
+	d := meshFor(n)
 	if n <= 1 {
 		return d
 	}
@@ -67,6 +102,10 @@ func SharedConfig(n int) Config {
 		n = tiles
 	}
 	phi := FabricServiceRate(d.Rows, d.Cols, d.HopCycles)
+	if n > DefaultConfig().Tiles() {
+		d.SlotsPerCycle = phi * float64(n) / float64(tiles)
+		return d
+	}
 	background := (phi - d.SlotsPerCycle) / float64(tiles-1)
 	d.SlotsPerCycle = phi - float64(tiles-n)*background
 	return d
@@ -156,6 +195,28 @@ func (m *Mesh) Traverse(now uint64) int {
 // Backlog exposes the current queued work (messages awaiting service).
 func (m *Mesh) Backlog() float64 {
 	return m.backlog
+}
+
+// DrainDeadline returns the first cycle at or after now by which the
+// backlog outstanding at now will have fully drained — the fabric's
+// next idle point. It is pure (the lazy drain state is untouched):
+// the fluid queue integrates itself inside Traverse, so an event-driven
+// kernel needs no mesh tick and no mesh deadline to stay bit-identical;
+// the deadline exists so tests and tools can assert the idle invariant
+// ("a skipped span adds no mesh work") directly against the model.
+func (m *Mesh) DrainDeadline(now uint64) uint64 {
+	backlog := m.backlog
+	if now > m.lastCycle {
+		backlog -= float64(now-m.lastCycle) * m.cfg.SlotsPerCycle
+	}
+	if backlog <= 0 {
+		return now
+	}
+	cycles := uint64(backlog / m.cfg.SlotsPerCycle)
+	for float64(cycles)*m.cfg.SlotsPerCycle < backlog {
+		cycles++
+	}
+	return now + cycles
 }
 
 // AvgQueueCycles returns the mean queueing delay per message so far.

@@ -114,9 +114,14 @@ func TestSharedConfigDerivation(t *testing.T) {
 	if diff := full - phi; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("fully active mesh rate %v, want fabric rate %v", full, phi)
 	}
-	// Core counts beyond the mesh clamp to the full fabric.
-	if SharedConfig(100) != SharedConfig(d.Tiles()) {
-		t.Fatal("overfull mesh not clamped")
+	// Core counts beyond the Table 3 mesh move up the scale-out ladder
+	// (TestSharedConfigScalesBeyondTable3); beyond the largest mesh they
+	// clamp to its full fabric.
+	if SharedConfig(100).Tiles() != 256 {
+		t.Fatalf("SharedConfig(100) mesh = %+v, want 16x16", SharedConfig(100))
+	}
+	if SharedConfig(MaxTiles+100) != SharedConfig(MaxTiles) {
+		t.Fatal("overfull 16x16 mesh not clamped")
 	}
 }
 
@@ -124,5 +129,70 @@ func BenchmarkTraverse(b *testing.B) {
 	m := MustNew(DefaultConfig())
 	for i := 0; i < b.N; i++ {
 		m.Traverse(uint64(i))
+	}
+}
+
+// TestSharedConfigScalesBeyondTable3 pins the scale-out ladder: n <= 16
+// stays bit-identical on the 4x4 mesh (the golden corpus depends on
+// it), 17..64 seats on an 8x8, 65..256 on a 16x16, and at each size the
+// rate is the active tiles' fair share of the fabric — a fully active
+// mesh gets the whole fabric rate.
+func TestSharedConfigScalesBeyondTable3(t *testing.T) {
+	d := DefaultConfig()
+	for n := 1; n <= d.Tiles(); n++ {
+		if got := SharedConfig(n); got.Rows != 4 || got.Cols != 4 {
+			t.Fatalf("SharedConfig(%d) left the Table 3 mesh: %+v", n, got)
+		}
+	}
+	cases := []struct {
+		n, rows int
+	}{{17, 8}, {64, 8}, {65, 16}, {MaxTiles, 16}}
+	for _, tc := range cases {
+		c := SharedConfig(tc.n)
+		if c.Rows != tc.rows || c.Cols != tc.rows {
+			t.Fatalf("SharedConfig(%d) mesh = %dx%d, want %dx%d", tc.n, c.Rows, c.Cols, tc.rows, tc.rows)
+		}
+		if c.HopCycles != d.HopCycles {
+			t.Fatalf("SharedConfig(%d) changed hop latency: %+v", tc.n, c)
+		}
+		phi := FabricServiceRate(c.Rows, c.Cols, c.HopCycles)
+		want := phi * float64(tc.n) / float64(c.Tiles())
+		if diff := c.SlotsPerCycle - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("SharedConfig(%d) rate = %v, want fair share %v", tc.n, c.SlotsPerCycle, want)
+		}
+	}
+	full := SharedConfig(MaxTiles)
+	phi := FabricServiceRate(full.Rows, full.Cols, full.HopCycles)
+	if diff := full.SlotsPerCycle - phi; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("fully active 16x16 rate %v, want fabric rate %v", full.SlotsPerCycle, phi)
+	}
+}
+
+// TestDrainDeadline pins the fabric's next-idle-point probe: it is pure,
+// tracks the lazy drain exactly, and a Traverse at the deadline sees an
+// empty queue.
+func TestDrainDeadline(t *testing.T) {
+	m := MustNew(Config{Rows: 4, Cols: 4, HopCycles: 3, SlotsPerCycle: 0.5})
+	if got := m.DrainDeadline(0); got != 0 {
+		t.Fatalf("empty mesh deadline = %d, want now", got)
+	}
+	for i := 0; i < 4; i++ {
+		m.Traverse(10)
+	}
+	// 4 messages at 0.5/cycle need 8 cycles of service.
+	if got := m.DrainDeadline(10); got != 18 {
+		t.Fatalf("deadline = %d, want 18", got)
+	}
+	// Pure: asking later must not disturb state, and the answer shifts
+	// with the lazy drain.
+	if got := m.DrainDeadline(14); got != 18 {
+		t.Fatalf("deadline at 14 = %d, want 18", got)
+	}
+	if b := m.Backlog(); b != 4 {
+		t.Fatalf("DrainDeadline mutated the backlog: %v", b)
+	}
+	// At the deadline the queue is empty: a message sees zero queueing.
+	if lat := m.Traverse(18); lat != m.UncongestedRoundTrip() {
+		t.Fatalf("latency at deadline = %d, want uncongested %d", lat, m.UncongestedRoundTrip())
 	}
 }

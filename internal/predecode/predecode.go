@@ -9,6 +9,8 @@
 package predecode
 
 import (
+	"sort"
+
 	"shotgun/internal/btb"
 	"shotgun/internal/isa"
 	"shotgun/internal/program"
@@ -23,14 +25,33 @@ type Branch struct {
 
 // Decoder maps cache-block addresses to the branches whose terminating
 // branch instruction lies inside that block.
+//
+// The program lays its code out as a small number of dense images (the
+// application image and the kernel image), so instead of a hash map the
+// decoder indexes a dense per-image slice by block number: Decode sits
+// on the L1-I fill path of every prefetch probe, and the map hash
+// dominated its cost.
 type Decoder struct {
-	byBlock map[isa.Addr][]Branch
+	segs   []decodeSeg
+	blocks int
 }
+
+// decodeSeg covers one contiguous run of code blocks; branches[i] holds
+// the branches of block number base+i.
+type decodeSeg struct {
+	base     uint64 // first block number of the run
+	branches [][]Branch
+}
+
+// segGapBlocks is the block-number gap beyond which NewDecoder starts a
+// new segment rather than padding the current one (images are packed;
+// only the inter-image void exceeds this).
+const segGapBlocks = 1 << 16
 
 // NewDecoder indexes every static branch in the program by the cache
 // block containing its branch instruction.
 func NewDecoder(prog *program.Program) *Decoder {
-	d := &Decoder{byBlock: make(map[isa.Addr][]Branch)}
+	byBlock := make(map[isa.Addr][]Branch)
 	for _, f := range prog.Funcs {
 		for bi := range f.Blocks {
 			sb := &f.Blocks[bi]
@@ -47,8 +68,30 @@ func NewDecoder(prog *program.Program) *Decoder {
 				entry.Target = prog.Func(sb.Callee).Entry()
 			}
 			// Returns read targets from the RAS; no static target.
-			d.byBlock[cb] = append(d.byBlock[cb], Branch{BlockPC: sb.PC, Entry: entry})
+			byBlock[cb] = append(byBlock[cb], Branch{BlockPC: sb.PC, Entry: entry})
 		}
+	}
+
+	d := &Decoder{blocks: len(byBlock)}
+	nums := make([]uint64, 0, len(byBlock))
+	for cb := range byBlock {
+		nums = append(nums, cb.BlockIndex())
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for i := 0; i < len(nums); {
+		j := i + 1
+		for j < len(nums) && nums[j]-nums[j-1] < segGapBlocks {
+			j++
+		}
+		seg := decodeSeg{
+			base:     nums[i],
+			branches: make([][]Branch, nums[j-1]-nums[i]+1),
+		}
+		for _, n := range nums[i:j] {
+			seg.branches[n-seg.base] = byBlock[isa.Addr(n*isa.BlockBytes)]
+		}
+		d.segs = append(d.segs, seg)
+		i = j
 	}
 	return d
 }
@@ -57,14 +100,21 @@ func NewDecoder(prog *program.Program) *Decoder {
 // block containing addr. The returned slice is shared; callers must not
 // mutate it.
 func (d *Decoder) Decode(addr isa.Addr) []Branch {
-	return d.byBlock[addr.Block()]
+	bi := addr.BlockIndex()
+	for i := range d.segs {
+		// Unsigned wrap makes a below-base block number fail the bound.
+		if off := bi - d.segs[i].base; off < uint64(len(d.segs[i].branches)) {
+			return d.segs[i].branches[off]
+		}
+	}
+	return nil
 }
 
 // DecodeFor returns the predecoded entry for the basic block starting at
 // blockPC, searching the cache block that holds its terminating branch.
 // Used by reactive BTB fills, which know which basic block missed.
 func (d *Decoder) DecodeFor(blockPC isa.Addr, branchPC isa.Addr) (Branch, bool) {
-	for _, br := range d.byBlock[branchPC.Block()] {
+	for _, br := range d.Decode(branchPC) {
 		if br.BlockPC == blockPC {
 			return br, true
 		}
@@ -73,4 +123,4 @@ func (d *Decoder) DecodeFor(blockPC isa.Addr, branchPC isa.Addr) (Branch, bool) 
 }
 
 // Blocks returns the number of distinct cache blocks with branches.
-func (d *Decoder) Blocks() int { return len(d.byBlock) }
+func (d *Decoder) Blocks() int { return d.blocks }

@@ -73,6 +73,10 @@ type Shotgun struct {
 	// FootprintDropped counts commits whose owner was already evicted.
 	RegionPrefetches uint64
 	FootprintDropped uint64
+
+	// blkScratch is the reusable region-expansion buffer; regionPrefetch
+	// runs once per unconditional branch and never nests.
+	blkScratch []isa.Addr
 }
 
 // NewShotgun builds the engine.
@@ -161,7 +165,8 @@ func (e *Shotgun) regionPrefetch(now uint64, target isa.Addr, vec footprint.Vect
 	e.probeRegionBlock(now, target)
 	switch e.mode {
 	case RegionVector, RegionEntire:
-		for _, blk := range e.org.Layout().Blocks(vec, target) {
+		e.blkScratch = e.org.Layout().AppendBlocks(e.blkScratch[:0], vec, target)
+		for _, blk := range e.blkScratch {
 			e.probeRegionBlock(now, blk)
 			e.RegionPrefetches++
 		}

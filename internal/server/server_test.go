@@ -317,7 +317,7 @@ func TestScenarioSubmitRejectsBadBatches(t *testing.T) {
 		{"empty batch", `{"scenarios":[]}`},
 		{"no cores", `{"scenarios":[{"Cores":[]}]}`},
 		{"unknown workload", `{"scenarios":[{"Cores":[{"Workload":"NoSuch","Mechanism":"none"}]}]}`},
-		{"too many cores", `{"scenarios":[{"Cores":[` + strings.Repeat(`{"Workload":"Oracle","Mechanism":"none"},`, 16) +
+		{"too many cores", `{"scenarios":[{"Cores":[` + strings.Repeat(`{"Workload":"Oracle","Mechanism":"none"},`, 256) +
 			`{"Workload":"Oracle","Mechanism":"none"}]}]}`},
 	}
 	for _, tc := range cases {
@@ -507,8 +507,8 @@ func TestExperimentEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Experiments) != 13 {
-		t.Fatalf("listed %d experiments, want 13", len(list.Experiments))
+	if len(list.Experiments) != 14 {
+		t.Fatalf("listed %d experiments, want 14", len(list.Experiments))
 	}
 
 	// fig3 is a pure trace analysis: renders without timing simulation.

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"shotgun/internal/footprint"
+	"shotgun/internal/prefetch"
+)
+
+// evtCfg keeps the engine-equality matrix fast while still crossing
+// warmup and measurement boundaries on every core.
+func evtCfg(wl string, m Mechanism) Config {
+	return Config{
+		Workload: wl, Mechanism: m,
+		WarmupInstr: 40_000, MeasureInstr: 50_000, Samples: 1,
+	}
+}
+
+// TestEventKernelMatchesLockstep is the tentpole keystone: the
+// event-driven kernel must reproduce the lockstep engine bit for bit —
+// same stall counters, same hierarchy stats, same derived metrics — at
+// every core count and for every mechanism. Any divergence means a
+// skipped cycle was not actually idle (or idle accounting drifted) and
+// fails here, not in a golden diff.
+func TestEventKernelMatchesLockstep(t *testing.T) {
+	mechs := Mechanisms() // all 7
+	wls := []string{"Oracle", "Nutch", "DB2", "Zeus", "Apache", "Streaming", "Oracle"}
+
+	var cases []Scenario
+	// N=1 and N=2: every mechanism drives its own scenario (paired with
+	// a pressure-generating None co-runner at N=2).
+	for _, m := range mechs {
+		cases = append(cases, Scenario{Cores: []Config{evtCfg("Oracle", m)}})
+		cases = append(cases, Scenario{Cores: []Config{
+			evtCfg("Oracle", m),
+			evtCfg("Nutch", None),
+		}})
+	}
+	// N=8: one heterogeneous mix seats all 7 mechanisms on one mesh.
+	var eight []Config
+	for i, m := range append(mechs, Shotgun) {
+		eight = append(eight, evtCfg(wls[i%len(wls)], m))
+	}
+	cases = append(cases, Scenario{Cores: eight})
+
+	for i, sc := range cases {
+		sc := sc
+		name := fmt.Sprintf("n%d_%s", len(sc.Cores), sc.Cores[0].Mechanism)
+		if i == len(cases)-1 {
+			name = "n8_all_mechanisms"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			norm := sc.Normalized()
+			want, err := runLockstep(norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := runEvent(norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Cores) != len(want.Cores) {
+				t.Fatalf("core count drifted: event %d, lockstep %d", len(got.Cores), len(want.Cores))
+			}
+			for c := range want.Cores {
+				if got.Cores[c] != want.Cores[c] {
+					t.Errorf("core %d drifted from lockstep:\nevent:    %+v\nlockstep: %+v",
+						c, got.Cores[c], want.Cores[c])
+				}
+			}
+		})
+	}
+}
+
+// TestEventKernel64CoreSmoke proves the scale unlock: a 64-core
+// scenario — four times the old MaxCores — completes on the event
+// kernel and reports sane per-core results. The lockstep engine is
+// deliberately not run here; at this scale it is exactly the cost this
+// kernel exists to avoid.
+func TestEventKernel64CoreSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core smoke is not a -short test")
+	}
+	cores := make([]Config, 64)
+	for i := range cores {
+		m := Shotgun
+		if i%2 == 1 {
+			m = None
+		}
+		cores[i] = Config{
+			Workload: "Oracle", Mechanism: m,
+			WarmupInstr: 20_000, MeasureInstr: 30_000, Samples: 1,
+		}
+	}
+	res := MustRunScenario(Scenario{Cores: cores})
+	if len(res.Cores) != 64 {
+		t.Fatalf("got %d core results, want 64", len(res.Cores))
+	}
+	for i, r := range res.Cores {
+		if r.Core.Instructions == 0 || r.Core.Cycles == 0 {
+			t.Fatalf("core %d measured nothing: %+v", i, r.Core)
+		}
+		if ipc := r.Core.IPC(); ipc <= 0 || ipc > 3 {
+			t.Fatalf("core %d IPC %v outside (0, 3]", i, ipc)
+		}
+	}
+}
+
+// interference8 reconstructs the harness interference experiment's
+// 8-core shape (shotgun primary, 7 entire-region co-runners) for the
+// engine benchmarks, at the bench scale of BenchmarkScenarioThroughput.
+func interference8() Scenario {
+	co := Config{
+		Workload: "Oracle", Mechanism: Shotgun,
+		RegionMode: prefetch.RegionEntire, Layout: footprint.Layout32,
+		WarmupInstr: 150_000, MeasureInstr: 250_000, Samples: 1,
+	}
+	primary := co
+	primary.RegionMode = 0
+	primary.Layout = footprint.Layout{}
+	cores := []Config{primary}
+	for i := 0; i < 7; i++ {
+		cores = append(cores, co)
+	}
+	return Scenario{Cores: cores}
+}
+
+// benchEngine drives one engine over the 8-core interference scenario;
+// the BenchmarkEngine* pair quantifies the event kernel's wall-clock
+// win over lockstep (the tentpole's ≥5× target).
+func benchEngine(b *testing.B, run func(Scenario) (ScenarioResult, error)) {
+	sc := interference8().Normalized()
+	// Warm the shared program/predecode artifacts so the comparison
+	// times the engines, not one-time workload generation.
+	if _, err := run(sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cores[0].Core.Instructions == 0 {
+			b.Fatal("no instructions retired")
+		}
+	}
+}
+
+func BenchmarkEngineLockstep8Core(b *testing.B) { benchEngine(b, runLockstep) }
+func BenchmarkEngineEvent8Core(b *testing.B)    { benchEngine(b, runEvent) }

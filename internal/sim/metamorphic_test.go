@@ -44,30 +44,63 @@ func testPermutations(n int) [][]int {
 	return perms
 }
 
+// engines pins the metamorphic properties to each scenario engine by
+// name: RunScenario dispatches multi-core shapes to the event kernel,
+// but the properties must hold for the retained lockstep reference too
+// — a contract break in either engine fails here even if the other
+// masks it at the dispatch layer.
+var engines = []struct {
+	name string
+	run  func(Scenario) (ScenarioResult, error)
+}{
+	{"lockstep", runLockstep},
+	{"event", runEvent},
+}
+
+// runWith executes a scenario through the full RunScenario pipeline —
+// normalization, canonical-order execution, reorder — pinned to one
+// engine.
+func runWith(t *testing.T, run func(Scenario) (ScenarioResult, error), sc Scenario) ScenarioResult {
+	t.Helper()
+	norm, perm := sc.NormalizedPerm()
+	canon, err := run(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon.Reorder(perm)
+}
+
 // TestPermutationEquivariance: permuting a scenario's per-core configs
 // permutes the per-core results identically — bit for bit, not just
 // statistically. result.Cores[i] must always describe the caller's
-// Cores[i], however the caller ordered them.
+// Cores[i], however the caller ordered them. The property must hold on
+// both engines.
 func TestPermutationEquivariance(t *testing.T) {
 	base := []Config{
 		metaCfg("Oracle", Shotgun),
 		metaCfg("DB2", Boomerang),
 		metaCfg("Nutch", None),
 	}
-	ref := MustRunScenario(Scenario{Cores: base})
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			t.Parallel()
+			ref := runWith(t, eng.run, Scenario{Cores: base})
 
-	for pi, p := range testPermutations(len(base)) {
-		cores := make([]Config, len(base))
-		for i := range p {
-			cores[i] = base[p[i]]
-		}
-		got := MustRunScenario(Scenario{Cores: cores})
-		for i := range p {
-			if got.Cores[i] != ref.Cores[p[i]] {
-				t.Fatalf("perm %d: core %d (orig %d) drifted under permutation:\n%+v\n%+v",
-					pi, i, p[i], got.Cores[i], ref.Cores[p[i]])
+			for pi, p := range testPermutations(len(base)) {
+				cores := make([]Config, len(base))
+				for i := range p {
+					cores[i] = base[p[i]]
+				}
+				got := runWith(t, eng.run, Scenario{Cores: cores})
+				for i := range p {
+					if got.Cores[i] != ref.Cores[p[i]] {
+						t.Fatalf("perm %d: core %d (orig %d) drifted under permutation:\n%+v\n%+v",
+							pi, i, p[i], got.Cores[i], ref.Cores[p[i]])
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
@@ -132,16 +165,24 @@ func goldenShapes() []Scenario {
 // TestRerunBitIdentical: re-running any golden-family scenario in a
 // fresh engine instance is bit-identical — the whole golden gate rests
 // on this (PR 1 removed the last source of run-to-run nondeterminism).
+// Both engines carry the gate (the event kernel runs the corpus, the
+// lockstep engine is its reference), so both are held to it.
 func TestRerunBitIdentical(t *testing.T) {
-	for _, sc := range goldenShapes() {
-		a := MustRunScenario(sc)
-		b := MustRunScenario(sc)
-		for i := range a.Cores {
-			if a.Cores[i] != b.Cores[i] {
-				t.Fatalf("scenario %s core %d differs between identical runs:\n%+v\n%+v",
-					sc.CanonicalBytes(), i, a.Cores[i], b.Cores[i])
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			t.Parallel()
+			for _, sc := range goldenShapes() {
+				a := runWith(t, eng.run, sc)
+				b := runWith(t, eng.run, sc)
+				for i := range a.Cores {
+					if a.Cores[i] != b.Cores[i] {
+						t.Fatalf("scenario %s core %d differs between identical runs:\n%+v\n%+v",
+							sc.CanonicalBytes(), i, a.Cores[i], b.Cores[i])
+					}
+				}
 			}
-		}
+		})
 	}
 }
 

@@ -23,9 +23,12 @@ import (
 	"shotgun/internal/workload"
 )
 
-// MaxCores is the largest scenario the Table 3 CMP supports: one active
-// core per mesh tile of the 4x4 NoC.
-var MaxCores = noc.DefaultConfig().Tiles()
+// MaxCores is the largest scenario the simulator supports: one active
+// core per tile of the biggest mesh on the NoC scaling ladder (the
+// 16x16 scale-out design point). Scenarios up to 16 cores run on the
+// Table 3 4x4 CMP exactly as before; larger ones move to the 8x8 and
+// 16x16 meshes of noc.SharedConfig.
+var MaxCores = noc.MaxTiles
 
 // PerCoreLLCBytes is one core's modeled share of the 8MB NUCA LLC.
 const PerCoreLLCBytes = 1 << 20
@@ -245,7 +248,7 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 		}
 		return ScenarioResult{Cores: []Result{res}}, nil
 	}
-	canon, err := runLockstep(norm)
+	canon, err := runEvent(norm)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
@@ -352,13 +355,12 @@ func (cs *coreState) step() {
 	}
 }
 
-// runLockstep drives N cores cycle-by-cycle over one shared uncore. All
-// cores tick in round-robin within each cycle, so their clocks never
-// drift by more than one cycle and shared-resource contention (LLC
-// occupancy, mesh backlog) is time-coherent. A core that finishes its
-// schedule keeps ticking — still generating real traffic — until every
-// core has finished measuring, but its extra work is never accumulated.
-func runLockstep(sc Scenario) (ScenarioResult, error) {
+// buildStates constructs the shared uncore and the per-core states of a
+// normalized scenario: the common front half of the lockstep and event
+// engines. Both engines must run over bit-identical initial state —
+// same mesh config, same attach order, same salted seeds — for the
+// equality keystone (TestEventKernelMatchesLockstep) to be meaningful.
+func buildStates(sc Scenario) ([]*coreState, error) {
 	ucfg := uncore.DefaultConfig()
 	ucfg.LLCSizeBytes = sc.LLCSizeBytes
 	ucfg.Mesh = noc.SharedConfig(len(sc.Cores))
@@ -377,14 +379,14 @@ func runLockstep(sc Scenario) (ScenarioResult, error) {
 	for i, cfg := range sc.Cores {
 		prof, err := workload.Get(cfg.Workload)
 		if err != nil {
-			return ScenarioResult{}, err
+			return nil, err
 		}
 		salt := coreSalt(i)
 		stream := workload.NewWalkerConfig(prof.Program(), prof.WalkSeed^salt, prof.Walk)
 		hier := shared.AttachCore(i)
 		engine, err := buildEngine(prefetch.Context{Hier: hier, Dec: prof.Decoder()}, cfg)
 		if err != nil {
-			return ScenarioResult{}, err
+			return nil, err
 		}
 		ccfg := core.Config{
 			LoadFrac:   prof.LoadFrac,
@@ -400,6 +402,35 @@ func runLockstep(sc Scenario) (ScenarioResult, error) {
 		}
 		cs.startPhase()
 		states[i] = cs
+	}
+	return states, nil
+}
+
+// results closes out the per-core states into a canonical-order result.
+func results(states []*coreState) ScenarioResult {
+	out := ScenarioResult{Cores: make([]Result, len(states))}
+	for i, cs := range states {
+		cs.res.PrefetchAccuracy = prefetchAccuracy(cs.res.Hier)
+		out.Cores[i] = cs.res
+	}
+	return out
+}
+
+// runLockstep drives N cores cycle-by-cycle over one shared uncore. All
+// cores tick in round-robin within each cycle, so their clocks never
+// drift by more than one cycle and shared-resource contention (LLC
+// occupancy, mesh backlog) is time-coherent. A core that finishes its
+// schedule keeps ticking — still generating real traffic — until every
+// core has finished measuring, but its extra work is never accumulated.
+//
+// This is the reference engine: RunScenario dispatches multi-core
+// shapes to the event-driven kernel in event.go, and
+// TestEventKernelMatchesLockstep pins the two executions to bit-equal
+// results. Keep both engines' semantics in sync.
+func runLockstep(sc Scenario) (ScenarioResult, error) {
+	states, err := buildStates(sc)
+	if err != nil {
+		return ScenarioResult{}, err
 	}
 
 	// live counts cores still walking their schedule; finished cores
@@ -419,11 +450,5 @@ func runLockstep(sc Scenario) (ScenarioResult, error) {
 			}
 		}
 	}
-
-	out := ScenarioResult{Cores: make([]Result, len(states))}
-	for i, cs := range states {
-		cs.res.PrefetchAccuracy = prefetchAccuracy(cs.res.Hier)
-		out.Cores[i] = cs.res
-	}
-	return out, nil
+	return results(states), nil
 }

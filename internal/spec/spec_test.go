@@ -147,7 +147,7 @@ func TestParseRejections(t *testing.T) {
 		{"non-increasing co-runners", `{"version":1,"name":"x","tables":[{"id":"t","title":"t","interference":{
 			"co_runners":[3,1],"mixes":[{"name":"m","co_runner":{"mechanism":"shotgun"}}]}}]}`, "strictly increasing"},
 		{"too many cores", `{"version":1,"name":"x","tables":[{"id":"t","title":"t","interference":{
-			"co_runners":[99],"mixes":[{"name":"m","co_runner":{"mechanism":"shotgun"}}]}}]}`, "mesh"},
+			"co_runners":[299],"mixes":[{"name":"m","co_runner":{"mechanism":"shotgun"}}]}}]}`, "mesh"},
 		{"non-increasing distances", `{"version":1,"name":"x","tables":[{"id":"t","title":"t",
 			"region_cdf":{"distances":[4,2]}}]}`, "strictly increasing"},
 		{"distance out of range", `{"version":1,"name":"x","tables":[{"id":"t","title":"t",

@@ -27,7 +27,6 @@ package uncore
 
 import (
 	"fmt"
-	"sort"
 
 	"shotgun/internal/cache"
 	"shotgun/internal/isa"
@@ -266,6 +265,11 @@ type Hierarchy struct {
 	Mesh    *noc.Mesh
 
 	inflight map[isa.Addr]*flight
+	// ordered is the same fill population as inflight, as a min-heap on
+	// (ready, block) — a fill's completion cycle never changes after
+	// issue, so PollArrivals pops completions in exactly delivery order
+	// instead of walking and sorting the whole map.
+	ordered []*flight
 	// nextReady is the earliest completion cycle among in-flight fills
 	// (^0 when none): PollArrivals is called every cycle, and the
 	// watermark turns the common no-arrival case into one comparison
@@ -301,9 +305,57 @@ func (h *Hierarchy) Shared() *Shared { return h.shared }
 // watermark if this fill completes before every other outstanding one.
 func (h *Hierarchy) trackFill(fl *flight) {
 	h.inflight[fl.block] = fl
+	h.heapPush(fl)
 	if fl.ready < h.nextReady {
 		h.nextReady = fl.ready
 	}
+}
+
+// flightBefore orders the arrival heap: completion cycle, ties broken by
+// block address — the delivery order PollArrivals guarantees.
+func flightBefore(a, b *flight) bool {
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	return a.block < b.block
+}
+
+func (h *Hierarchy) heapPush(fl *flight) {
+	h.ordered = append(h.ordered, fl)
+	i := len(h.ordered) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !flightBefore(h.ordered[i], h.ordered[p]) {
+			break
+		}
+		h.ordered[i], h.ordered[p] = h.ordered[p], h.ordered[i]
+		i = p
+	}
+}
+
+func (h *Hierarchy) heapPop() *flight {
+	top := h.ordered[0]
+	last := len(h.ordered) - 1
+	h.ordered[0] = h.ordered[last]
+	h.ordered[last] = nil
+	h.ordered = h.ordered[:last]
+	n := len(h.ordered)
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && flightBefore(h.ordered[l], h.ordered[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && flightBefore(h.ordered[r], h.ordered[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.ordered[i], h.ordered[small] = h.ordered[small], h.ordered[i]
+		i = small
+	}
+	return top
 }
 
 // Config returns the effective configuration.
@@ -447,26 +499,22 @@ func (h *Hierarchy) PollArrivals(now uint64) []Arrival {
 		return nil
 	}
 	out := h.arrivals[:0]
-	next := noInflight
-	for block, fl := range h.inflight {
-		if fl.ready <= now {
-			out = append(out, Arrival{Block: block, Ready: fl.ready, Demand: fl.demand})
-			delete(h.inflight, block)
-		} else if fl.ready < next {
-			next = fl.ready
-		}
+	// Heap pops come out in (ready, block) order — already the delivery
+	// order the sorted map walk used to produce.
+	for len(h.ordered) > 0 && h.ordered[0].ready <= now {
+		fl := h.heapPop()
+		out = append(out, Arrival{Block: fl.block, Ready: fl.ready, Demand: fl.demand})
+		delete(h.inflight, fl.block)
 	}
-	h.nextReady = next
+	if len(h.ordered) > 0 {
+		h.nextReady = h.ordered[0].ready
+	} else {
+		h.nextReady = noInflight
+	}
 	h.arrivals = out
 	if len(out) == 0 {
 		return nil
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Ready != out[j].Ready {
-			return out[i].Ready < out[j].Ready
-		}
-		return out[i].Block < out[j].Block
-	})
 	for _, a := range out {
 		if a.Demand {
 			h.L1I.Insert(a.Block)
@@ -479,6 +527,20 @@ func (h *Hierarchy) PollArrivals(now uint64) []Arrival {
 
 // InflightCount returns the number of outstanding instruction fills.
 func (h *Hierarchy) InflightCount() int { return len(h.inflight) }
+
+// NextArrival returns the earliest cycle at which an in-flight
+// instruction fill can complete, or NoArrival when nothing is in
+// flight. It is the hierarchy's contribution to a core's next-event
+// deadline: PollArrivals is a guaranteed no-op at every cycle strictly
+// before this watermark, so an event-driven caller may skip those
+// cycles without observing different arrivals. The watermark is
+// conservative in the safe direction — it may be earlier than the true
+// next completion (trackFill only lowers it), never later.
+func (h *Hierarchy) NextArrival() uint64 { return h.nextReady }
+
+// NoArrival is NextArrival's value when no instruction fill is in
+// flight.
+const NoArrival = noInflight
 
 // DataAccess is a load/store to the data side. It returns the cycle the
 // data is available and whether the L1-D hit. Misses traverse the mesh to

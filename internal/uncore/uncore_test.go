@@ -338,3 +338,28 @@ func BenchmarkFetchBlock(b *testing.B) {
 		}
 	}
 }
+
+// TestNextArrival pins the watermark accessor an event-driven core
+// hangs its arrival deadline on: NoArrival when idle, never later than
+// the earliest in-flight completion, and PollArrivals is a no-op on
+// every cycle strictly before it.
+func TestNextArrival(t *testing.T) {
+	h := newTestHierarchy()
+	if got := h.NextArrival(); got != NoArrival {
+		t.Fatalf("idle hierarchy NextArrival = %d, want NoArrival", got)
+	}
+	ready, _ := h.FetchBlock(100, isa.Addr(0x40000))
+	next := h.NextArrival()
+	if next > ready {
+		t.Fatalf("NextArrival %d is later than the in-flight completion %d", next, ready)
+	}
+	if got := h.PollArrivals(next - 1); got != nil {
+		t.Fatalf("PollArrivals before the watermark returned %v", got)
+	}
+	if got := h.PollArrivals(ready); len(got) != 1 {
+		t.Fatalf("PollArrivals at completion returned %d arrivals, want 1", len(got))
+	}
+	if got := h.NextArrival(); got != NoArrival {
+		t.Fatalf("drained hierarchy NextArrival = %d, want NoArrival", got)
+	}
+}

@@ -19,6 +19,7 @@ package workload
 
 import (
 	"sort"
+	"sync"
 
 	"shotgun/internal/isa"
 	"shotgun/internal/program"
@@ -94,6 +95,31 @@ func NewWalker(prog *program.Program, seed uint64) *Walker {
 func NewWalkerConfig(prog *program.Program, seed uint64, cfg WalkerConfig) *Walker {
 	cfg.setDefaults()
 	w := &Walker{prog: prog, rng: xrand.New(seed)}
+	w.roots = sortedRoots(prog, cfg.RootLayers)
+	w.rootZipf = xrand.NewZipf(w.rng, len(w.roots), cfg.RootZipfS)
+	w.cur = frame{fn: prog.Func(w.pickRoot())}
+	return w
+}
+
+// rootsCache memoizes the size-ranked handler set per (program,
+// RootLayers). Root selection and the closure-size DFS walk only the
+// immutable shared program, so the result is identical for every walker
+// over the same program — recomputing it per core per scenario was a
+// measurable slice of multi-core scenario setup. Cached slices are
+// shared across walkers and must never be mutated.
+var rootsCache sync.Map
+
+type rootsKey struct {
+	prog   *program.Program
+	layers int
+}
+
+func sortedRoots(prog *program.Program, rootLayers int) []program.FuncID {
+	key := rootsKey{prog, rootLayers}
+	if v, ok := rootsCache.Load(key); ok {
+		return v.([]program.FuncID)
+	}
+	var roots []program.FuncID
 	maxLayer := 0
 	for _, id := range prog.AppFuncs {
 		if l := prog.Func(id).Layer; l > maxLayer {
@@ -101,23 +127,22 @@ func NewWalkerConfig(prog *program.Program, seed uint64, cfg WalkerConfig) *Walk
 		}
 	}
 	for _, id := range prog.AppFuncs {
-		if prog.Func(id).Layer > maxLayer-cfg.RootLayers {
-			w.roots = append(w.roots, id)
+		if prog.Func(id).Layer > maxLayer-rootLayers {
+			roots = append(roots, id)
 		}
 	}
-	if len(w.roots) == 0 {
-		w.roots = append([]program.FuncID(nil), prog.AppFuncs...)
+	if len(roots) == 0 {
+		roots = append([]program.FuncID(nil), prog.AppFuncs...)
 	}
 	// Rank request types by the size of their static call tree so the
 	// Zipf head lands on the heavyweight handlers (the big transactions
 	// dominate server time, not the trivial ones).
-	sizes := closureSizes(prog, w.roots)
-	sort.SliceStable(w.roots, func(i, j int) bool {
-		return sizes[w.roots[i]] > sizes[w.roots[j]]
+	sizes := closureSizes(prog, roots)
+	sort.SliceStable(roots, func(i, j int) bool {
+		return sizes[roots[i]] > sizes[roots[j]]
 	})
-	w.rootZipf = xrand.NewZipf(w.rng, len(w.roots), cfg.RootZipfS)
-	w.cur = frame{fn: prog.Func(w.pickRoot())}
-	return w
+	v, _ := rootsCache.LoadOrStore(key, roots)
+	return v.([]program.FuncID)
 }
 
 // closureSizes returns the static call-closure size of each root.

@@ -6,7 +6,10 @@
 // experiment in the repository exactly reproducible.
 package xrand
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Source is a deterministic 64-bit PRNG based on xoshiro256**, seeded via
 // splitmix64. The zero value is not usable; construct with New.
@@ -122,8 +125,32 @@ func (r *Source) Geometric(p float64) int {
 }
 
 // zipfGuideBuckets sizes the guide table that narrows Next's binary
-// search: bucket k covers u in [k/buckets, (k+1)/buckets).
-const zipfGuideBuckets = 256
+// search: bucket k covers u in [k/buckets, (k+1)/buckets). At 4096
+// buckets the largest samplers in the tree (the 8192-block data-address
+// draw in every core's dispatch loop) resolve in one or two probes;
+// tables are shared process-wide, so the extra 16 KiB is paid once per
+// distinct (n, s), not per core.
+const zipfGuideBuckets = 4096
+
+// zipfTable is the immutable precomputed half of a Zipf sampler. The
+// CDF and guide are pure functions of (n, s), so every sampler over the
+// same shape shares one table; only the RNG stream is per-sampler.
+type zipfTable struct {
+	cdf []float64
+	// guide[k] is the first rank whose cdf covers u = k/zipfGuideBuckets;
+	// the answer for any u in bucket k lies in [guide[k], guide[k+1]].
+	guide []int32
+}
+
+// zipfTables caches tables by shape: the math.Pow sweep over n ranks is
+// a measurable slice of per-core construction in many-core scenarios,
+// and the values are identical every time.
+var zipfTables sync.Map
+
+type zipfKey struct {
+	n int
+	s float64
+}
 
 // Zipf draws ranks in [0, n) with probability proportional to
 // 1/(rank+1)^s using precomputed cumulative weights. It is the workhorse
@@ -131,17 +158,19 @@ const zipfGuideBuckets = 256
 // per-load data-address draw in the core's dispatch loop, where a guide
 // table cuts the CDF binary search from ~log2(n) probes to one or two.
 type Zipf struct {
-	cdf []float64
+	*zipfTable
 	src *Source
-	// guide[k] is the first rank whose cdf covers u = k/zipfGuideBuckets;
-	// the answer for any u in bucket k lies in [guide[k], guide[k+1]].
-	guide []int32
 }
 
 // NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+// Samplers with the same (n, s) share one immutable CDF/guide table.
 func NewZipf(src *Source, n int, s float64) *Zipf {
 	if n <= 0 {
 		panic("xrand: NewZipf with non-positive n")
+	}
+	key := zipfKey{n, s}
+	if v, ok := zipfTables.Load(key); ok {
+		return &Zipf{zipfTable: v.(*zipfTable), src: src}
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -163,7 +192,8 @@ func NewZipf(src *Source, n int, s float64) *Zipf {
 		}
 		guide[k] = int32(i)
 	}
-	return &Zipf{cdf: cdf, src: src, guide: guide}
+	v, _ := zipfTables.LoadOrStore(key, &zipfTable{cdf: cdf, guide: guide})
+	return &Zipf{zipfTable: v.(*zipfTable), src: src}
 }
 
 // Next returns the next Zipf-distributed rank in [0, n). The guide table
