@@ -22,25 +22,45 @@
 // backend stops (local pool: finishes in-flight work; worker: finishes
 // and pushes its current job), so no accepted work is lost silently.
 //
+// Multi-tenant farm mode: -tenants points at a JSON registry
+// ({"tenants":[{"name","key","weight","max_queued","max_in_flight"}]});
+// the SHOTGUN_TENANTS environment variable carries the same document
+// inline and overrides the file (secrets stay out of argv). With a
+// registry loaded, every request except /healthz, /v1/version and
+// /metrics must present "Authorization: Bearer <key>", submissions are
+// scheduled fair-share by tenant weight, per-tenant quotas answer 429,
+// and -max-queue bounds the global backlog (past it the server sheds
+// with 503 + Retry-After). -fair-slots bounds how many jobs sit in the
+// execution backend at once (default 2x -parallel locally; 256 in
+// coordinator mode, where it caps lease-table occupancy, not CPU).
+// -log picks the structured access/lifecycle log format. See
+// docs/FARM.md for the full operations guide.
+//
 // Usage:
 //
 //	shotgun-server -addr :8080 -store ./shotgun-store           # full scale, single node
 //	shotgun-server -scale quick -parallel 4                     # smoke scale
 //	shotgun-server -store ./s -store-max-bytes 1000000000       # prune to ~1GB on start
 //	shotgun-server -queue 8192 -shutdown-timeout 30s            # backlog + drain deadline
+//	shotgun-server -tenants tenants.json -max-queue 10000       # multi-tenant farm
+//	shotgun-server -tenants t.json -log json                    # JSON access logs
 //	shotgun-server -coordinator -store ./s -lease-ttl 30s       # cluster front-end
+//	shotgun-server -coordinator -fair-slots 512                 # deeper lease table
 //	shotgun-server -join http://coord:8080 -parallel 8          # simulation worker
 //	shotgun-server -join http://coord:8080 -worker-id rack3-a   # named worker
 //
-// Example session:
+// Example session (drop the Authorization header when auth is off):
 //
-//	curl -s -X POST localhost:8080/v1/sims \
+//	curl -s localhost:8080/v1/version
+//	curl -s -X POST localhost:8080/v1/sims -H 'Authorization: Bearer key-acme' \
 //	    -d '{"configs":[{"Workload":"Oracle","Mechanism":"shotgun"}]}'
-//	curl -s -X POST localhost:8080/v1/scenarios \
+//	curl -s -X POST localhost:8080/v1/scenarios -H 'Authorization: Bearer key-acme' \
 //	    -d '{"scenarios":[{"Cores":[{"Workload":"Oracle","Mechanism":"shotgun"},{"Workload":"DB2","Mechanism":"fdip"}]}]}'
-//	curl -s localhost:8080/v1/scenarios/<key>
-//	curl -s localhost:8080/v1/experiments/fig7?format=csv
-//	curl -s -X POST --data-binary @specs/fig7.json 'localhost:8080/v1/sweeps?format=text'
+//	curl -s -H 'Authorization: Bearer key-acme' localhost:8080/v1/scenarios/<key>
+//	curl -s -H 'Authorization: Bearer key-acme' localhost:8080/v1/experiments/fig7?format=csv
+//	curl -s -N -X POST --data-binary @specs/fig7.json -H 'Accept: text/event-stream' \
+//	    -H 'Authorization: Bearer key-acme' 'localhost:8080/v1/sweeps?format=text'
+//	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/v1/cluster                            # coordinator only
 package main
 
@@ -50,6 +70,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -101,6 +122,44 @@ func main() {
 // errPrinted marks errors the flag package already reported to stderr.
 var errPrinted = errors.New("flag parse error")
 
+// tenantsEnv carries the registry document inline (overriding
+// -tenants), so API keys can reach the process without touching argv
+// or the filesystem.
+const tenantsEnv = "SHOTGUN_TENANTS"
+
+// loadTenants resolves the tenant registry: the SHOTGUN_TENANTS
+// environment variable wins over the -tenants file; neither means auth
+// stays off. The second return names the source for the startup line.
+func loadTenants(path string) (*server.TenantRegistry, string, error) {
+	if doc := os.Getenv(tenantsEnv); doc != "" {
+		reg, err := server.ParseTenants([]byte(doc))
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %v", tenantsEnv, err)
+		}
+		return reg, "$" + tenantsEnv, nil
+	}
+	if path == "" {
+		return nil, "", nil
+	}
+	reg, err := server.LoadTenants(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return reg, path, nil
+}
+
+// newLogger builds the structured logger behind -log.
+func newLogger(format string, stdout io.Writer) *slog.Logger {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(stdout, nil))
+	case "json":
+		return slog.New(slog.NewJSONHandler(stdout, nil))
+	default:
+		return nil // server.New falls back to a discard logger
+	}
+}
+
 // options is the validated flag set.
 type options struct {
 	addr            string
@@ -109,6 +168,10 @@ type options struct {
 	storeDir        string
 	storeMaxBytes   int64
 	queue           int
+	maxQueue        int
+	fairSlots       int
+	tenantsPath     string
+	logFormat       string
 	shutdownTimeout time.Duration
 	coordinator     bool
 	leaseTTL        time.Duration
@@ -129,6 +192,13 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.Int64Var(&opts.storeMaxBytes, "store-max-bytes", 0,
 		"prune the store's oldest records down to this many bytes on start (0: keep everything)")
 	fs.IntVar(&opts.queue, "queue", 4096, "pending-simulation queue depth")
+	fs.IntVar(&opts.maxQueue, "max-queue", 0,
+		"global fair-queue backlog bound; past it submissions shed with 503 + Retry-After (0: unlimited)")
+	fs.IntVar(&opts.fairSlots, "fair-slots", 0,
+		"jobs resident in the execution backend at once (0: 2x -parallel, or 256 in coordinator mode)")
+	fs.StringVar(&opts.tenantsPath, "tenants", "",
+		"tenant registry JSON enabling API-key auth and fair-share quotas (SHOTGUN_TENANTS env overrides)")
+	fs.StringVar(&opts.logFormat, "log", "off", "structured request log format: off, text or json")
 	fs.DurationVar(&opts.shutdownTimeout, "shutdown-timeout", 10*time.Second,
 		"deadline for in-flight HTTP requests on SIGINT/SIGTERM")
 	fs.BoolVar(&opts.coordinator, "coordinator", false,
@@ -157,6 +227,17 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	if opts.storeMaxBytes < 0 {
 		return options{}, fmt.Errorf("-store-max-bytes must be non-negative (got %d)", opts.storeMaxBytes)
 	}
+	if opts.maxQueue < 0 {
+		return options{}, fmt.Errorf("-max-queue must be non-negative (got %d)", opts.maxQueue)
+	}
+	if opts.fairSlots < 0 {
+		return options{}, fmt.Errorf("-fair-slots must be non-negative (got %d)", opts.fairSlots)
+	}
+	switch opts.logFormat {
+	case "off", "text", "json":
+	default:
+		return options{}, fmt.Errorf("-log must be off, text or json (got %q)", opts.logFormat)
+	}
 	if opts.storeMaxBytes > 0 && opts.storeDir == "" {
 		return options{}, fmt.Errorf("-store-max-bytes requires -store")
 	}
@@ -172,6 +253,9 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		}
 		if opts.storeDir != "" {
 			return options{}, fmt.Errorf("-join workers keep no store (records land in the coordinator's); drop -store")
+		}
+		if opts.tenantsPath != "" {
+			return options{}, fmt.Errorf("-join workers serve no API (the coordinator authenticates); drop -tenants")
 		}
 	}
 	if opts.workerID != "" && opts.join == "" {
@@ -202,11 +286,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if opts.join != "" {
 		return runWorker(ctx, opts, scale, stdout, stderr)
 	}
+	// Coordinator slots bound lease-table occupancy, not local CPU, so
+	// the default is much deeper there.
+	fairSlots := opts.fairSlots
+	if fairSlots == 0 && opts.coordinator {
+		fairSlots = 256
+	}
 	cfg := server.Config{
 		Scale:      scale,
 		ScaleName:  opts.scale,
 		Workers:    opts.parallel,
 		QueueDepth: opts.queue,
+		MaxQueue:   opts.maxQueue,
+		FairSlots:  fairSlots,
+		Logger:     newLogger(opts.logFormat, stdout),
+	}
+	reg, regSource, err := loadTenants(opts.tenantsPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if reg != nil {
+		cfg.Tenants = reg
+		fmt.Fprintf(stdout, "tenants: %d registered from %s (API-key auth on)\n", len(reg.Tenants()), regSource)
 	}
 	if opts.storeDir != "" {
 		st, err := store.Open(opts.storeDir)
@@ -242,6 +344,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			})
 			return coord
 		}
+		// server.New runs NewExecutor synchronously, so coord is set
+		// before the first /metrics scrape can fire.
+		cfg.ClusterStats = func() dispatch.CoordinatorStats { return coord.Stats() }
 	}
 	srv := server.New(cfg)
 	handler := srv.Handler()
@@ -267,7 +372,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if opts.coordinator {
 		mode = fmt.Sprintf("coordinator, lease TTL %v", opts.leaseTTL)
 	}
-	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s, %s)\n", ln.Addr(), opts.scale, mode)
+	auth := "auth off"
+	if reg != nil {
+		auth = "auth on"
+	}
+	fmt.Fprintf(stdout, "shotgun-server listening on %s (scale %s, %s, %s)\n", ln.Addr(), opts.scale, mode, auth)
 
 	select {
 	case err := <-serveErr:

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -30,6 +32,10 @@ func TestParseOptionsRejectsBadFlags(t *testing.T) {
 		{"join and coordinator", []string{"-join", "http://x:1", "-coordinator"}, "mutually exclusive"},
 		{"worker with store", []string{"-join", "http://x:1", "-store", "./s"}, "drop -store"},
 		{"worker id without join", []string{"-worker-id", "w1"}, "requires -join"},
+		{"negative max queue", []string{"-max-queue", "-1"}, "non-negative"},
+		{"negative fair slots", []string{"-fair-slots", "-5"}, "non-negative"},
+		{"bad log format", []string{"-log", "xml"}, "off, text or json"},
+		{"worker with tenants", []string{"-join", "http://x:1", "-tenants", "t.json"}, "drop -tenants"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,6 +63,56 @@ func TestParseOptionsDefaults(t *testing.T) {
 	}
 	if opts.coordinator || opts.join != "" || opts.leaseTTL != 30*time.Second {
 		t.Fatalf("cluster defaults wrong: %+v (single-node must be the zero-flag default)", opts)
+	}
+	if opts.maxQueue != 0 || opts.fairSlots != 0 || opts.tenantsPath != "" || opts.logFormat != "off" {
+		t.Fatalf("farm defaults wrong: %+v (unbounded queue, derived slots, open access, no log)", opts)
+	}
+}
+
+// TestLoadTenantsSources covers the registry resolution order: the
+// SHOTGUN_TENANTS document wins over the -tenants file, the file loads
+// when the env is empty, and no source at all means open access.
+func TestLoadTenantsSources(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants":[{"name":"filetenant","key":"kf"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv(tenantsEnv, `{"tenants":[{"name":"envtenant","key":"ke"}]}`)
+	reg, source, err := loadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "$"+tenantsEnv {
+		t.Fatalf("source = %q, want the env var", source)
+	}
+	if _, ok := reg.Lookup("ke"); !ok {
+		t.Fatal("env registry not loaded")
+	}
+	if _, ok := reg.Lookup("kf"); ok {
+		t.Fatal("file registry leaked through despite the env override")
+	}
+
+	t.Setenv(tenantsEnv, `{`)
+	if _, _, err := loadTenants(path); err == nil || !strings.Contains(err.Error(), tenantsEnv) {
+		t.Fatalf("broken env doc: err %v, want one naming %s", err, tenantsEnv)
+	}
+
+	t.Setenv(tenantsEnv, "")
+	reg, source, err = loadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != path {
+		t.Fatalf("source = %q, want the file path", source)
+	}
+	if _, ok := reg.Lookup("kf"); !ok {
+		t.Fatal("file registry not loaded")
+	}
+
+	reg, _, err = loadTenants("")
+	if err != nil || reg != nil {
+		t.Fatalf("no source must mean open access: reg %v err %v", reg, err)
 	}
 }
 
@@ -146,6 +202,83 @@ func waitListen(t *testing.T, out *syncBuffer, errBuf *syncBuffer) string {
 			t.Fatalf("server never announced its address; stdout: %q stderr: %q", out.String(), errBuf.String())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAuthedServerSmoke boots run() with a -tenants file and checks the
+// wiring end to end: the startup line announces auth, exempt routes stay
+// open, unkeyed API requests bounce with the envelope, and a keyed
+// request passes.
+func TestAuthedServerSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants":[{"name":"acme","key":"key-acme"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errBuf syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-scale", "quick", "-parallel", "1",
+			"-tenants", path, "-log", "json", "-max-queue", "100",
+		}, &out, &errBuf)
+	}()
+	addr := waitListen(t, &out, &errBuf)
+	if !strings.Contains(out.String(), "auth on") {
+		t.Fatalf("startup never announced auth: %q", out.String())
+	}
+
+	get := func(path, key string) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/v1/version", ""); code != http.StatusOK {
+		t.Fatalf("/v1/version is exempt, got %d: %s", code, body)
+	} else if !strings.Contains(string(body), `"auth_required": true`) {
+		t.Fatalf("/v1/version does not advertise auth: %s", body)
+	}
+	if code, body := get("/v1/sims/nope", ""); code != http.StatusUnauthorized ||
+		!strings.Contains(string(body), "unauthorized") {
+		t.Fatalf("unkeyed request: %d %s, want 401 envelope", code, body)
+	}
+	if code, _ := get("/v1/sims/nope", "key-acme"); code != http.StatusNotFound {
+		t.Fatalf("keyed request: %d, want 404 (past auth)", code)
+	}
+	if code, _ := get("/metrics", ""); code != http.StatusOK {
+		t.Fatalf("/metrics is exempt, got %d", code)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %q", code, errBuf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after cancel")
+	}
+	// -log json routes the access log to stdout: the requests above must
+	// have left structured lines behind.
+	if !strings.Contains(out.String(), `"msg":"request"`) {
+		t.Fatalf("no structured request log in stdout: %q", out.String())
 	}
 }
 

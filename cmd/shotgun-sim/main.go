@@ -14,11 +14,12 @@
 //	shotgun-sim -workload Oracle -trace oracle.trace       # replay a recorded trace
 //	shotgun-sim -spec specs/fig7.json                      # run a sweep spec locally
 //	shotgun-sim -spec sweep.json -submit http://coord:8080 # ... or on a farm (/v1/sweeps)
+//	shotgun-sim -spec sweep.json -submit http://coord:8080 -api-key key-acme  # authenticated farm
 //	shotgun-sim -cpuprofile cpu.out -memprofile mem.out    # profile the run
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -30,6 +31,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"shotgun/internal/client"
 	"shotgun/internal/footprint"
 	"shotgun/internal/harness"
 	"shotgun/internal/prefetch"
@@ -53,6 +55,7 @@ type options struct {
 	tracePath  string
 	specPath   string
 	submitURL  string
+	apiKey     string
 	jsonOut    bool
 	outPath    string
 	cpuprofile string
@@ -83,6 +86,7 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&opts.tracePath, "trace", "", "drive core 0 from this recorded trace instead of the workload walker")
 	fs.StringVar(&opts.specPath, "spec", "", "run a sweep spec file (docs/SPEC.md) instead of a single scenario")
 	fs.StringVar(&opts.submitURL, "submit", "", "POST the -spec file to this server's /v1/sweeps instead of running locally")
+	fs.StringVar(&opts.apiKey, "api-key", "", "bearer API key sent with every -submit request (multi-tenant farms)")
 	fs.BoolVar(&opts.jsonOut, "json", false, "emit the result as JSON instead of text")
 	fs.StringVar(&opts.outPath, "out", "", "write the output to this file instead of stdout")
 	fs.StringVar(&opts.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
@@ -100,7 +104,7 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		var conflicting []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "spec", "submit", "json", "out", "cpuprofile", "memprofile":
+			case "spec", "submit", "api-key", "json", "out", "cpuprofile", "memprofile":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
@@ -108,10 +112,16 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		if len(conflicting) > 0 {
 			return options{}, fmt.Errorf("-spec runs the spec file's tables; drop %s", strings.Join(conflicting, ", "))
 		}
+		if opts.apiKey != "" && opts.submitURL == "" {
+			return options{}, fmt.Errorf("-api-key authenticates -submit requests; a local -spec run needs none")
+		}
 		return opts, nil
 	}
 	if opts.submitURL != "" {
 		return options{}, fmt.Errorf("-submit posts a spec file; it requires -spec")
+	}
+	if opts.apiKey != "" {
+		return options{}, fmt.Errorf("-api-key authenticates -submit requests; it requires -spec and -submit")
 	}
 	// Zero-valued config fields mean "use the default" after
 	// normalization, so an explicit 0 would silently run at full
@@ -247,20 +257,15 @@ func runSpec(opts options, stdout, stderr io.Writer) int {
 		if opts.jsonOut {
 			format = "json"
 		}
-		url := strings.TrimRight(opts.submitURL, "/") + "/v1/sweeps?format=" + format
-		resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+		// The typed client decodes error envelopes and retries
+		// quota/overload rejections honoring Retry-After; a sweep blocks
+		// until rendered, so give it an unbounded request timeout.
+		cl := client.New(opts.submitURL,
+			client.WithAPIKey(opts.apiKey),
+			client.WithHTTPClient(&http.Client{}))
+		body, err := cl.Sweep(context.Background(), data, format)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
-		}
-		if resp.StatusCode != http.StatusOK {
-			fmt.Fprintf(stderr, "%s: %s\n%s", url, resp.Status, body)
 			return 1
 		}
 		out, closeOut, code := outWriter(opts, stdout, stderr)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"shotgun/internal/client"
 	"shotgun/internal/sim"
 	"shotgun/internal/store"
 )
@@ -372,52 +373,14 @@ func (c *Coordinator) Stats() CoordinatorStats {
 }
 
 // ---------------------------------------------------------------------
-// HTTP wire protocol.
+// HTTP wire protocol. The request/response shapes live in
+// internal/client — the single definition of the v1 surface — and the
+// handlers here only bind them to the lease table.
 // ---------------------------------------------------------------------
 
-// LeasedJob is one job granted to a worker.
-type LeasedJob struct {
-	Key      string       `json:"key"`
-	Scenario sim.Scenario `json:"scenario"`
-}
-
-// leaseRequest is POST /v1/lease's body.
-type leaseRequest struct {
-	Worker string `json:"worker"`
-	Max    int    `json:"max"`
-}
-
-// leaseResponse grants jobs and tells the worker its heartbeat budget.
-type leaseResponse struct {
-	TTLMillis int64       `json:"ttl_ms"`
-	Jobs      []LeasedJob `json:"jobs"`
-}
-
-// heartbeatRequest is POST /v1/heartbeat's body.
-type heartbeatRequest struct {
-	Worker string   `json:"worker"`
-	Keys   []string `json:"keys"`
-}
-
-// heartbeatResponse lists the keys the worker no longer owns.
-type heartbeatResponse struct {
-	Lost []string `json:"lost"`
-}
-
-// completeRequest is POST /v1/complete's body: a result, or an error
-// message for a job the worker could not simulate.
-type completeRequest struct {
-	Worker string             `json:"worker"`
-	Key    string             `json:"key"`
-	Result sim.ScenarioResult `json:"result"`
-	Error  string             `json:"error,omitempty"`
-}
-
-// completeResponse reports whether this push finished the job
-// (accepted=false: someone already did — drop it and move on).
-type completeResponse struct {
-	Accepted bool `json:"accepted"`
-}
+// LeasedJob is one job granted to a worker (defined in
+// internal/client; aliased so dispatch APIs read naturally).
+type LeasedJob = client.LeasedJob
 
 // Register mounts the coordinator's routes on mux, alongside the
 // simulation server's public API.
@@ -429,11 +392,12 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 }
 
 // decodeInto decodes a size-capped JSON body, mapping every failure to
-// a 400 (malformed and oversized bodies must never 5xx or panic).
+// a 400 envelope (malformed and oversized bodies must never 5xx or
+// panic).
 func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		coordError(w, http.StatusBadRequest, "decode body: %v", err)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "decode body: %v", err)
 		return false
 	}
 	return true
@@ -442,14 +406,15 @@ func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
 // validWorker rejects absent or absurd worker names.
 func validWorker(w http.ResponseWriter, worker string) bool {
 	if worker == "" || len(worker) > maxWorkerID {
-		coordError(w, http.StatusBadRequest, "worker id must be 1..%d bytes", maxWorkerID)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"worker id must be 1..%d bytes", maxWorkerID)
 		return false
 	}
 	return true
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	var req leaseRequest
+	var req client.LeaseRequest
 	if !decodeInto(w, r, &req) {
 		return
 	}
@@ -457,11 +422,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jobs, ttl := c.Lease(req.Worker, req.Max)
-	writeCoordJSON(w, leaseResponse{TTLMillis: ttl.Milliseconds(), Jobs: jobs})
+	client.WriteJSON(w, client.LeaseResponse{TTLMillis: ttl.Milliseconds(), Jobs: jobs})
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	var req heartbeatRequest
+	var req client.HeartbeatRequest
 	if !decodeInto(w, r, &req) {
 		return
 	}
@@ -469,14 +434,15 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Keys) > c.depth {
-		coordError(w, http.StatusBadRequest, "heartbeat for %d keys exceeds the %d-deep table", len(req.Keys), c.depth)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"heartbeat for %d keys exceeds the %d-deep table", len(req.Keys), c.depth)
 		return
 	}
-	writeCoordJSON(w, heartbeatResponse{Lost: c.Heartbeat(req.Worker, req.Keys)})
+	client.WriteJSON(w, client.HeartbeatResponse{Lost: c.Heartbeat(req.Worker, req.Keys)})
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
-	var req completeRequest
+	var req client.CompleteRequest
 	if !decodeInto(w, r, &req) {
 		return
 	}
@@ -484,30 +450,17 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Key == "" {
-		coordError(w, http.StatusBadRequest, "complete needs a job key")
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "complete needs a job key")
 		return
 	}
 	accepted, err := c.Complete(req.Worker, req.Key, req.Result, req.Error)
 	if err != nil {
-		coordError(w, http.StatusBadRequest, "%v", err)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "%v", err)
 		return
 	}
-	writeCoordJSON(w, completeResponse{Accepted: accepted})
+	client.WriteJSON(w, client.CompleteResponse{Accepted: accepted})
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeCoordJSON(w, c.Stats())
-}
-
-func writeCoordJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func coordError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	client.WriteJSON(w, c.Stats())
 }

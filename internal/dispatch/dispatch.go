@@ -36,6 +36,13 @@ var (
 	// ErrClosing rejects a job because the executor is shutting down;
 	// clients should resubmit elsewhere (or after a restart).
 	ErrClosing = errors.New("dispatch: shutting down")
+	// ErrOverloaded rejects a job because the fair queue's global
+	// waiting bound was passed — the shed signal the HTTP layer turns
+	// into 503 + Retry-After.
+	ErrOverloaded = errors.New("dispatch: overloaded, shedding load")
+	// ErrQuotaExceeded rejects a job because its tenant is at its
+	// outstanding-job quota; other tenants are unaffected (429).
+	ErrQuotaExceeded = errors.New("dispatch: tenant quota exceeded")
 )
 
 // Sink receives job lifecycle events from an executor. The HTTP server

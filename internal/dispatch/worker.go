@@ -1,17 +1,14 @@
 package dispatch
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"sync"
 	"time"
 
+	"shotgun/internal/client"
 	"shotgun/internal/harness"
 	"shotgun/internal/sim"
 )
@@ -28,6 +25,9 @@ type WorkerConfig struct {
 	Runner *harness.Runner
 	// Client issues the HTTP calls (default: 30s-timeout client).
 	Client *http.Client
+	// APIKey, when set, authenticates against a coordinator running
+	// with tenancy enabled.
+	APIKey string
 	// Poll is the idle wait between empty leases (default 500ms).
 	Poll time.Duration
 	// Concurrency is how many leased jobs simulate at once (default 1).
@@ -43,8 +43,15 @@ type WorkerConfig struct {
 // → push-back loop over the local harness.Runner. It holds no state the
 // coordinator cannot reconstruct — killing a worker at any point loses
 // at most the work in flight, which the lease TTL returns to the queue.
+//
+// All coordinator traffic goes through one internal/client.Client:
+// polls (lease, heartbeat) never retry — the loop itself is the retry —
+// while completions retry twice, since a lost completion costs a whole
+// re-simulation after lease expiry.
 type Worker struct {
-	cfg WorkerConfig
+	cfg  WorkerConfig
+	poll *client.Client // lease + heartbeat: no retry, the loop polls
+	push *client.Client // complete: retried, 4xx gives up immediately
 }
 
 // NewWorker validates the config and applies defaults.
@@ -77,7 +84,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Worker{cfg: cfg}, nil
+	opts := []client.Option{client.WithHTTPClient(cfg.Client), client.WithAPIKey(cfg.APIKey)}
+	return &Worker{
+		cfg:  cfg,
+		poll: client.New(cfg.Coordinator, append(opts, client.WithRetries(0))...),
+		push: client.New(cfg.Coordinator, append(opts, client.WithRetries(2))...),
+	}, nil
 }
 
 // ID returns the worker's lease name.
@@ -101,7 +113,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		case <-slots:
 		}
-		jobs, ttl, err := w.lease(ctx, 1)
+		jobs, ttl, err := w.poll.Lease(ctx, w.cfg.ID, 1)
 		if err != nil {
 			slots <- struct{}{}
 			if ctx.Err() != nil {
@@ -151,7 +163,9 @@ func (w *Worker) runJob(jb LeasedJob, ttl time.Duration) {
 	if errMsg != "" {
 		w.cfg.Logf("worker %s: job %s failed: %s", w.cfg.ID, jb.Key, errMsg)
 	}
-	if err := w.complete(jb.Key, res, errMsg); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := w.push.Complete(ctx, w.cfg.ID, jb.Key, res, errMsg); err != nil {
 		// The lease will expire and another worker will redo the job;
 		// nothing else to do from here.
 		w.cfg.Logf("worker %s: push %s back: %v", w.cfg.ID, jb.Key, err)
@@ -187,91 +201,17 @@ func (w *Worker) heartbeatLoop(key string, ttl time.Duration, stop <-chan struct
 		case <-stop:
 			return
 		case <-tick.C:
-			var resp heartbeatResponse
-			err := w.post(context.Background(), "/v1/heartbeat",
-				heartbeatRequest{Worker: w.cfg.ID, Keys: []string{key}}, &resp)
+			lost, err := w.poll.Heartbeat(context.Background(), w.cfg.ID, []string{key})
 			if err != nil {
 				w.cfg.Logf("worker %s: heartbeat %s: %v", w.cfg.ID, key, err)
 				continue
 			}
-			if len(resp.Lost) > 0 {
+			if len(lost) > 0 {
 				w.cfg.Logf("worker %s: lease on %s lost", w.cfg.ID, key)
 				return
 			}
 		}
 	}
-}
-
-// lease asks the coordinator for up to max jobs.
-func (w *Worker) lease(ctx context.Context, max int) ([]LeasedJob, time.Duration, error) {
-	var resp leaseResponse
-	if err := w.post(ctx, "/v1/lease", leaseRequest{Worker: w.cfg.ID, Max: max}, &resp); err != nil {
-		return nil, 0, err
-	}
-	return resp.Jobs, time.Duration(resp.TTLMillis) * time.Millisecond, nil
-}
-
-// complete pushes one finished job back, retrying transient failures —
-// a lost completion costs a whole re-simulation after lease expiry, so
-// it is worth a few attempts. A 4xx is the coordinator deterministically
-// rejecting this request (wrong shape, oversized body): resending the
-// identical bytes can never succeed, so give up immediately instead of
-// burning the retry budget.
-func (w *Worker) complete(key string, res sim.ScenarioResult, errMsg string) error {
-	req := completeRequest{Worker: w.cfg.ID, Key: key, Result: res, Error: errMsg}
-	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 250 * time.Millisecond)
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		var resp completeResponse
-		lastErr = w.post(ctx, "/v1/complete", req, &resp)
-		cancel()
-		if lastErr == nil {
-			return nil
-		}
-		var se *statusError
-		if errors.As(lastErr, &se) && se.code >= 400 && se.code < 500 {
-			return lastErr
-		}
-	}
-	return lastErr
-}
-
-// statusError is a non-2xx HTTP response, carrying the code so callers
-// can tell permanent rejections (4xx) from retryable trouble.
-type statusError struct {
-	path string
-	code int
-	msg  string
-}
-
-func (e *statusError) Error() string {
-	return fmt.Sprintf("%s: status %d: %s", e.path, e.code, e.msg)
-}
-
-// post issues one JSON request/response round trip.
-func (w *Worker) post(ctx context.Context, path string, body, out any) error {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(raw))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.cfg.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &statusError{path: path, code: resp.StatusCode, msg: string(bytes.TrimSpace(msg))}
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // sleep waits d or until ctx cancels, reporting whether to continue.

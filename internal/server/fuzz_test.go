@@ -32,7 +32,9 @@ func FuzzSubmitEndpoints(f *testing.F) {
 			return sinkExec{}
 		},
 	})
-	f.Cleanup(func() { srv.Close() })
+	// Shutdown, not Close: a drain would wait forever on jobs the stub
+	// executor swallowed.
+	f.Cleanup(func() { srv.Shutdown() })
 	handler := srv.Handler()
 
 	f.Add(true, []byte(`{"configs":[{"Workload":"Oracle","Mechanism":"none"}]}`))
@@ -59,6 +61,55 @@ func FuzzSubmitEndpoints(f *testing.F) {
 		case http.StatusAccepted, http.StatusBadRequest, http.StatusServiceUnavailable:
 		default:
 			t.Fatalf("%s: status %d for body %q", path, rec.Code, body)
+		}
+	})
+}
+
+// FuzzTenantAuth fuzzes the two attacker-reachable parsers of the
+// tenancy layer: the Authorization header splitter and the registry
+// document parser. Neither may panic, and a registry that parses must
+// uphold its invariants — bounded fields, duplicate-free names, every
+// key resolving back to its own tenant.
+func FuzzTenantAuth(f *testing.F) {
+	f.Add("Bearer key-1", []byte(`{"tenants":[{"name":"a","key":"key-1"}]}`))
+	f.Add("bearer x", []byte(`{"tenants":[]}`))
+	f.Add("Basic Zm9v", []byte(`{`))
+	f.Add("", []byte(`{"tenants":[{"name":"a","key":"k"},{"name":"b","key":"k"}]}`))
+	f.Add("Bearer \x00\xff", []byte(`{"tenants":[{"name":"a","key":"k","weight":-1}]}`))
+	f.Add("Bearer "+strings.Repeat("k", 300),
+		[]byte(`{"tenants":[{"name":"`+strings.Repeat("n", 100)+`","key":"k"}]}`))
+
+	f.Fuzz(func(t *testing.T, header string, doc []byte) {
+		key, ok := bearerKey(header)
+		if ok && (key == "" || len(key) > maxTenantKey) {
+			t.Fatalf("bearerKey accepted out-of-bounds key %q", key)
+		}
+		reg, err := ParseTenants(doc)
+		if err != nil {
+			if reg != nil {
+				t.Fatal("ParseTenants returned both a registry and an error")
+			}
+			return
+		}
+		names := make(map[string]bool)
+		for _, tn := range reg.Tenants() {
+			if tn.Name == "" || len(tn.Name) > maxTenantName || tn.Key == "" || len(tn.Key) > maxTenantKey {
+				t.Fatalf("registry admitted out-of-bounds tenant %+v", tn)
+			}
+			if tn.Weight < 0 || tn.MaxQueued < 0 || tn.MaxInFlight < 0 {
+				t.Fatalf("registry admitted negative policy %+v", tn)
+			}
+			if names[tn.Name] {
+				t.Fatalf("registry admitted duplicate name %q", tn.Name)
+			}
+			names[tn.Name] = true
+			got, found := reg.Lookup(tn.Key)
+			if !found || got.Name != tn.Name {
+				t.Fatalf("key %q does not resolve to its tenant %q", tn.Key, tn.Name)
+			}
+		}
+		if ok {
+			reg.Lookup(key) // must not panic, whatever the header held
 		}
 	})
 }

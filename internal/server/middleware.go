@@ -1,0 +1,183 @@
+package server
+
+// HTTP middleware: API-key authentication against the tenant registry
+// and structured request logging. Both wrap the whole v1 surface from
+// Handler(); the cluster lease routes (mounted beside the handler by
+// shotgun-server) are cluster-internal and deliberately outside them.
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shotgun/internal/client"
+)
+
+// ctxKey keys the request-scoped info holder.
+type ctxKey int
+
+const reqInfoKey ctxKey = 0
+
+// reqInfo is a mutable per-request holder: the logging middleware
+// installs it before auth runs, and auth fills the tenant in, so the
+// access log line can carry the tenant without the middlewares caring
+// about wrap order.
+type reqInfo struct {
+	tenant atomic.Pointer[string]
+}
+
+// withReqInfo returns ctx with a fresh holder (and the holder).
+func withReqInfo(ctx context.Context) (context.Context, *reqInfo) {
+	ri := &reqInfo{}
+	return context.WithValue(ctx, reqInfoKey, ri), ri
+}
+
+// setTenant records the authenticated tenant for handlers and logs.
+func setTenant(ctx context.Context, name string) {
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		ri.tenant.Store(&name)
+	}
+}
+
+// tenantFrom returns the authenticated tenant name ("" when auth is
+// off or the route is exempt).
+func tenantFrom(ctx context.Context) string {
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		if p := ri.tenant.Load(); p != nil {
+			return *p
+		}
+	}
+	return ""
+}
+
+// authExempt lists routes that must work without a key: health and
+// compatibility probes (load balancers, deploy tooling) and the
+// metrics scrape.
+func authExempt(path string) bool {
+	switch path {
+	case "/healthz", "/v1/version", "/metrics":
+		return true
+	}
+	return false
+}
+
+// bearerKey extracts the API key from an Authorization: Bearer header.
+// The scheme comparison is case-insensitive per RFC 7235; everything
+// after the single space is the key, verbatim.
+func bearerKey(header string) (string, bool) {
+	const prefix = "bearer "
+	if len(header) < len(prefix) || !strings.EqualFold(header[:len(prefix)], prefix) {
+		return "", false
+	}
+	key := header[len(prefix):]
+	if key == "" || len(key) > maxTenantKey {
+		return "", false
+	}
+	return key, true
+}
+
+// authMiddleware rejects requests whose Authorization header does not
+// resolve to a registered tenant. reg == nil disables auth entirely:
+// every request runs as the anonymous tenant "".
+func authMiddleware(reg *TenantRegistry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key, ok := bearerKey(r.Header.Get("Authorization"))
+		if !ok {
+			client.WriteError(w, http.StatusUnauthorized, client.CodeUnauthorized,
+				"missing or malformed Authorization header (want \"Bearer <api-key>\")")
+			return
+		}
+		t, known := reg.Lookup(key)
+		if !known {
+			client.WriteError(w, http.StatusUnauthorized, client.CodeUnauthorized, "unknown API key")
+			return
+		}
+		setTenant(r.Context(), t.Name)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter captures the response status for logging and metrics.
+// It passes http.Flusher through — the SSE sweep stream needs to flush
+// events through this wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logMiddleware installs the request-info holder, counts the request
+// in the HTTP metrics, and emits one structured access line per
+// request: route, status, duration, and the tenant auth resolved.
+func logMiddleware(log *slog.Logger, m *httpMetrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, ri := withReqInfo(r.Context())
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.observe(status)
+		tenant := ""
+		if p := ri.tenant.Load(); p != nil {
+			tenant = *p
+		}
+		log.Info("request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("dur", time.Since(start)),
+			slog.String("tenant", tenant),
+		)
+	})
+}
+
+// httpMetrics counts responses by status class for /metrics.
+type httpMetrics struct {
+	by2xx, by4xx, by5xx, byOther atomic.Uint64
+}
+
+func (m *httpMetrics) observe(status int) {
+	switch {
+	case status >= 200 && status < 300:
+		m.by2xx.Add(1)
+	case status >= 400 && status < 500:
+		m.by4xx.Add(1)
+	case status >= 500:
+		m.by5xx.Add(1)
+	default:
+		m.byOther.Add(1)
+	}
+}

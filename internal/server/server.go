@@ -3,36 +3,54 @@
 // key, and render any of the paper's tables/figures on demand, in text,
 // JSON, or CSV.
 //
-// API (all JSON unless noted):
+// v1 API (all JSON unless noted; wire types and the error envelope are
+// defined once, in internal/client):
 //
+//	GET  /v1/version              API version, store format, max cores, auth mode
 //	POST /v1/sims                 {"configs":[sim.Config...]} -> 202 {"sims":[{key,status,...}]}
 //	GET  /v1/sims/{key}           poll one simulation; result embedded when done
 //	POST /v1/scenarios            {"scenarios":[sim.Scenario...]} -> 202 {"scenarios":[{key,status,...}]}
 //	GET  /v1/scenarios/{key}      poll one scenario; per-core results embedded when done
 //	POST /v1/sweeps               body: a spec document (internal/spec); expand, run, render
-//	                              (?format=json|csv|text, ?tables=id,... to select tables)
+//	                              (?format=json|csv|text, ?tables=id,... to select tables;
+//	                              Accept: text/event-stream streams per-scenario progress over SSE)
 //	GET  /v1/experiments          list experiment ids
 //	GET  /v1/experiments/{name}   render a table/figure (?format=json|csv|text)
 //	GET  /v1/store/stats          persistent-store traffic counters
-//	GET  /healthz                 liveness (plain "ok")
+//	GET  /metrics                 Prometheus text exposition (no key required)
+//	GET  /healthz                 liveness (plain "ok"; no key required)
 //
-// Every job is a sim.Scenario — /v1/sims wraps each config as an N=1
-// scenario, so both endpoints share one job table, one key space and
-// one store. Simulations are executed asynchronously by a pluggable
-// internal/dispatch executor — by default a fixed local worker pool
-// backed by the memoizing harness.Runner, or a dispatch.Coordinator
-// leasing jobs to remote workers — so duplicate keys (within a batch,
-// across batches, across permuted core orders, or across server
-// restarts via the persistent store) never simulate twice.
+// /v1/sims is a documented thin alias of /v1/scenarios: each config is
+// wrapped as an N=1 scenario and both endpoints run through one submit
+// path, one job table, one key space and one store. Every non-2xx
+// response is the versioned JSON error envelope
+// {"error":{"code","message","retryable"}}.
+//
+// Multi-tenancy: with a TenantRegistry configured, every request (bar
+// /healthz, /v1/version, /metrics) must carry "Authorization: Bearer
+// <api-key>". Submissions are scheduled by a fair-share weighted
+// round-robin across tenants (internal/dispatch.FairQueue), bounded by
+// per-tenant quotas (429 + Retry-After) and a global queue bound that
+// sheds load (503 + Retry-After) — so one tenant's 4096-scenario sweep
+// cannot starve another tenant's single sim. Simulations are executed
+// asynchronously by a pluggable internal/dispatch executor — a fixed
+// local worker pool by default, or a dispatch.Coordinator leasing jobs
+// to remote workers — and duplicate keys (within a batch, across
+// batches, across tenants, or across restarts via the persistent
+// store) never simulate twice.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
+	"shotgun/internal/client"
 	"shotgun/internal/dispatch"
 	"shotgun/internal/harness"
 	"shotgun/internal/report"
@@ -40,12 +58,28 @@ import (
 	"shotgun/internal/store"
 )
 
-// Job states, in lifecycle order.
+// Job states, in lifecycle order (defined in internal/client; aliased
+// so existing callers keep reading naturally).
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued  = client.StatusQueued
+	StatusRunning = client.StatusRunning
+	StatusDone    = client.StatusDone
+	StatusFailed  = client.StatusFailed
+)
+
+// SimStatus and ScenarioStatus are the v1 wire shapes, defined in
+// internal/client.
+type (
+	SimStatus      = client.SimStatus
+	ScenarioStatus = client.ScenarioStatus
+)
+
+// Retry-After hints: a quota trip clears as soon as the tenant's own
+// work drains (fast), a global shed needs overall load to fall
+// (slower).
+const (
+	quotaRetryAfter = 2 * time.Second
+	shedRetryAfter  = 10 * time.Second
 )
 
 // Config parameterizes a Server.
@@ -61,17 +95,36 @@ type Config struct {
 	// Store, when non-nil, persists results across restarts and is
 	// consulted before simulating.
 	Store *store.Store
-	// QueueDepth bounds the pending-job backlog (default 4096); a full
-	// queue rejects new batches with 503 rather than blocking accepts.
+	// QueueDepth bounds the inner executor's backlog (default 4096).
 	QueueDepth int
+	// MaxQueue bounds jobs waiting in the fair-share queue across all
+	// tenants; past it submissions shed with 503 + Retry-After. 0
+	// means unlimited.
+	MaxQueue int
+	// FairSlots bounds how many jobs the fair queue keeps resident in
+	// the executor at once (default 2×Workers, clamped to QueueDepth).
+	// Cluster mode wants this larger — it bounds lease-table
+	// occupancy, not local compute.
+	FairSlots int
 	// MaxBatch bounds configs/scenarios per submission (default 1024);
 	// oversized batches are rejected with 400 before any validation.
 	MaxBatch int
+	// Tenants, when non-nil, enables API-key auth and per-tenant
+	// fair-share policies. Nil serves everything as one anonymous
+	// tenant with no auth.
+	Tenants *TenantRegistry
+	// Logger receives structured request/lifecycle logs (default:
+	// discard).
+	Logger *slog.Logger
 	// NewExecutor, when non-nil, builds the execution backend from the
 	// server's runner and its job-table sink (cluster mode passes a
 	// dispatch.Coordinator constructor here). Nil builds the local
-	// worker pool — the classic single-node path.
+	// worker pool — the classic single-node path. Either way the
+	// backend runs behind the fair-share queue.
 	NewExecutor func(r *harness.Runner, sink dispatch.Sink) dispatch.Executor
+	// ClusterStats, when non-nil, feeds coordinator lease counters
+	// into /metrics (cluster mode only).
+	ClusterStats func() dispatch.CoordinatorStats
 }
 
 // job tracks one submitted scenario through the pool.
@@ -157,35 +210,18 @@ func (j *job) scenarioSnapshot() ScenarioStatus {
 	return st
 }
 
-// SimStatus is the wire form of one single-core simulation's state.
-type SimStatus struct {
-	Key       string      `json:"key"`
-	Status    string      `json:"status"`
-	Workload  string      `json:"workload"`
-	Mechanism string      `json:"mechanism"`
-	Error     string      `json:"error,omitempty"`
-	Result    *sim.Result `json:"result,omitempty"`
-}
-
-// ScenarioStatus is the wire form of one scenario's state.
-type ScenarioStatus struct {
-	Key        string              `json:"key"`
-	Status     string              `json:"status"`
-	Cores      int                 `json:"cores"`
-	Workloads  []string            `json:"workloads"`
-	Mechanisms []string            `json:"mechanisms"`
-	Error      string              `json:"error,omitempty"`
-	Result     *sim.ScenarioResult `json:"result,omitempty"`
-}
-
 // Server is the HTTP simulation service.
 type Server struct {
-	runner    *harness.Runner
-	st        *store.Store
-	scale     harness.Scale
-	scaleName string
-	maxBatch  int
-	exec      dispatch.Executor
+	runner       *harness.Runner
+	st           *store.Store
+	scale        harness.Scale
+	scaleName    string
+	maxBatch     int
+	fair         *dispatch.FairQueue
+	reg          *TenantRegistry
+	log          *slog.Logger
+	clusterStats func() dispatch.CoordinatorStats
+	httpStats    httpMetrics
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -203,8 +239,8 @@ type Server struct {
 	abandonCh chan struct{}
 }
 
-// New builds a server and starts its execution backend. Call Close to
-// drain.
+// New builds a server and starts its execution backend behind the
+// fair-share queue. Call Close to drain.
 func New(cfg Config) *Server {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -218,24 +254,46 @@ func New(cfg Config) *Server {
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
+	slots := cfg.FairSlots
+	if slots <= 0 {
+		slots = 2 * workers
+	}
+	if slots > depth {
+		// Slots above the inner backlog would make the dispatcher trip
+		// ErrQueueFull and fail jobs spuriously.
+		slots = depth
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	runner := harness.NewRunnerWorkers(cfg.Scale, workers)
 	if cfg.Store != nil {
 		runner.SetStore(cfg.Store)
 	}
 	s := &Server{
-		runner:    runner,
-		st:        cfg.Store,
-		scale:     cfg.Scale,
-		scaleName: cfg.ScaleName,
-		maxBatch:  maxBatch,
-		jobs:      make(map[string]*job),
-		abandonCh: make(chan struct{}),
+		runner:       runner,
+		st:           cfg.Store,
+		scale:        cfg.Scale,
+		scaleName:    cfg.ScaleName,
+		maxBatch:     maxBatch,
+		reg:          cfg.Tenants,
+		log:          logger,
+		clusterStats: cfg.ClusterStats,
+		jobs:         make(map[string]*job),
+		abandonCh:    make(chan struct{}),
 	}
-	if cfg.NewExecutor != nil {
-		s.exec = cfg.NewExecutor(runner, s)
-	} else {
-		s.exec = dispatch.NewLocalPool(runner, s, depth)
+	newInner := func(sink dispatch.Sink) dispatch.Executor {
+		if cfg.NewExecutor != nil {
+			return cfg.NewExecutor(runner, sink)
+		}
+		return dispatch.NewLocalPool(runner, sink, depth)
 	}
+	s.fair = dispatch.NewFairQueue(dispatch.FairConfig{
+		Slots:    slots,
+		MaxQueue: cfg.MaxQueue,
+		Tenants:  cfg.Tenants.Policies(),
+	}, s, newInner)
 	return s
 }
 
@@ -247,9 +305,10 @@ func (s *Server) jobByKey(key string) *job {
 }
 
 // The dispatch.Sink implementation: executors report job lifecycle
-// transitions here. Unknown keys are ignored — the executor outliving
-// a job table entry is not possible today (jobs are never evicted),
-// but a sink must not panic on protocol slack.
+// transitions here (through the fair queue, which forwards after its
+// own slot accounting). Unknown keys are ignored — the executor
+// outliving a job table entry is not possible today (jobs are never
+// evicted), but a sink must not panic on protocol slack.
 
 // JobRunning implements dispatch.Sink.
 func (s *Server) JobRunning(key string) {
@@ -284,6 +343,7 @@ func (s *Server) JobDone(key string, res sim.ScenarioResult) {
 // JobFailed implements dispatch.Sink.
 func (s *Server) JobFailed(key string, msg string) {
 	if j := s.jobByKey(key); j != nil {
+		s.log.Warn("job failed", slog.String("key", key), slog.String("error", msg))
 		j.finish(StatusFailed, sim.ScenarioResult{}, msg)
 	}
 }
@@ -325,10 +385,11 @@ func (s *Server) stop(abandon bool) {
 		close(s.abandonCh)
 	}
 	s.mu.Unlock()
-	s.exec.Stop(abandon)
+	s.fair.Stop(abandon)
 }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes, wrapped in the logging and
+// (when a registry is configured) auth middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sims", s.handleSubmit)
@@ -339,41 +400,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return logMiddleware(s.log, &s.httpStats, authMiddleware(s.reg, mux))
 }
 
-// submitRequest is POST /v1/sims' body.
-type submitRequest struct {
-	Configs []sim.Config `json:"configs"`
-}
-
-// submitResponse echoes one status per submitted config, in order.
-type submitResponse struct {
-	Sims []SimStatus `json:"sims"`
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	client.WriteJSON(w, client.VersionInfo{
+		API:                "v1",
+		StoreFormatVersion: store.FormatVersion,
+		MaxCores:           sim.MaxCores,
+		Scale:              s.scaleName,
+		AuthRequired:       s.reg != nil,
+	})
 }
 
 // enqueueScenarios registers and enqueues pre-validated, pinned
-// scenarios under one job-table lock hold (executor Enqueues never
-// block): a job becomes visible in s.jobs only once the executor
-// actually holds it (or the store already held its result), so no
-// concurrent submitter can ever be handed a key that later disappears.
-// A key the persistent store already has is born done without touching
-// the executor — the path that lets a restarted cluster serve known
-// scenarios without re-leasing anything. On overflow the already-
-// enqueued prefix stands — it is valid work, and a retry dedups onto
-// it — and dispatch.ErrQueueFull tells the caller to 503 the rest;
-// dispatch.ErrClosing means Close has begun and retrying this server
-// is pointless. The returned jobs include deduplicated hits on
+// scenarios for one tenant under one job-table lock hold (fair-queue
+// Submits never block): a job becomes visible in s.jobs only once the
+// fair queue actually holds it (or the store already held its result),
+// so no concurrent submitter can ever be handed a key that later
+// disappears. A key the persistent store already has is born done
+// without touching the executor — the path that lets a restarted
+// cluster serve known scenarios without re-leasing anything. On quota
+// or shed the already-enqueued prefix stands — it is valid work, and a
+// retry dedups onto it — and the error tells the caller what to
+// answer; dispatch.ErrClosing means Close has begun and retrying this
+// server is pointless. The returned jobs include deduplicated hits on
 // existing keys, in batch order.
-func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
+func (s *Server) enqueueScenarios(tenant string, scs []sim.Scenario) ([]*job, error) {
 	keys := make([]string, len(scs))
 	for i, sc := range scs {
 		keys[i] = store.ScenarioKey(sc)
 	}
-	return s.enqueueKeyed(keys, scs)
+	return s.enqueueKeyed(tenant, keys, scs)
 }
 
 // enqueueKeyed is enqueueScenarios for callers that already computed
@@ -386,7 +449,7 @@ func (s *Server) enqueueScenarios(scs []sim.Scenario) ([]*job, error) {
 // serializing behind them. The store peek races benignly with
 // concurrent submits of the same key — whoever takes the lock first
 // registers the job, and the loser below reuses it.
-func (s *Server) enqueueKeyed(keys []string, scs []sim.Scenario) ([]*job, error) {
+func (s *Server) enqueueKeyed(tenant string, keys []string, scs []sim.Scenario) ([]*job, error) {
 	stored := make(map[string]sim.ScenarioResult)
 	if s.st != nil {
 		for _, key := range keys {
@@ -423,7 +486,7 @@ func (s *Server) enqueueKeyed(keys []string, scs []sim.Scenario) ([]*job, error)
 			jobs = append(jobs, j)
 			continue
 		}
-		if err := s.exec.Enqueue(key, sc); err != nil {
+		if err := s.fair.Submit(tenant, key, sc); err != nil {
 			return jobs, err
 		}
 		s.jobs[key] = j
@@ -432,13 +495,24 @@ func (s *Server) enqueueKeyed(keys []string, scs []sim.Scenario) ([]*job, error)
 	return jobs, nil
 }
 
-// enqueueError maps an enqueue failure to its 503 body.
+// enqueueError maps an enqueue failure to its envelope: quota trips
+// 429, shed and shutdown 503 — all retryable, the first two with a
+// Retry-After hint.
 func (s *Server) enqueueError(w http.ResponseWriter, err error) {
-	if errors.Is(err, dispatch.ErrClosing) {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down; submit elsewhere")
-		return
+	switch {
+	case errors.Is(err, dispatch.ErrClosing):
+		client.WriteError(w, http.StatusServiceUnavailable, client.CodeShuttingDown,
+			"server shutting down; submit elsewhere")
+	case errors.Is(err, dispatch.ErrQuotaExceeded):
+		client.WriteErrorRetryAfter(w, http.StatusTooManyRequests, client.CodeQuotaExceeded, quotaRetryAfter,
+			"tenant quota exceeded; retry after earlier work drains")
+	case errors.Is(err, dispatch.ErrOverloaded):
+		client.WriteErrorRetryAfter(w, http.StatusServiceUnavailable, client.CodeOverloaded, shedRetryAfter,
+			"server overloaded, shedding load; retry later")
+	default:
+		client.WriteErrorRetryAfter(w, http.StatusServiceUnavailable, client.CodeOverloaded, shedRetryAfter,
+			"queue full; retry later")
 	}
-	httpError(w, http.StatusServiceUnavailable, "queue full; retry later")
 }
 
 // maxBodyBytes bounds submission bodies: a full MaxBatch of scenarios
@@ -448,11 +522,11 @@ func (s *Server) enqueueError(w http.ResponseWriter, err error) {
 const maxBodyBytes = 8 << 20
 
 // decodeBody decodes a size-capped JSON submission, mapping every
-// failure (bad JSON, truncation, over-size) to a 400.
+// failure (bad JSON, truncation, over-size) to a 400 envelope.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, "decode body: %v", err)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "decode body: %v", err)
 		return false
 	}
 	return true
@@ -462,18 +536,34 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // submission batch shares.
 func (s *Server) checkBatch(w http.ResponseWriter, n int, what string) bool {
 	if n == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch: body must carry at least one %s", what)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"empty batch: body must carry at least one %s", what)
 		return false
 	}
 	if n > s.maxBatch {
-		httpError(w, http.StatusBadRequest, "batch of %d %ss exceeds the %d-per-request limit", n, what, s.maxBatch)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"batch of %d %ss exceeds the %d-per-request limit", n, what, s.maxBatch)
 		return false
 	}
 	return true
 }
 
+// acceptScenarios is the single submit path both POST /v1/sims and
+// POST /v1/scenarios drain into: enqueue pinned scenarios under the
+// request's tenant, mapping failures to their envelopes. The /v1/sims
+// alias differs only in how it unwraps the request and renders the
+// response.
+func (s *Server) acceptScenarios(w http.ResponseWriter, r *http.Request, scs []sim.Scenario) ([]*job, bool) {
+	jobs, err := s.enqueueScenarios(tenantFrom(r.Context()), scs)
+	if err != nil {
+		s.enqueueError(w, err)
+		return nil, false
+	}
+	return jobs, true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
+	var req client.SubmitSimsRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
@@ -485,18 +575,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	scs := make([]sim.Scenario, 0, len(req.Configs))
 	for i, cfg := range req.Configs {
 		if err := cfg.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, "config %d: %v", i, err)
+			client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "config %d: %v", i, err)
 			return
 		}
 		scs = append(scs, s.runner.NormalizeScenario(sim.SingleCore(cfg)))
 	}
 
-	jobs, err := s.enqueueScenarios(scs)
-	if err != nil {
-		s.enqueueError(w, err)
+	jobs, ok := s.acceptScenarios(w, r, scs)
+	if !ok {
 		return
 	}
-	resp := submitResponse{Sims: make([]SimStatus, 0, len(jobs))}
+	resp := client.SubmitSimsResponse{Sims: make([]SimStatus, 0, len(jobs))}
 	for _, j := range jobs {
 		resp.Sims = append(resp.Sims, j.snapshot())
 	}
@@ -505,19 +594,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// submitScenariosRequest is POST /v1/scenarios' body.
-type submitScenariosRequest struct {
-	Scenarios []sim.Scenario `json:"scenarios"`
-}
-
-// submitScenariosResponse echoes one status per submitted scenario, in
-// order.
-type submitScenariosResponse struct {
-	Scenarios []ScenarioStatus `json:"scenarios"`
-}
-
 func (s *Server) handleSubmitScenarios(w http.ResponseWriter, r *http.Request) {
-	var req submitScenariosRequest
+	var req client.SubmitScenariosRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
@@ -527,18 +605,17 @@ func (s *Server) handleSubmitScenarios(w http.ResponseWriter, r *http.Request) {
 	scs := make([]sim.Scenario, 0, len(req.Scenarios))
 	for i, sc := range req.Scenarios {
 		if err := sc.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, "scenario %d: %v", i, err)
+			client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "scenario %d: %v", i, err)
 			return
 		}
 		scs = append(scs, s.runner.NormalizeScenario(sc))
 	}
 
-	jobs, err := s.enqueueScenarios(scs)
-	if err != nil {
-		s.enqueueError(w, err)
+	jobs, ok := s.acceptScenarios(w, r, scs)
+	if !ok {
 		return
 	}
-	resp := submitScenariosResponse{Scenarios: make([]ScenarioStatus, 0, len(jobs))}
+	resp := client.SubmitScenariosResponse{Scenarios: make([]ScenarioStatus, 0, len(jobs))}
 	for _, j := range jobs {
 		resp.Scenarios = append(resp.Scenarios, j.scenarioSnapshot())
 	}
@@ -553,8 +630,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[key]
 	s.mu.Unlock()
 	if ok {
-		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, j.snapshot())
+		client.WriteJSON(w, j.snapshot())
 		return
 	}
 	// Not submitted in this process: a previous run may have persisted
@@ -562,8 +638,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		if rec, found := s.st.GetKey(key); found {
 			res := rec.Result.Cores[0]
-			w.Header().Set("Content-Type", "application/json")
-			writeJSON(w, SimStatus{
+			client.WriteJSON(w, SimStatus{
 				Key:       key,
 				Status:    StatusDone,
 				Workload:  rec.Scenario.Cores[0].Workload,
@@ -573,7 +648,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	httpError(w, http.StatusNotFound, "unknown simulation key %q", key)
+	client.WriteError(w, http.StatusNotFound, client.CodeNotFound, "unknown simulation key %q", key)
 }
 
 func (s *Server) handlePollScenario(w http.ResponseWriter, r *http.Request) {
@@ -582,20 +657,18 @@ func (s *Server) handlePollScenario(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[key]
 	s.mu.Unlock()
 	if ok {
-		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, j.scenarioSnapshot())
+		client.WriteJSON(w, j.scenarioSnapshot())
 		return
 	}
 	if s.st != nil {
 		if rec, found := s.st.GetKey(key); found {
 			st := scenarioStatusOf(key, StatusDone, rec.Scenario)
 			st.Result = &rec.Result
-			w.Header().Set("Content-Type", "application/json")
-			writeJSON(w, st)
+			client.WriteJSON(w, st)
 			return
 		}
 	}
-	httpError(w, http.StatusNotFound, "unknown scenario key %q", key)
+	client.WriteError(w, http.StatusNotFound, client.CodeNotFound, "unknown scenario key %q", key)
 }
 
 // experimentInfo is one row of GET /v1/experiments.
@@ -610,15 +683,15 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 	for _, e := range harness.Experiments() {
 		list = append(list, experimentInfo{ID: e.ID, Desc: e.Desc})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, map[string]any{"experiments": list})
+	client.WriteJSON(w, map[string]any{"experiments": list})
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	exp, ok := harness.Find(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown experiment %q (GET /v1/experiments lists ids)", name)
+		client.WriteError(w, http.StatusNotFound, client.CodeNotFound,
+			"unknown experiment %q (GET /v1/experiments lists ids)", name)
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -633,8 +706,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	table := exp.Table(s.runner)
 	switch format {
 	case "json":
-		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, report.Report{
+		client.WriteJSON(w, report.Report{
 			Version: report.Version,
 			Scale:   s.scaleName,
 			Tables:  []report.Table{report.FromStats(exp.ID, table)},
@@ -649,7 +721,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, table.String())
 	default:
-		httpError(w, http.StatusBadRequest, "unknown format %q (json, csv, text)", format)
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"unknown format %q (json, csv, text)", format)
 	}
 }
 
@@ -665,19 +738,11 @@ func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Attached = true
 		resp.Stats = s.st.Stats()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	writeJSON(w, resp)
+	client.WriteJSON(w, resp)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w io.Writer, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-// httpError emits a JSON error body with the given status.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	writeJSON(w, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

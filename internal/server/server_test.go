@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"shotgun/internal/client"
+	"shotgun/internal/dispatch"
 	"shotgun/internal/harness"
 	"shotgun/internal/report"
 	"shotgun/internal/sim"
@@ -31,9 +33,9 @@ func newTestServer(t *testing.T, st *store.Store) (*Server, *httptest.Server) {
 	return srv, ts
 }
 
-func postSims(t *testing.T, base string, cfgs []sim.Config) (submitResponse, *http.Response) {
+func postSims(t *testing.T, base string, cfgs []sim.Config) (client.SubmitSimsResponse, *http.Response) {
 	t.Helper()
-	body, err := json.Marshal(submitRequest{Configs: cfgs})
+	body, err := json.Marshal(client.SubmitSimsRequest{Configs: cfgs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func postSims(t *testing.T, base string, cfgs []sim.Config) (submitResponse, *ht
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out submitResponse
+	var out client.SubmitSimsResponse
 	if resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
@@ -153,9 +155,9 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
-func postScenarios(t *testing.T, base string, scs []sim.Scenario) (submitScenariosResponse, *http.Response) {
+func postScenarios(t *testing.T, base string, scs []sim.Scenario) (client.SubmitScenariosResponse, *http.Response) {
 	t.Helper()
-	body, err := json.Marshal(submitScenariosRequest{Scenarios: scs})
+	body, err := json.Marshal(client.SubmitScenariosRequest{Scenarios: scs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func postScenarios(t *testing.T, base string, scs []sim.Scenario) (submitScenari
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out submitScenariosResponse
+	var out client.SubmitScenariosResponse
 	if resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
@@ -417,7 +419,7 @@ func TestShutdownAbandonsQueuedWork(t *testing.T) {
 		batch = append(batch, srv.runner.NormalizeScenario(
 			sim.SingleCore(sim.Config{Workload: wl, Mechanism: sim.None})))
 	}
-	jobs, err := srv.enqueueScenarios(batch)
+	jobs, err := srv.enqueueScenarios("", batch)
 	if err != nil || len(jobs) != len(batch) {
 		t.Fatalf("enqueue: %v (%d jobs)", err, len(jobs))
 	}
@@ -594,43 +596,63 @@ func TestStoreStatsEndpoint(t *testing.T) {
 	}
 }
 
-// TestQueueOverflow exercises the 503 + rollback path with a queue of
-// depth 1 and a single busy worker.
+// TestQueueOverflow exercises the global load-shed bound: against a
+// never-completing executor with one residency slot and MaxQueue 2,
+// the waiting count can only ever drop by one, so a stream of five
+// distinct submissions must deterministically overflow into a 503
+// overloaded envelope with a Retry-After hint — and the shed key must
+// stay out of the job table so a later resubmit is clean.
 func TestQueueOverflow(t *testing.T) {
-	srv := New(Config{Scale: tinyScale(), Workers: 1, QueueDepth: 1})
+	srv := New(Config{
+		Scale: tinyScale(), Workers: 1, FairSlots: 1, MaxQueue: 2,
+		NewExecutor: func(*harness.Runner, dispatch.Sink) dispatch.Executor {
+			return sinkExec{}
+		},
+	})
 	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(func() { ts.Close(); srv.Close() })
+	// Shutdown, not Close: a drain would wait forever on jobs the stub
+	// executor swallowed.
+	t.Cleanup(func() { ts.Close(); srv.Shutdown() })
 
-	// Fill the worker + queue with distinct long-enough sims.
 	var cfgs []sim.Config
 	for _, m := range []sim.Mechanism{sim.None, sim.FDIP, sim.RDIP, sim.Boomerang, sim.Shotgun} {
 		cfgs = append(cfgs, sim.Config{Workload: "Oracle", Mechanism: m})
 	}
 	overflowed := false
 	for i, cfg := range cfgs {
-		body, _ := json.Marshal(submitRequest{Configs: []sim.Config{cfg}})
+		body, _ := json.Marshal(client.SubmitSimsRequest{Configs: []sim.Config{cfg}})
 		resp, err := http.Post(ts.URL+"/v1/sims", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusAccepted:
 		case http.StatusServiceUnavailable:
 			overflowed = true
-			// The rolled-back key must be resubmittable once drained.
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("shed response missing Retry-After")
+			}
+			var env client.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("shed body not an envelope: %v", err)
+			}
+			if env.Error.Code != client.CodeOverloaded || !env.Error.Retryable {
+				t.Fatalf("shed envelope wrong: %+v", env.Error)
+			}
+			// The shed key must be resubmittable once load drains.
 			key := store.Key(srv.runner.Normalize(cfg))
 			srv.mu.Lock()
 			_, present := srv.jobs[key]
 			srv.mu.Unlock()
 			if present {
-				t.Fatalf("overflowed sim %d left in job table", i)
+				t.Fatalf("shed sim %d left in job table", i)
 			}
 		default:
 			t.Fatalf("sim %d: status %d", i, resp.StatusCode)
 		}
+		resp.Body.Close()
 	}
 	if !overflowed {
-		t.Skip("queue never overflowed (machine too fast); nothing to assert")
+		t.Fatal("five submissions against MaxQueue 2 and a stuck executor never shed")
 	}
 }

@@ -12,36 +12,46 @@ package server
 // json responses wrap the report with the sweep's scenario keys, so a
 // client can re-poll individual results via GET /v1/scenarios/{key}
 // afterwards; csv and text responses are the bare rendered tables.
+//
+// A request with "Accept: text/event-stream" streams progress over SSE
+// instead of blocking silently: one "sweep" event up front, one
+// "scenario" event per completed key, then a terminal "result" event
+// whose data lines, joined with newlines, are byte-identical to the
+// blocking response body for the same format (or an "error" event
+// carrying the same envelope a blocking request would get).
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 
+	"shotgun/internal/client"
 	"shotgun/internal/harness"
 	"shotgun/internal/report"
 	"shotgun/internal/sim"
 	"shotgun/internal/spec"
-	"shotgun/internal/stats"
 	"shotgun/internal/store"
 )
 
-// sweepResponse is POST /v1/sweeps' json body.
-type sweepResponse struct {
-	// Name echoes the spec's name.
-	Name string `json:"name"`
-	// Scale is the server's scale label (the spec ran pinned to it).
-	Scale string `json:"scale,omitempty"`
-	// Keys lists the expanded scenarios' content keys in deterministic
-	// expansion order (deduplicated, first occurrence kept); each is
-	// pollable via GET /v1/scenarios/{key}.
-	Keys []string `json:"keys"`
-	// Report carries the rendered tables.
-	Report report.Report `json:"report"`
+// sweepResponse is POST /v1/sweeps' json body (defined in
+// internal/client: Name, Scale, Keys, Report).
+type sweepResponse = client.SweepResponse
+
+// compiledSweep is one validated, expanded, deduplicated sweep request.
+type compiledSweep struct {
+	name   string
+	exps   []harness.Experiment
+	keys   []string
+	format string
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+// parseSweep validates the request (format, spec, scale pin, table
+// selection) and expands the work list; on failure it has already
+// written the error envelope.
+func (s *Server) parseSweep(w http.ResponseWriter, r *http.Request) (*compiledSweep, []sim.Scenario, bool) {
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "json"
@@ -49,27 +59,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	switch format {
 	case "json", "csv", "text":
 	default:
-		httpError(w, http.StatusBadRequest, "unknown format %q (json, csv, text)", format)
-		return
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"unknown format %q (json, csv, text)", format)
+		return nil, nil, false
 	}
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
-		return
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "read body: %v", err)
+		return nil, nil, false
 	}
 	compiled, err := spec.Compile(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidSpec, "%v", err)
+		return nil, nil, false
 	}
 	// Content keys derive from the server's pinned scale; a spec that
 	// pins a different scale would silently run at the wrong one.
 	if sc := compiled.Spec.Scale; sc != nil && sc.Harness() != s.scale {
-		httpError(w, http.StatusBadRequest,
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidSpec,
 			"spec pins scale %+v but this server runs %q (%+v); drop the spec's scale or submit to a matching server",
 			*sc, s.scaleName, s.scale)
-		return
+		return nil, nil, false
 	}
 
 	exps := compiled.Experiments()
@@ -84,8 +95,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			id = strings.TrimSpace(id)
 			i, ok := byID[id]
 			if !ok {
-				httpError(w, http.StatusBadRequest, "spec %q has no table %q", compiled.Spec.Name, id)
-				return
+				client.WriteError(w, http.StatusBadRequest, client.CodeInvalidSpec,
+					"spec %q has no table %q", compiled.Spec.Name, id)
+				return nil, nil, false
 			}
 			if !seen[id] {
 				seen[id] = true
@@ -96,11 +108,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Expand the selected tables' work list, pin it to the server
-	// scale, and push it through the shared job table — identical keys
-	// dedup onto existing jobs (or store records) exactly like the
-	// batch endpoints.
+	// scale, and dedup by content key — identical keys dedup onto
+	// existing jobs (or store records) exactly like the batch
+	// endpoints.
 	scs := harness.AllScenarios(exps)
-	var keys []string
+	cs := &compiledSweep{name: compiled.Spec.Name, exps: exps, format: format}
 	var pinned []sim.Scenario
 	seenKeys := make(map[string]bool, len(scs))
 	for _, sc := range scs {
@@ -110,13 +122,80 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		seenKeys[key] = true
-		keys = append(keys, key)
+		cs.keys = append(cs.keys, key)
 		pinned = append(pinned, n)
 	}
-	jobs, err := s.enqueueKeyed(keys, pinned)
+	return cs, pinned, true
+}
+
+// failedJobs collects "key: error" lines for terminal-failed jobs.
+func failedJobs(jobs []*job) []string {
+	var failed []string
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.status == StatusFailed {
+			failed = append(failed, fmt.Sprintf("%s: %s", j.key, j.err))
+		}
+		j.mu.Unlock()
+	}
+	return failed
+}
+
+// renderSweep seeds the runner with every completed job's result and
+// renders the report, returning the body and its content type. Seeding
+// is a no-op with a LocalPool (the pool already ran through this
+// runner); with a coordinator it is what makes the farm's work reach
+// local table assembly even when no store is attached — without it the
+// render would re-simulate the whole sweep.
+func (s *Server) renderSweep(cs *compiledSweep, jobs []*job) ([]byte, string) {
+	for _, j := range jobs {
+		j.mu.Lock()
+		done := j.status == StatusDone
+		res := j.result
+		j.mu.Unlock()
+		if done {
+			s.runner.Seed(j.sc, res)
+		}
+	}
+	var buf bytes.Buffer
+	switch cs.format {
+	case "json", "csv":
+		rep := report.Report{Version: report.Version, Scale: s.scaleName}
+		for _, e := range cs.exps {
+			rep.Tables = append(rep.Tables, report.FromStats(e.ID, e.Table(s.runner)))
+		}
+		if cs.format == "csv" {
+			_ = rep.WriteCSV(&buf)
+			return buf.Bytes(), "text/csv"
+		}
+		writeJSON(&buf, sweepResponse{Name: cs.name, Scale: s.scaleName, Keys: cs.keys, Report: rep})
+		return buf.Bytes(), "application/json"
+	default: // text
+		for _, e := range cs.exps {
+			fmt.Fprintln(&buf, e.Table(s.runner).String())
+		}
+		return buf.Bytes(), "text/plain; charset=utf-8"
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	cs, pinned, ok := s.parseSweep(w, r)
+	if !ok {
+		return
+	}
+	jobs, err := s.enqueueKeyed(tenantFrom(r.Context()), cs.keys, pinned)
 	if err != nil {
 		s.enqueueError(w, err)
 		return
+	}
+
+	if wantsSSE(r) {
+		if flusher, can := w.(http.Flusher); can {
+			s.streamSweep(w, flusher, r, cs, jobs)
+			return
+		}
+		// No flush support on this connection: fall through to the
+		// blocking path, which needs none.
 	}
 
 	// Wait for the expansion to finish. The request context bounds the
@@ -144,65 +223,123 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-j.done:
 		case <-ctx.Done():
-			httpError(w, http.StatusServiceUnavailable,
-				"sweep %q interrupted while simulating; results keep computing and dedup on resubmit", compiled.Spec.Name)
+			client.WriteError(w, http.StatusServiceUnavailable, client.CodeInterrupted,
+				"sweep %q interrupted while simulating; results keep computing and dedup on resubmit", cs.name)
 			return
 		case <-s.abandonCh:
-			httpError(w, http.StatusServiceUnavailable,
-				"server shutting down mid-sweep %q; completed results persist and dedup on resubmit", compiled.Spec.Name)
+			client.WriteError(w, http.StatusServiceUnavailable, client.CodeShuttingDown,
+				"server shutting down mid-sweep %q; completed results persist and dedup on resubmit", cs.name)
 			return
 		}
 	}
-	var failed []string
-	for _, j := range jobs {
-		j.mu.Lock()
-		if j.status == StatusFailed {
-			failed = append(failed, fmt.Sprintf("%s: %s", j.key, j.err))
-		}
-		j.mu.Unlock()
-	}
-	if len(failed) > 0 {
-		httpError(w, http.StatusInternalServerError, "sweep %q: %d scenarios failed: %s",
-			compiled.Spec.Name, len(failed), strings.Join(failed, "; "))
+	if failed := failedJobs(jobs); len(failed) > 0 {
+		client.WriteError(w, http.StatusInternalServerError, client.CodeInternal,
+			"sweep %q: %d scenarios failed: %s", cs.name, len(failed), strings.Join(failed, "; "))
 		return
 	}
 
-	// Seed the runner's memo with every completed job's result, then
-	// assemble. With a LocalPool this is a no-op (the pool already ran
-	// through this runner); with a coordinator it is what makes the
-	// farm's work reach local table assembly even when no store is
-	// attached — without it the render below would re-simulate the
-	// whole sweep.
+	body, ctype := s.renderSweep(cs, jobs)
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
+}
+
+// wantsSSE reports whether the request asked for an event stream.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// sseEvent writes one SSE event and flushes it out. Multi-line
+// payloads become one data: line each — the receiver joins them with
+// newlines, restoring the payload byte-for-byte.
+func sseEvent(w io.Writer, flusher http.Flusher, event, payload string) {
+	fmt.Fprintf(w, "event: %s\n", event)
+	for _, line := range strings.Split(payload, "\n") {
+		fmt.Fprintf(w, "data: %s\n", line)
+	}
+	fmt.Fprint(w, "\n")
+	flusher.Flush()
+}
+
+// sseJSON renders a compact JSON payload for an event.
+func sseJSON(v any) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}
+
+// sweepProgress is the payload of "sweep" (initial) and "scenario"
+// (per-completion) events.
+type sweepProgress struct {
+	Name      string `json:"name,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Status    string `json:"status,omitempty"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+}
+
+// streamSweep is the SSE sweep path: per-scenario completion events in
+// completion order, then a terminal "result" event whose data is the
+// same bytes the blocking path would have answered (or an "error"
+// event carrying the envelope it would have answered).
+func (s *Server) streamSweep(w http.ResponseWriter, flusher http.Flusher, r *http.Request, cs *compiledSweep, jobs []*job) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	total := len(jobs)
+	sseEvent(w, flusher, "sweep", sseJSON(sweepProgress{Name: cs.name, Total: total}))
+
+	// Fan every job's done channel into one stream so events arrive in
+	// completion order, not expansion order. The forwarders hold no
+	// locks and exit with the request (or on abandonment).
+	ctx := r.Context()
+	completions := make(chan *job)
 	for _, j := range jobs {
-		j.mu.Lock()
-		done := j.status == StatusDone
-		res := j.result
-		j.mu.Unlock()
-		if done {
-			s.runner.Seed(j.sc, res)
-		}
+		go func(j *job) {
+			select {
+			case <-j.done:
+				select {
+				case completions <- j:
+				case <-ctx.Done():
+				case <-s.abandonCh:
+				}
+			case <-ctx.Done():
+			case <-s.abandonCh:
+			}
+		}(j)
 	}
-	tables := make([]*stats.Table, len(exps))
-	for i, e := range exps {
-		tables[i] = e.Table(s.runner)
+
+	errEvent := func(code, format string, args ...any) {
+		sseEvent(w, flusher, "error", sseJSON(client.ErrorEnvelope{Error: client.ErrorInfo{
+			Code:      code,
+			Message:   fmt.Sprintf(format, args...),
+			Retryable: client.Retryable(code),
+		}}))
 	}
-	switch format {
-	case "json", "csv":
-		rep := report.Report{Version: report.Version, Scale: s.scaleName}
-		for i, e := range exps {
-			rep.Tables = append(rep.Tables, report.FromStats(e.ID, tables[i]))
-		}
-		if format == "csv" {
-			w.Header().Set("Content-Type", "text/csv")
-			_ = rep.WriteCSV(w)
+	for completed := 0; completed < total; completed++ {
+		select {
+		case j := <-completions:
+			j.mu.Lock()
+			status := j.status
+			j.mu.Unlock()
+			sseEvent(w, flusher, "scenario", sseJSON(sweepProgress{
+				Key: j.key, Status: status, Completed: completed + 1, Total: total,
+			}))
+		case <-ctx.Done():
+			// The client is gone; nothing useful can be written.
+			return
+		case <-s.abandonCh:
+			errEvent(client.CodeShuttingDown,
+				"server shutting down mid-sweep %q; completed results persist and dedup on resubmit", cs.name)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, sweepResponse{Name: compiled.Spec.Name, Scale: s.scaleName, Keys: keys, Report: rep})
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, tab := range tables {
-			fmt.Fprintln(w, tab.String())
-		}
 	}
+	if failed := failedJobs(jobs); len(failed) > 0 {
+		errEvent(client.CodeInternal, "sweep %q: %d scenarios failed: %s",
+			cs.name, len(failed), strings.Join(failed, "; "))
+		return
+	}
+	body, _ := s.renderSweep(cs, jobs)
+	sseEvent(w, flusher, "result", string(body))
 }

@@ -1,0 +1,130 @@
+package server
+
+// Tenant registry: who may submit work, under which API key, with what
+// share of the farm. The registry is static configuration — a JSON
+// document loaded at startup (shotgun-server -tenants, or the
+// SHOTGUN_TENANTS environment variable) — because tenancy changes are
+// deploys, not API calls: there is deliberately no mutation endpoint.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"shotgun/internal/dispatch"
+)
+
+// Tenant key bounds: long enough for 256-bit hex secrets, short enough
+// that the auth header parser is trivially fuzz-safe.
+const (
+	maxTenantName = 64
+	maxTenantKey  = 256
+)
+
+// Tenant is one row of the registry file.
+type Tenant struct {
+	// Name identifies the tenant in metrics, logs and scheduling.
+	Name string `json:"name"`
+	// Key is the API key presented as "Authorization: Bearer <key>".
+	Key string `json:"key"`
+	// Weight is the tenant's fair-share scheduling weight (default 1).
+	Weight int `json:"weight,omitempty"`
+	// MaxQueued bounds the tenant's outstanding jobs; past it
+	// submissions 429. 0 means unlimited.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxInFlight bounds the tenant's concurrently-executing jobs; a
+	// scheduling cap, never an error. 0 means unlimited.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// tenantsFile is the registry document: {"tenants":[...]}.
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// TenantRegistry resolves API keys to tenants. Immutable after
+// construction, so lookups need no lock.
+type TenantRegistry struct {
+	byKey map[string]*Tenant
+	list  []Tenant
+}
+
+// ParseTenants builds a registry from the JSON registry document,
+// rejecting rows that would make auth or scheduling ambiguous
+// (missing/duplicate names or keys, oversized fields, negative
+// quotas).
+func ParseTenants(data []byte) (*TenantRegistry, error) {
+	var f tenantsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tenants: decode: %v", err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("tenants: registry has no tenants")
+	}
+	reg := &TenantRegistry{byKey: make(map[string]*Tenant, len(f.Tenants))}
+	names := make(map[string]bool, len(f.Tenants))
+	for i, t := range f.Tenants {
+		if t.Name == "" || len(t.Name) > maxTenantName {
+			return nil, fmt.Errorf("tenants[%d]: name must be 1..%d bytes", i, maxTenantName)
+		}
+		if strings.ContainsAny(t.Name, "\"\n\\") {
+			return nil, fmt.Errorf("tenants[%d] %q: name must not contain quotes, backslashes or newlines (it labels metrics)", i, t.Name)
+		}
+		if t.Key == "" || len(t.Key) > maxTenantKey {
+			return nil, fmt.Errorf("tenants[%d] %q: key must be 1..%d bytes", i, t.Name, maxTenantKey)
+		}
+		if t.Weight < 0 || t.MaxQueued < 0 || t.MaxInFlight < 0 {
+			return nil, fmt.Errorf("tenants[%d] %q: weight and quotas must be non-negative", i, t.Name)
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("tenants[%d]: duplicate tenant name %q", i, t.Name)
+		}
+		if _, dup := reg.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("tenants[%d] %q: key already assigned to another tenant", i, t.Name)
+		}
+		names[t.Name] = true
+		reg.list = append(reg.list, t)
+		reg.byKey[t.Key] = &reg.list[len(reg.list)-1]
+	}
+	return reg, nil
+}
+
+// LoadTenants reads a registry file from disk.
+func LoadTenants(path string) (*TenantRegistry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: %v", err)
+	}
+	return ParseTenants(raw)
+}
+
+// Lookup resolves an API key to its tenant.
+func (r *TenantRegistry) Lookup(key string) (*Tenant, bool) {
+	t, ok := r.byKey[key]
+	return t, ok
+}
+
+// Tenants lists the registry rows in file order.
+func (r *TenantRegistry) Tenants() []Tenant {
+	return append([]Tenant(nil), r.list...)
+}
+
+// Policies converts the registry into the dispatch layer's fair-share
+// policies, so every registered tenant has a scheduling row (and a
+// metrics row) from the first request.
+func (r *TenantRegistry) Policies() []dispatch.TenantPolicy {
+	if r == nil {
+		return nil
+	}
+	pols := make([]dispatch.TenantPolicy, 0, len(r.list))
+	for _, t := range r.list {
+		pols = append(pols, dispatch.TenantPolicy{
+			Name:        t.Name,
+			Weight:      t.Weight,
+			MaxQueued:   t.MaxQueued,
+			MaxInFlight: t.MaxInFlight,
+		})
+	}
+	return pols
+}

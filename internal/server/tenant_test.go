@@ -1,0 +1,118 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTenantsValid(t *testing.T) {
+	reg, err := ParseTenants([]byte(`{"tenants":[
+		{"name":"acme","key":"ka","weight":3,"max_queued":100,"max_in_flight":4},
+		{"name":"solo","key":"ks"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Lookup("ka")
+	if !ok || got.Name != "acme" || got.Weight != 3 || got.MaxQueued != 100 || got.MaxInFlight != 4 {
+		t.Fatalf("lookup acme: %+v ok=%v", got, ok)
+	}
+	if _, ok := reg.Lookup("nope"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	rows := reg.Tenants()
+	if len(rows) != 2 || rows[0].Name != "acme" || rows[1].Name != "solo" {
+		t.Fatalf("rows wrong: %+v", rows)
+	}
+	// The returned slice is a copy: mutating it must not touch the
+	// registry.
+	rows[0].Name = "mutated"
+	if again, _ := reg.Lookup("ka"); again.Name != "acme" {
+		t.Fatal("Tenants() exposed registry internals")
+	}
+
+	pols := reg.Policies()
+	if len(pols) != 2 {
+		t.Fatalf("policies: %+v", pols)
+	}
+	if p := pols[0]; p.Name != "acme" || p.Weight != 3 || p.MaxQueued != 100 || p.MaxInFlight != 4 {
+		t.Fatalf("policy fields dropped: %+v", p)
+	}
+	var nilReg *TenantRegistry
+	if nilReg.Policies() != nil {
+		t.Fatal("nil registry must yield nil policies")
+	}
+}
+
+func TestParseTenantsRejections(t *testing.T) {
+	longName := strings.Repeat("n", maxTenantName+1)
+	longKey := strings.Repeat("k", maxTenantKey+1)
+	cases := map[string]string{
+		"bad json":        `{`,
+		"no tenants":      `{"tenants":[]}`,
+		"empty doc":       `{}`,
+		"empty name":      `{"tenants":[{"name":"","key":"k"}]}`,
+		"long name":       `{"tenants":[{"name":"` + longName + `","key":"k"}]}`,
+		"quoted name":     `{"tenants":[{"name":"a\"b","key":"k"}]}`,
+		"backslash name":  `{"tenants":[{"name":"a\\b","key":"k"}]}`,
+		"newline name":    `{"tenants":[{"name":"a\nb","key":"k"}]}`,
+		"empty key":       `{"tenants":[{"name":"a","key":""}]}`,
+		"long key":        `{"tenants":[{"name":"a","key":"` + longKey + `"}]}`,
+		"negative weight": `{"tenants":[{"name":"a","key":"k","weight":-1}]}`,
+		"negative quota":  `{"tenants":[{"name":"a","key":"k","max_queued":-1}]}`,
+		"duplicate name":  `{"tenants":[{"name":"a","key":"k1"},{"name":"a","key":"k2"}]}`,
+		"duplicate key":   `{"tenants":[{"name":"a","key":"k"},{"name":"b","key":"k"}]}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseTenants([]byte(doc)); err == nil {
+				t.Fatalf("parsed invalid registry %s", doc)
+			}
+		})
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	doc := `{"tenants":[{"name":"a","key":"k"}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Lookup("k"); !ok {
+		t.Fatal("loaded registry missing tenant")
+	}
+	if _, err := LoadTenants(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestBearerKey(t *testing.T) {
+	cases := []struct {
+		header string
+		key    string
+		ok     bool
+	}{
+		{"Bearer abc", "abc", true},
+		{"bearer abc", "abc", true},
+		{"BEARER abc", "abc", true},
+		{"Bearer " + strings.Repeat("k", maxTenantKey), strings.Repeat("k", maxTenantKey), true},
+		{"Bearer " + strings.Repeat("k", maxTenantKey+1), "", false},
+		{"Bearer ", "", false},
+		{"Bearer", "", false},
+		{"Basic abc", "", false},
+		{"", "", false},
+		{"abc", "", false},
+	}
+	for _, tc := range cases {
+		key, ok := bearerKey(tc.header)
+		if key != tc.key || ok != tc.ok {
+			t.Errorf("bearerKey(%q) = %q,%v want %q,%v", tc.header, key, ok, tc.key, tc.ok)
+		}
+	}
+}
