@@ -10,16 +10,19 @@
 package shotgun_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"shotgun/internal/btb"
 	"shotgun/internal/harness"
 	"shotgun/internal/report"
 	"shotgun/internal/sim"
 	"shotgun/internal/stats"
+	"shotgun/internal/trace"
 	"shotgun/internal/workload"
 )
 
@@ -99,6 +102,118 @@ func emitBenchRecord(b *testing.B, name string, instructions uint64) {
 		InstrPerSec:  float64(instructions) / b.Elapsed().Seconds(),
 	}); err != nil {
 		b.Fatalf("write %s: %v", path, err)
+	}
+}
+
+// BenchmarkSampledThroughput is the sampling mode's acceptance gate: a
+// long recorded trace is simulated twice over the same span — exactly,
+// and under a bounded-window periodic-sampling schedule — and the
+// benchmark asserts the sampled IPC estimate contains the exact IPC
+// within its reported 95% confidence interval at a >=10x wall-clock
+// speedup. The sampled run's throughput lands in SHOTGUN_BENCH_JSON so
+// CI tracks the fast path's trajectory alongside the detailed kernel's.
+func BenchmarkSampledThroughput(b *testing.B) {
+	// Record one pass of the workload's walker as a trace: the stream
+	// both runs replay, so exact and sampled see byte-identical input.
+	const traceBlocks = 524_288
+	prof := workload.MustGet("Oracle")
+	prof.Program()
+	prof.Decoder()
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	walker := prof.NewWalker()
+	var traceInstr uint64
+	for i := 0; i < traceBlocks; i++ {
+		bb := walker.Next()
+		traceInstr += uint64(bb.NumInstr)
+		if err := tw.Write(bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	exactCfg := sim.Config{
+		Workload:     "Oracle",
+		Mechanism:    sim.Shotgun,
+		WarmupInstr:  50_000,
+		MeasureInstr: traceInstr - 50_000,
+		Samples:      1,
+	}
+	sampledCfg := exactCfg
+	// Four 512-block units a 131072-block period apart traverse exactly
+	// one trace pass; each unit is preceded by a 2048-block functional
+	// warming window and a 512-block detailed warm-up, the distant gap
+	// LLC-skimmed — the schedule that keeps detailed simulation under 1%
+	// of the stream.
+	sampledCfg.Sampling = &sim.Sampling{
+		PeriodBlocks:   131_072,
+		WarmupBlocks:   512,
+		UnitBlocks:     512,
+		FuncWarmBlocks: 2_048,
+		Units:          4,
+	}
+
+	var exactDur, sampledDur time.Duration
+	var sampledInstr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exactStream, err := trace.NewStream(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		exact, err := sim.RunStream(exactCfg, exactStream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exactDur += time.Since(start)
+
+		sampledStream, err := trace.NewStream(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		start = time.Now()
+		sampled, err := sim.RunStream(sampledCfg, sampledStream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampledDur += time.Since(start)
+
+		s := sampled.Sampled
+		if s == nil || s.IPC.HalfWidth <= 0 {
+			b.Fatalf("sampled run reported no confidence interval: %+v", s)
+		}
+		if s.TotalInstr() < exact.Core.Instructions {
+			b.Fatalf("sampled traversal %d below exact span %d", s.TotalInstr(), exact.Core.Instructions)
+		}
+		if !s.IPC.Contains(exact.IPC()) {
+			b.Fatalf("sampled IPC %v does not contain exact IPC %.4f", s.IPC, exact.IPC())
+		}
+		sampledInstr += s.TotalInstr()
+	}
+	speedup := float64(exactDur) / float64(sampledDur)
+	if speedup < 10 {
+		b.Fatalf("sampled speedup %.1fx below the 10x acceptance bar (exact %v, sampled %v)",
+			speedup, exactDur, sampledDur)
+	}
+	instrPerSec := float64(sampledInstr) / sampledDur.Seconds()
+	b.ReportMetric(instrPerSec, "instr/s")
+	b.ReportMetric(speedup, "speedup")
+	if path := os.Getenv("SHOTGUN_BENCH_JSON"); path != "" {
+		if err := report.AppendBenchFile(path, report.Bench{
+			Name:         "BenchmarkSampledThroughput",
+			Instructions: sampledInstr,
+			Seconds:      sampledDur.Seconds(),
+			InstrPerSec:  instrPerSec,
+		}); err != nil {
+			b.Fatalf("write %s: %v", path, err)
+		}
 	}
 }
 

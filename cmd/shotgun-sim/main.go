@@ -12,6 +12,10 @@
 //	shotgun-sim -workload Oracle -mix fdip,none            # 2 co-runners, mixed mechanisms
 //	shotgun-sim -workload Oracle -cores 8 -llc 4194304     # shared-LLC override
 //	shotgun-sim -workload Oracle -trace oracle.trace       # replay a recorded trace
+//	shotgun-sim -workload Oracle -sample-period 16384 -sample-warmup 1024 \
+//	    -sample-unit 1024 -sample-funcwarm 8192            # periodic sampling (95% CI)
+//	shotgun-sim -workload Oracle -sample-period 16384 -sample-unit 1024 \
+//	    -sample-units 8 -sample-ci 0.03                    # ... adaptive to a ±3% CI
 //	shotgun-sim -spec specs/fig7.json                      # run a sweep spec locally
 //	shotgun-sim -spec sweep.json -submit http://coord:8080 # ... or on a farm (/v1/sweeps)
 //	shotgun-sim -spec sweep.json -submit http://coord:8080 -api-key key-acme  # authenticated farm
@@ -81,6 +85,13 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		cores   = fs.Int("cores", 0, "total cores in the scenario (0: derived from -mix, else 1)")
 		mix     = fs.String("mix", "", "comma-separated co-runner mechanisms (cycled over cores 2..N; default: same as core 0)")
 		llc     = fs.Int("llc", 0, "total shared LLC bytes (0: 1MB per core, capped at 8MB)")
+
+		samplePeriod   = fs.Uint64("sample-period", 0, "periodic sampling: period P in trace blocks (enables sampled mode)")
+		sampleWarmup   = fs.Uint64("sample-warmup", 0, "periodic sampling: detailed warm-up blocks before each measured unit")
+		sampleUnit     = fs.Uint64("sample-unit", 0, "periodic sampling: measured unit length in blocks (required with -sample-period)")
+		sampleFuncWarm = fs.Uint64("sample-funcwarm", 0, "periodic sampling: functional-warming window in blocks (0: warm the whole gap)")
+		sampleUnits    = fs.Int("sample-units", 0, "periodic sampling: measured unit count (0: the default)")
+		sampleCI       = fs.Float64("sample-ci", 0, "periodic sampling: target relative 95% CI half-width for adaptive escalation (e.g. 0.03)")
 	)
 	opts := options{}
 	fs.StringVar(&opts.tracePath, "trace", "", "drive core 0 from this recorded trace instead of the workload walker")
@@ -159,6 +170,24 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 		return options{}, fmt.Errorf("-bits must be 8 or 32 (got %d)", *bits)
 	}
 
+	// The -sample-* family switches the run to periodic sampling; the
+	// schedule needs at least a period and a unit length, and the rest
+	// of the knobs are meaningless without them.
+	if *samplePeriod != 0 || *sampleWarmup != 0 || *sampleUnit != 0 ||
+		*sampleFuncWarm != 0 || *sampleUnits != 0 || *sampleCI != 0 {
+		if *samplePeriod == 0 || *sampleUnit == 0 {
+			return options{}, fmt.Errorf("sampled mode needs both -sample-period and -sample-unit")
+		}
+		primary.Sampling = &sim.Sampling{
+			PeriodBlocks:   *samplePeriod,
+			WarmupBlocks:   *sampleWarmup,
+			UnitBlocks:     *sampleUnit,
+			FuncWarmBlocks: *sampleFuncWarm,
+			Units:          *sampleUnits,
+			TargetCI:       *sampleCI,
+		}
+	}
+
 	// The co-runner population: -cores sets the total core count; -mix
 	// the co-runners' mechanisms (cycled). -mix alone implies one core
 	// per listed mechanism plus the primary.
@@ -179,6 +208,11 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	}
 	if n == 1 && len(mixMechs) > 0 {
 		return options{}, fmt.Errorf("-mix needs co-runner cores, but -cores 1 leaves none")
+	}
+	if primary.Sampling != nil && n > 1 {
+		// Sampling is single-core stream mode for now; a shared-uncore
+		// scenario has no warm-path model for the co-runners' traffic.
+		return options{}, fmt.Errorf("-sample-period runs single-core periodic sampling; it conflicts with -cores %d (drop -cores/-mix or the -sample-* flags)", n)
 	}
 	opts.scenario = sim.Scenario{Cores: []sim.Config{primary}, LLCSizeBytes: *llc}
 	for i := 1; i < n; i++ {
@@ -462,4 +496,11 @@ func printResult(out io.Writer, res sim.Result) {
 	fmt.Fprintf(out, "prefetches issued   %d\n", res.Hier.PrefetchesIssued)
 	fmt.Fprintf(out, "prefetch accuracy   %.3f\n", res.PrefetchAccuracy)
 	fmt.Fprintf(out, "L1-D fill cycles    %.1f\n", res.AvgDataFillCycles())
+	if s := res.Sampled; s != nil {
+		fmt.Fprintf(out, "sampled IPC         %s\n", s.IPC)
+		fmt.Fprintf(out, "sampled L1-I MPKI   %s\n", s.L1IMPKI)
+		fmt.Fprintf(out, "sampled BTB MPKI    %s\n", s.BTBMPKI)
+		fmt.Fprintf(out, "sampled coverage    %.4f (%d of %d instructions in detail)\n",
+			s.Coverage(), s.DetailInstr, s.TotalInstr())
+	}
 }

@@ -118,6 +118,70 @@ func TestParseOptionsBuildsScenario(t *testing.T) {
 	}
 }
 
+func TestParseOptionsSampling(t *testing.T) {
+	opts, err := parseOptions([]string{
+		"-workload", "Oracle",
+		"-sample-period", "16384", "-sample-warmup", "1024", "-sample-unit", "1024",
+		"-sample-funcwarm", "8192", "-sample-units", "8", "-sample-ci", "0.03",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opts.scenario.Cores[0].Sampling
+	if s == nil {
+		t.Fatal("sampling flags built no sampling block")
+	}
+	if s.PeriodBlocks != 16384 || s.WarmupBlocks != 1024 || s.UnitBlocks != 1024 ||
+		s.FuncWarmBlocks != 8192 || s.Units != 8 || s.TargetCI != 0.03 {
+		t.Fatalf("sampling block wrong: %+v", *s)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unit without period", []string{"-sample-unit", "1024"}, "-sample-period"},
+		{"period without unit", []string{"-sample-period", "16384"}, "-sample-unit"},
+		{"stray knob alone", []string{"-sample-ci", "0.03"}, "-sample-period"},
+		{"conflicts with cores", []string{"-sample-period", "16384", "-sample-unit", "1024", "-cores", "4"}, "-cores"},
+		{"conflicts with mix", []string{"-sample-period", "16384", "-sample-unit", "1024", "-mix", "fdip"}, "-sample-period"},
+		{"conflicts with spec", []string{"-spec", "s.json", "-sample-period", "16384"}, "-sample-period"},
+		{"unit above period", []string{"-sample-period", "128", "-sample-unit", "1024"}, "period"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q missing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunSampledText drives a sampled run end to end through the CLI and
+// checks the confidence-interval lines render.
+func TestRunSampledText(t *testing.T) {
+	var out, errBuf strings.Builder
+	code := run([]string{
+		"-workload", "Nutch", "-mechanism", "none",
+		"-sample-period", "8192", "-sample-warmup", "256", "-sample-unit", "256",
+		"-sample-units", "4",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	text := out.String()
+	for _, want := range []string{"sampled IPC", "95% CI, n=4", "sampled coverage"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 // TestRunJSON exercises the full CLI path at a tiny scale and checks the
 // -json document parses back into config + result.
 func TestRunJSON(t *testing.T) {

@@ -44,6 +44,9 @@ const (
 	// CodeQuotaExceeded: the tenant's queued-scenario quota is full.
 	// 429 with Retry-After; retryable once earlier work drains.
 	CodeQuotaExceeded = "quota_exceeded"
+	// CodeRateLimited: the tenant exceeded its request rate (max_rps).
+	// 429 with Retry-After; retryable after the bucket refills.
+	CodeRateLimited = "rate_limited"
 	// CodeOverloaded: the global queue depth bound was passed and the
 	// server is shedding load. 503 with Retry-After; retryable.
 	CodeOverloaded = "overloaded"
@@ -64,7 +67,7 @@ const (
 // take it right now.
 func Retryable(code string) bool {
 	switch code {
-	case CodeQuotaExceeded, CodeOverloaded, CodeShuttingDown, CodeInterrupted:
+	case CodeQuotaExceeded, CodeRateLimited, CodeOverloaded, CodeShuttingDown, CodeInterrupted:
 		return true
 	}
 	return false

@@ -193,6 +193,10 @@ type Core struct {
 	robHead int
 	robLen  int
 
+	// blocksDispatched counts trace blocks dispatched into the ROB — the
+	// progress unit of sampled execution (RunBlocks).
+	blocksDispatched uint64
+
 	stats Stats
 }
 
@@ -265,6 +269,145 @@ func (c *Core) Run(n uint64) uint64 {
 		}
 	}
 	return c.stats.Cycles - startCycles
+}
+
+// BlocksDispatched returns how many trace blocks have been dispatched —
+// sampled execution's progress unit.
+func (c *Core) BlocksDispatched() uint64 { return c.blocksDispatched }
+
+// RunBlocks advances the detailed simulation until n more trace blocks
+// have been dispatched, returning the cycles consumed. Sampling measures
+// in blocks rather than instructions so unit boundaries land on trace
+// positions, independent of retire lag.
+func (c *Core) RunBlocks(n uint64) uint64 {
+	startCycles := c.stats.Cycles
+	target := c.blocksDispatched + n
+	for c.blocksDispatched < target {
+		c.Tick()
+		if c.blocksDispatched >= target {
+			break
+		}
+		if next := c.NextEvent(); next > c.now {
+			c.AdvanceIdle(next - c.now)
+		}
+	}
+	return c.stats.Cycles - startCycles
+}
+
+// BeginWarm transitions from detailed execution to functional warming.
+// The lookahead window holds trace blocks already consumed from the
+// stream; they are drained through the warm path — cache/data warming
+// for every entry, plus predictor training for the entries the runahead
+// never evaluated (evaluated entries trained TAGE/RAS at evaluate time;
+// re-training them would double-count) — and the front-end state is
+// reset so the next detailed phase starts from a clean FTQ. The clock,
+// the ROB, and in-flight fills are left untouched: warming takes zero
+// simulated time.
+func (c *Core) BeginWarm() {
+	for i := range c.pending {
+		p := &c.pending[i]
+		if p.evaluated {
+			c.warmCaches(p.bb)
+		} else {
+			c.WarmBlock(p.bb)
+		}
+	}
+	c.pending = c.pending[:0]
+	c.ftqLen = 0
+	c.headIssued = false
+	c.wrongPath = false
+	c.runStallUntil = 0
+	c.fetchBusyUntil = 0
+}
+
+// WarmBlock functionally executes one trace block: predictor and engine
+// metadata training plus untimed cache warming, with no cycle cost.
+func (c *Core) WarmBlock(bb isa.BasicBlock) {
+	c.warmBPU(bb)
+	c.warmCaches(bb)
+}
+
+// WarmBlocks functionally executes the next n trace blocks, returning
+// the instructions they carry (the fast-forwarded instruction count).
+func (c *Core) WarmBlocks(n uint64) uint64 {
+	var instr uint64
+	for i := uint64(0); i < n; i++ {
+		bb := c.trace.Next()
+		instr += uint64(bb.NumInstr)
+		c.WarmBlock(bb)
+	}
+	return instr
+}
+
+// SkimBlocks fast-forwards the stream n blocks touching only the LLC —
+// no cycles, no RNG draws, no L1/BTB/predictor training. Sampling uses
+// it for the distant part of a period gap when a bounded functional-
+// warming window is configured: the small structures are rebuilt by the
+// warming window and detailed warm-up that follow, but the LLC's
+// instruction working set is too large to rebuild in any affordable
+// window, so it alone must track the stream continuously.
+func (c *Core) SkimBlocks(n uint64) uint64 {
+	var instr uint64
+	// Consecutive basic blocks mostly share one 64-byte cache block
+	// (~5.5 instructions per bb); touching it once per run of repeats
+	// keeps the same LLC contents and recency at a fraction of the
+	// Access calls, which dominate the skim's cost.
+	last := isa.Addr(1) // never a block-aligned address
+	for i := uint64(0); i < n; i++ {
+		bb := c.trace.Next()
+		instr += uint64(bb.NumInstr)
+		first, lastBlk := bb.BlockSpan()
+		for blk := first; blk <= lastBlk; blk += isa.BlockBytes {
+			if blk == last {
+				continue
+			}
+			c.hier.WarmLLC(blk)
+			last = blk
+		}
+	}
+	return instr
+}
+
+// warmBPU mirrors evaluate's exact predictor call sequence — RAS pop for
+// returns, TAGE Predict+Update for conditionals (Predict counts lookups,
+// which paces the use-bit decay), RAS push + ghist note for calls, ghist
+// notes for returns and jumps — so the direction predictor and RAS cross
+// a warming gap in the same state a detailed run would leave them.
+func (c *Core) warmBPU(bb isa.BasicBlock) {
+	if bb.Kind.IsReturn() {
+		c.ras.Pop()
+	}
+	c.engine.Warm(bb)
+	switch {
+	case bb.Kind == isa.BranchCond:
+		c.tage.Predict(bb.BranchPC())
+		c.tage.Update(bb.BranchPC(), bb.Taken)
+	case bb.Kind.IsCallLike():
+		c.ras.Push(bpu.RASEntry{ReturnAddr: bb.FallThrough(), CallBlock: bb.PC})
+		c.tage.NoteUncond()
+	case bb.Kind.IsReturn():
+		c.tage.NoteUncond()
+	case bb.Kind == isa.BranchJump:
+		c.tage.NoteUncond()
+	}
+}
+
+// warmCaches applies a block's untimed memory-side effects: L1-I/LLC
+// warming over the block span, the identical per-instruction Bernoulli
+// and per-load Zipf draws the detailed dispatch consumes (keeping the
+// data RNG stream aligned across mode switches) with L1-D/LLC warming
+// for the loads, and the engine's retire-order training hook.
+func (c *Core) warmCaches(bb isa.BasicBlock) {
+	first, last := bb.BlockSpan()
+	for blk := first; blk <= last; blk += isa.BlockBytes {
+		c.hier.WarmFetch(blk)
+	}
+	for i := 0; i < bb.NumInstr; i++ {
+		if c.loadDraw.Draw(c.dataRNG) {
+			c.hier.WarmData(dataBase + isa.Addr(c.dataZipf.Next()*isa.BlockBytes))
+		}
+	}
+	c.engine.OnRetire(bb)
 }
 
 // NextEvent returns the earliest cycle at which Tick can do anything
@@ -594,6 +737,7 @@ func (c *Core) dispatch(bb isa.BasicBlock) {
 		}
 		c.robPush(complete)
 	}
+	c.blocksDispatched++
 	c.engine.OnRetire(bb)
 }
 

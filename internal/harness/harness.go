@@ -849,6 +849,9 @@ func Experiments() []Experiment {
 			func() []sim.Scenario {
 				return InterferenceScenarios(Interference64CoRunnerCounts, InterferenceMixes())
 			}},
+		{"sampled", "Sampled vs exact IPC with confidence intervals",
+			Sampled,
+			func() []sim.Scenario { return scenariosOf(SampledConfigs()) }},
 	}
 }
 

@@ -1,0 +1,99 @@
+package harness
+
+// The sampled-vs-exact validation experiment: one workload runs both
+// exactly and under periodic sampling (internal/sample via
+// sim.Config.Sampling), and the table reports the sampled estimate with
+// its 95% confidence interval next to the exact IPC plus the measured
+// relative error — the golden-gated accuracy evidence for the sampling
+// mode, mirroring the SMARTS paper's own validation methodology.
+
+import (
+	"fmt"
+	"math"
+
+	"shotgun/internal/sim"
+	"shotgun/internal/stats"
+)
+
+// SampledWorkload is the workload the sampled-vs-exact comparison runs.
+const SampledWorkload = "Zeus"
+
+// SampledTitle is the comparison table's title line (shared with the
+// spec catalog's sampled.json, which must render byte-identically).
+const SampledTitle = "Sampled vs exact: IPC under periodic sampling (95% CI)"
+
+// SampledMechs lists the mechanisms the comparison covers: the
+// no-prefetch baseline and the paper's own design.
+func SampledMechs() []sim.Mechanism {
+	return []sim.Mechanism{sim.None, sim.Shotgun}
+}
+
+// SampledSchedule is the periodic-sampling schedule of the compiled-in
+// experiment: period 16384 blocks, 1024-block detailed warm-up,
+// 1024-block measured units, a bounded 8192-block functional-warming
+// window (the rest of each gap is LLC-skimmed), 16 units.
+func SampledSchedule() sim.Sampling {
+	return sim.Sampling{
+		PeriodBlocks:   16384,
+		WarmupBlocks:   1024,
+		UnitBlocks:     1024,
+		FuncWarmBlocks: 8192,
+		Units:          16,
+	}
+}
+
+// sampledPair is one mechanism's exact and sampled configs.
+func sampledPair(wl string, m sim.Mechanism, s sim.Sampling) (exact, sampled sim.Config) {
+	exact = sim.Config{Workload: wl, Mechanism: m}
+	sampled = exact
+	sc := s
+	sampled.Sampling = &sc
+	return exact, sampled
+}
+
+// SampledConfigsFor declares every simulation the comparison needs for
+// the given workload, mechanisms and schedule — the parameterized form
+// the spec compiler shares.
+func SampledConfigsFor(wl string, mechs []sim.Mechanism, s sim.Sampling) []sim.Config {
+	var cfgs []sim.Config
+	for _, m := range mechs {
+		exact, sampled := sampledPair(wl, m, s)
+		cfgs = append(cfgs, exact, sampled)
+	}
+	return cfgs
+}
+
+// SampledConfigs declares the compiled-in experiment's simulations.
+func SampledConfigs() []sim.Config {
+	return SampledConfigsFor(SampledWorkload, SampledMechs(), SampledSchedule())
+}
+
+// SampledTableFor renders the comparison for the given parameters: per
+// mechanism, the exact IPC, the sampled estimate (mean and half-width),
+// the measured relative error, and the detailed-simulation coverage.
+// The table carries the sampled marker so machine-readable consumers
+// never mistake the estimates for exact values.
+func SampledTableFor(r *Runner, title, wl string, mechs []sim.Mechanism, s sim.Sampling) *stats.Table {
+	r.Prefetch(SampledConfigsFor(wl, mechs, s))
+	t := stats.NewTable(title,
+		"Mechanism", "Exact IPC", "Sampled IPC", "±95% CI", "Rel err", "Coverage")
+	for _, m := range mechs {
+		exactCfg, sampledCfg := sampledPair(wl, m, s)
+		exact := r.Run(exactCfg)
+		sampled := r.Run(sampledCfg).Sampled
+		relErr := math.Abs(sampled.IPC.Mean-exact.IPC()) / exact.IPC()
+		t.AddRow(string(m),
+			fmt.Sprintf("%.3f", exact.IPC()),
+			fmt.Sprintf("%.3f", sampled.IPC.Mean),
+			fmt.Sprintf("%.3f", sampled.IPC.HalfWidth),
+			fmt.Sprintf("%.3f", relErr),
+			fmt.Sprintf("%.3f", sampled.Coverage()))
+	}
+	t.SetSampled()
+	return t
+}
+
+// Sampled regenerates the compiled-in sampled-vs-exact table.
+func Sampled(r *Runner) *stats.Table {
+	return SampledTableFor(r, SampledTitle, SampledWorkload, SampledMechs(), SampledSchedule())
+}

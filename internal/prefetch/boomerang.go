@@ -80,6 +80,29 @@ func (e *Boomerang) resolve(now uint64, bb isa.BasicBlock) uint64 {
 	return ready
 }
 
+// Warm implements Engine: the reactive fill's functional effect —
+// predecoded branches landing in the BTB and its prefetch buffer —
+// without the residency probe or the stall.
+func (e *Boomerang) Warm(bb isa.BasicBlock) {
+	if bb.Kind == isa.BranchNone {
+		return
+	}
+	if _, ok := e.btb.Lookup(bb.PC); ok {
+		return
+	}
+	if entry, ok := e.pbuf.Take(bb.PC); ok {
+		e.btb.Insert(bb.PC, entry)
+		return
+	}
+	for _, br := range e.ctx.Dec.Decode(bb.BranchPC().Block()) {
+		if br.BlockPC == bb.PC {
+			e.btb.Insert(br.BlockPC, br.Entry)
+		} else {
+			e.pbuf.Insert(br.BlockPC, br.Entry)
+		}
+	}
+}
+
 // OnArrival implements Engine. Boomerang has no proactive fill path; BTB
 // filling happens reactively in Evaluate.
 func (e *Boomerang) OnArrival(uint64, []uncore.Arrival) {}

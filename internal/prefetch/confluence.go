@@ -94,6 +94,18 @@ func (e *Confluence) Evaluate(now uint64, bb isa.BasicBlock, _ isa.Addr, _ bool)
 	return Eval{DecodeRedirect: bb.Taken}
 }
 
+// Warm implements Engine: BTB training only. The SHIFT history is
+// trained by OnRetire, which the warm path drives too; the live stream
+// state is timing-coupled and re-established by the detailed warm-up.
+func (e *Confluence) Warm(bb isa.BasicBlock) {
+	if bb.Kind == isa.BranchNone {
+		return
+	}
+	if _, ok := e.btb.Lookup(bb.PC); !ok {
+		e.btb.Insert(bb.PC, btb.EntryFromBlock(bb))
+	}
+}
+
 // OnDemandMiss implements Engine: an L1-I miss restarts the stream. The
 // index lookup costs an LLC round trip before any prefetch issues — the
 // start-up delay Section 6.1 blames for Confluence's weak coverage on

@@ -76,6 +76,16 @@ type Engine interface {
 	// cost of decoupled prefetching.
 	OnMispredict(now uint64, wrongPath isa.Addr)
 
+	// Warm is Evaluate's functional-warming counterpart: it trains the
+	// mechanism's own predictor state for the block bb — BTB fills,
+	// RAS-context tracking, prefetch-buffer promotion — without issuing
+	// timed prefetch traffic, stalling, or touching timing counters.
+	// Sampling's fast-forward path calls it once per dynamic block
+	// between detailed units; the detailed warm-up blocks before each
+	// measured unit re-establish the timing-dependent state Warm skips
+	// (in-flight fills, runahead probes).
+	Warm(bb isa.BasicBlock)
+
 	// BTBMisses returns the number of first-encounter BTB misses on real
 	// branches (the Table 1 MPKI numerator).
 	BTBMisses() uint64

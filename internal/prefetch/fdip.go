@@ -59,6 +59,17 @@ func (e *FDIP) Evaluate(now uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval 
 	return Eval{}
 }
 
+// Warm implements Engine: BTB training only — FDIP's probes are pure
+// timing traffic, re-established by the detailed warm-up blocks.
+func (e *FDIP) Warm(bb isa.BasicBlock) {
+	if bb.Kind == isa.BranchNone {
+		return
+	}
+	if _, ok := e.btb.Lookup(bb.PC); !ok {
+		e.btb.Insert(bb.PC, btb.EntryFromBlock(bb))
+	}
+}
+
 // OnArrival implements Engine.
 func (e *FDIP) OnArrival(uint64, []uncore.Arrival) {}
 

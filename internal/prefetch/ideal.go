@@ -29,6 +29,15 @@ func (e *Ideal) Evaluate(_ uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval {
 	return Eval{BTBHit: true}
 }
 
+// Warm implements Engine: Evaluate is already untimed, so warming is the
+// same zero-latency install.
+func (e *Ideal) Warm(bb isa.BasicBlock) {
+	first, last := bb.BlockSpan()
+	for blk := first; blk <= last; blk += isa.BlockBytes {
+		e.ctx.Hier.L1I.Insert(blk)
+	}
+}
+
 // OnArrival implements Engine.
 func (e *Ideal) OnArrival(uint64, []uncore.Arrival) {}
 

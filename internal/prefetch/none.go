@@ -42,6 +42,17 @@ func (e *None) Evaluate(now uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval 
 	return Eval{DecodeRedirect: bb.Taken}
 }
 
+// Warm implements Engine: decode-time BTB training without the timing
+// side (there is none here beyond the redirect, which Warm skips).
+func (e *None) Warm(bb isa.BasicBlock) {
+	if bb.Kind == isa.BranchNone {
+		return
+	}
+	if _, ok := e.btb.Lookup(bb.PC); !ok {
+		e.btb.Insert(bb.PC, btb.EntryFromBlock(bb))
+	}
+}
+
 // OnArrival implements Engine (no proactive fill).
 func (e *None) OnArrival(uint64, []uncore.Arrival) {}
 

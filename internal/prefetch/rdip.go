@@ -138,6 +138,50 @@ func (e *RDIP) Evaluate(now uint64, bb isa.BasicBlock, _ isa.Addr, _ bool) Eval 
 	return Eval{DecodeRedirect: bb.Taken}
 }
 
+// Warm implements Engine: RAS/context tracking and BTB training without
+// the context-triggered prefetch burst. Keeping curSig live means the
+// first OnDemandMiss of the next detailed unit trains the same
+// signature an exact run would have.
+func (e *RDIP) Warm(bb isa.BasicBlock) {
+	switch {
+	case bb.Kind.IsCallLike():
+		e.ras.Push(bpu.RASEntry{ReturnAddr: bb.FallThrough(), CallBlock: bb.PC})
+		e.warmContextSwitch()
+	case bb.Kind.IsReturn():
+		e.ras.Pop()
+		e.warmContextSwitch()
+	}
+	if bb.Kind == isa.BranchNone {
+		return
+	}
+	if _, ok := e.btb.Lookup(bb.PC); !ok {
+		e.btb.Insert(bb.PC, btb.EntryFromBlock(bb))
+	}
+}
+
+// warmContextSwitch is contextSwitch minus the prefetch issue and the
+// lookup counters: pending misses still close into the signature table
+// so warming keeps RDIP's metadata trained.
+func (e *RDIP) warmContextSwitch() {
+	if len(e.pendingMisses) > 0 {
+		if _, exists := e.sigTable[e.curSig]; !exists {
+			if len(e.sigTable) >= e.capacity {
+				victim := e.sigOrder[0]
+				e.sigOrder = e.sigOrder[1:]
+				delete(e.sigTable, victim)
+			}
+			e.sigOrder = append(e.sigOrder, e.curSig)
+		}
+		set := e.pendingMisses
+		if len(set) > rdipMaxBlocksPerSig {
+			set = set[:rdipMaxBlocksPerSig]
+		}
+		e.sigTable[e.curSig] = append([]isa.Addr(nil), set...)
+		e.pendingMisses = e.pendingMisses[:0]
+	}
+	e.curSig = e.signature()
+}
+
 // OnDemandMiss implements Engine: misses train the current signature.
 func (e *RDIP) OnDemandMiss(_ uint64, block isa.Addr) {
 	if len(e.pendingMisses) < rdipMaxBlocksPerSig {

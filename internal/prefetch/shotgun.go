@@ -223,6 +223,30 @@ func (e *Shotgun) resolve(now uint64, bb isa.BasicBlock) uint64 {
 	return ready
 }
 
+// Warm implements Engine: U-BTB/C-BTB/RIB training (lookups move the
+// replacement state, misses fill from the predecoder) without region
+// probes or reactive-fill stalls. Footprint recording continues through
+// OnRetire on the warm path, so committed footprints stay fresh.
+func (e *Shotgun) Warm(bb isa.BasicBlock) {
+	if bb.Kind == isa.BranchNone {
+		return
+	}
+	if hit := e.org.Lookup(bb.PC); hit.Kind != btb.HitNone {
+		return
+	}
+	if entry, ok := e.pbuf.Take(bb.PC); ok {
+		e.org.Insert(bb.PC, entry)
+		return
+	}
+	for _, br := range e.ctx.Dec.Decode(bb.BranchPC().Block()) {
+		if br.BlockPC == bb.PC {
+			e.org.Insert(br.BlockPC, br.Entry)
+		} else {
+			e.pbuf.Insert(br.BlockPC, br.Entry)
+		}
+	}
+}
+
 // OnArrival implements Engine: prefetched (and demand-filled) blocks are
 // predecoded; conditional branches fill the C-BTB ahead of the access
 // stream (Figure 5b, steps 4-5), returns fill the RIB, and unconditional

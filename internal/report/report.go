@@ -27,11 +27,16 @@ type Table struct {
 	Title   string     `json:"title"`
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
+	// Sampled marks tables whose cells are statistical estimates from
+	// sampled simulation (mean ± confidence interval) rather than exact
+	// runs. Omitted — not false — for exact tables, so pre-sampling
+	// report documents are byte-identical.
+	Sampled bool `json:"sampled,omitempty"`
 }
 
 // FromStats converts a rendered stats.Table.
 func FromStats(id string, t *stats.Table) Table {
-	return Table{ID: id, Title: t.Title(), Columns: t.Headers(), Rows: t.Rows()}
+	return Table{ID: id, Title: t.Title(), Columns: t.Headers(), Rows: t.Rows(), Sampled: t.Sampled()}
 }
 
 // Report bundles the tables of one harness run.
@@ -78,10 +83,16 @@ func (r Report) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV emits one table (marker row, header row, data rows).
+// WriteCSV emits one table (marker row, header row, data rows). Sampled
+// tables carry a fourth "sampled" cell on the marker row; exact tables
+// keep the three-cell marker unchanged.
 func (t Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"table", t.ID, t.Title}); err != nil {
+	marker := []string{"table", t.ID, t.Title}
+	if t.Sampled {
+		marker = append(marker, "sampled")
+	}
+	if err := cw.Write(marker); err != nil {
 		return err
 	}
 	if err := cw.Write(t.Columns); err != nil {

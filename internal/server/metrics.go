@@ -84,6 +84,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.tenantSample("shotgun_tenant_rejected_total", t, fs.Tenants[t].Rejected)
 	}
 
+	// Rate-limit rows exist only for tenants with a max_rps bound —
+	// sorted like the scheduler rows for a deterministic scrape.
+	if limited := s.limits.rejectedByTenant(); len(limited) > 0 {
+		names := make([]string, 0, len(limited))
+		for name := range limited {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		p.family("shotgun_tenant_rate_limited_total", "Requests rejected by the tenant's max_rps bound (429 rate_limited).", "counter")
+		for _, t := range names {
+			p.tenantSample("shotgun_tenant_rate_limited_total", t, limited[t])
+		}
+	}
+
 	if s.st != nil {
 		st := s.st.Stats()
 		p.family("shotgun_store_hits_total", "Persistent-store reads that found a record.", "counter")

@@ -1,0 +1,121 @@
+package server
+
+// Per-tenant HTTP request rate limiting: a classic token bucket per
+// tenant with a max_rps refill rate and an equal burst, sitting inside
+// the auth middleware so the bucket is keyed by the AUTHENTICATED
+// tenant (an attacker cannot drain another tenant's bucket by guessing
+// names, and unauthenticated requests never touch a bucket). Quotas
+// (MaxQueued) bound how much work a tenant may hold; max_rps bounds how
+// often a tenant may knock — together they keep a chatty poller from
+// monopolizing handler time the same way the fair queue keeps a big
+// sweep from monopolizing simulation time.
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shotgun/internal/client"
+)
+
+// tenantLimiter is one tenant's token bucket plus its rejection
+// counter for /metrics.
+type tenantLimiter struct {
+	mu     sync.Mutex
+	rps    float64
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	rejected atomic.Uint64
+}
+
+// allow takes one token at the given instant, reporting whether the
+// request may proceed and, when it may not, how long until a token is
+// available (the Retry-After hint).
+func (l *tenantLimiter) allow(now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rps
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - l.tokens) / l.rps * float64(time.Second))
+	return false, wait
+}
+
+// rateLimiters holds the per-tenant buckets. Built once from the
+// immutable registry, so lookups need no lock; tenants with no max_rps
+// have no entry and are never throttled.
+type rateLimiters struct {
+	byTenant map[string]*tenantLimiter
+}
+
+// newRateLimiters builds buckets for every tenant with a rate bound.
+// A nil registry (auth off) yields an empty set — the anonymous tenant
+// is unlimited.
+func newRateLimiters(reg *TenantRegistry) *rateLimiters {
+	rl := &rateLimiters{byTenant: make(map[string]*tenantLimiter)}
+	if reg == nil {
+		return rl
+	}
+	for _, t := range reg.list {
+		if t.MaxRPS <= 0 {
+			continue
+		}
+		rl.byTenant[t.Name] = &tenantLimiter{
+			rps:    float64(t.MaxRPS),
+			burst:  float64(t.MaxRPS),
+			tokens: float64(t.MaxRPS),
+		}
+	}
+	return rl
+}
+
+// rejectedByTenant snapshots the rate-limited request counters for the
+// metrics exposition.
+func (rl *rateLimiters) rejectedByTenant() map[string]uint64 {
+	out := make(map[string]uint64, len(rl.byTenant))
+	for name, l := range rl.byTenant {
+		out[name] = l.rejected.Load()
+	}
+	return out
+}
+
+// rateLimitMiddleware answers 429 + Retry-After when the authenticated
+// tenant's bucket is empty. It must run INSIDE authMiddleware (auth
+// fills the tenant into the request context) and skips the same exempt
+// routes auth does — health probes and scrapes are infrastructure, not
+// tenant traffic.
+func rateLimitMiddleware(rl *rateLimiters, next http.Handler) http.Handler {
+	if len(rl.byTenant) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		l, bounded := rl.byTenant[tenantFrom(r.Context())]
+		if !bounded {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, wait := l.allow(time.Now())
+		if !ok {
+			l.rejected.Add(1)
+			client.WriteErrorRetryAfter(w, http.StatusTooManyRequests, client.CodeRateLimited, wait,
+				"request rate above the tenant's max_rps; slow down and retry")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

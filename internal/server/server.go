@@ -32,7 +32,9 @@
 // round-robin across tenants (internal/dispatch.FairQueue), bounded by
 // per-tenant quotas (429 + Retry-After) and a global queue bound that
 // sheds load (503 + Retry-After) — so one tenant's 4096-scenario sweep
-// cannot starve another tenant's single sim. Simulations are executed
+// cannot starve another tenant's single sim. A tenant with max_rps set
+// is additionally rate-limited per request (token bucket; 429 +
+// Retry-After with code rate_limited) before its handler runs. Simulations are executed
 // asynchronously by a pluggable internal/dispatch executor — a fixed
 // local worker pool by default, or a dispatch.Coordinator leasing jobs
 // to remote workers — and duplicate keys (within a batch, across
@@ -219,6 +221,7 @@ type Server struct {
 	maxBatch     int
 	fair         *dispatch.FairQueue
 	reg          *TenantRegistry
+	limits       *rateLimiters
 	log          *slog.Logger
 	clusterStats func() dispatch.CoordinatorStats
 	httpStats    httpMetrics
@@ -278,6 +281,7 @@ func New(cfg Config) *Server {
 		scaleName:    cfg.ScaleName,
 		maxBatch:     maxBatch,
 		reg:          cfg.Tenants,
+		limits:       newRateLimiters(cfg.Tenants),
 		log:          logger,
 		clusterStats: cfg.ClusterStats,
 		jobs:         make(map[string]*job),
@@ -388,8 +392,10 @@ func (s *Server) stop(abandon bool) {
 	s.fair.Stop(abandon)
 }
 
-// Handler returns the server's HTTP routes, wrapped in the logging and
-// (when a registry is configured) auth middleware.
+// Handler returns the server's HTTP routes, wrapped in the logging
+// and (when a registry is configured) auth and per-tenant rate-limit
+// middleware. Rate limiting sits inside auth so buckets are keyed by
+// the authenticated tenant, never by a claimed name.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sims", s.handleSubmit)
@@ -405,7 +411,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return logMiddleware(s.log, &s.httpStats, authMiddleware(s.reg, mux))
+	return logMiddleware(s.log, &s.httpStats,
+		authMiddleware(s.reg, rateLimitMiddleware(s.limits, mux)))
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {

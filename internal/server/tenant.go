@@ -36,6 +36,10 @@ type Tenant struct {
 	// MaxInFlight bounds the tenant's concurrently-executing jobs; a
 	// scheduling cap, never an error. 0 means unlimited.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// MaxRPS bounds the tenant's HTTP request rate (requests per
+	// second, token bucket with an equal burst); past it requests 429
+	// with Retry-After. 0 means unlimited.
+	MaxRPS int `json:"max_rps,omitempty"`
 }
 
 // tenantsFile is the registry document: {"tenants":[...]}.
@@ -74,7 +78,7 @@ func ParseTenants(data []byte) (*TenantRegistry, error) {
 		if t.Key == "" || len(t.Key) > maxTenantKey {
 			return nil, fmt.Errorf("tenants[%d] %q: key must be 1..%d bytes", i, t.Name, maxTenantKey)
 		}
-		if t.Weight < 0 || t.MaxQueued < 0 || t.MaxInFlight < 0 {
+		if t.Weight < 0 || t.MaxQueued < 0 || t.MaxInFlight < 0 || t.MaxRPS < 0 {
 			return nil, fmt.Errorf("tenants[%d] %q: weight and quotas must be non-negative", i, t.Name)
 		}
 		if names[t.Name] {

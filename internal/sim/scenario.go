@@ -123,7 +123,10 @@ func compareConfigs(a, b Config) int {
 			return 1
 		}
 	}
-	return 0
+	// Sampling compares last, appended to the frozen order: nil (exact
+	// mode, every pre-sampling config) ranks before any sampled config,
+	// so existing canonical core orders are undisturbed.
+	return compareSampling(a.Sampling, b.Sampling)
 }
 
 // sizesRank orders the absence of an explicit size override before any
@@ -206,6 +209,18 @@ func (s Scenario) Validate() error {
 	for i, cfg := range s.Cores {
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("sim: core %d: %w", i, err)
+		}
+		// Sampling is the single-core stream mode: the lockstep/event
+		// multi-core engines simulate every cycle of every core and have
+		// no functional-warming fast path, so a sampled config may only
+		// take the Run path (one core, default LLC share).
+		if cfg.Sampling != nil {
+			if len(s.Cores) > 1 {
+				return fmt.Errorf("sim: core %d: sampling requires a single-core scenario (got %d cores)", i, len(s.Cores))
+			}
+			if s.LLCSizeBytes != 0 && s.LLCSizeBytes != DefaultLLCBytes(1) {
+				return fmt.Errorf("sim: sampling requires the default single-core LLC share (%d bytes, got %d)", DefaultLLCBytes(1), s.LLCSizeBytes)
+			}
 		}
 	}
 	if s.LLCSizeBytes < 0 {

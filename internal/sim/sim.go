@@ -70,6 +70,15 @@ type Config struct {
 	MeasureInstr uint64
 	SkipInstr    uint64
 	Samples      int
+
+	// Sampling, when non-nil, switches the run to SMARTS-style periodic
+	// sampling (sampling.go): functional warming between short detailed
+	// units, per-unit confidence intervals on the result. The omitempty
+	// keeps nil — the exact mode every existing caller uses — out of
+	// the canonical encoding, so exact-run content identities (memo
+	// keys, store hashes, dispatch leases) are untouched by the field's
+	// existence.
+	Sampling *Sampling `json:",omitempty"`
 }
 
 func (c *Config) setDefaults() {
@@ -90,6 +99,13 @@ func (c *Config) setDefaults() {
 	}
 	if c.SkipInstr == 0 {
 		c.SkipInstr = 200_000
+	}
+	if c.Sampling != nil {
+		// Copy before defaulting: setDefaults runs on a value receiver's
+		// copy in Normalized, and writing through the shared pointer
+		// would mutate the caller's struct.
+		s := c.Sampling.withDefaults()
+		c.Sampling = &s
 	}
 }
 
@@ -130,6 +146,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown region mode %d", n.RegionMode)
 	}
+	if n.Sampling != nil {
+		if err := n.Sampling.Validate(); err != nil {
+			return err
+		}
+	}
 	if n.Mechanism == Shotgun {
 		if n.ShotgunSizes != nil {
 			if err := n.ShotgunSizes.Validate(); err != nil {
@@ -154,6 +175,11 @@ type Result struct {
 	BTBMisses uint64
 	// PrefetchAccuracy is Figure 10's metric.
 	PrefetchAccuracy float64
+
+	// Sampled carries the per-unit confidence intervals of a sampled
+	// run; nil for exact runs (and omitted from stored records, so
+	// exact-run record encodings are unchanged).
+	Sampled *SampledSummary `json:",omitempty"`
 }
 
 // IPC returns the measured instructions per cycle.
@@ -260,6 +286,10 @@ func runSingle(cfg Config, stream workload.Stream) (Result, error) {
 		DataSeed:   prof.WalkSeed ^ 0xd00d,
 	}
 	c := core.New(ccfg, stream, engine, hier)
+
+	if cfg.Sampling != nil {
+		return runSampled(cfg, c, engine)
+	}
 
 	// Warmup: populate caches, BTBs, predictor, history.
 	c.Run(cfg.WarmupInstr)

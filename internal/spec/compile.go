@@ -296,6 +296,8 @@ func compileTable(t Table) (compiledTable, error) {
 		return compileInterference(t)
 	case t.RegionCDF != nil:
 		return compileRegionCDF(t)
+	case t.Sampled != nil:
+		return compileSampled(t)
 	default:
 		return compileBranchCoverage(t)
 	}

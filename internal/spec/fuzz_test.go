@@ -42,3 +42,52 @@ func FuzzSpecParse(f *testing.F) {
 		_, _ = s.Compile()
 	})
 }
+
+// FuzzSamplingSpec drives the sampling object with arbitrary parameter
+// values — overflowing periods, negative counts, NaN targets — through
+// both the JSON surface and the typed validate/compile path. The
+// contract matches FuzzSpecParse: a validation error or a compiled
+// table, never a panic. Wired into the CI fuzz-smoke job.
+func FuzzSamplingSpec(f *testing.F) {
+	f.Add(uint64(16384), uint64(1024), uint64(1024), uint64(8192), 16, 0.03, 64)
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), 0, 0.0, 0)
+	f.Add(^uint64(0), ^uint64(0), uint64(1), uint64(0), -1, -1.0, -1)
+	f.Add(uint64(100), uint64(90), uint64(20), uint64(0), 1<<30, 1.5, 1)
+
+	f.Fuzz(func(t *testing.T, period, warmup, unit, funcWarm uint64, units int, targetCI float64, maxUnits int) {
+		s := Spec{
+			Version: Version,
+			Name:    "fuzz",
+			Tables: []Table{{
+				ID:    "t",
+				Title: "t",
+				Sampled: &Sampled{
+					Sampling: Sampling{
+						Period:   period,
+						Warmup:   warmup,
+						Unit:     unit,
+						FuncWarm: funcWarm,
+						Units:    units,
+						TargetCI: targetCI,
+						MaxUnits: maxUnits,
+					},
+				},
+			}},
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		c, err := s.Compile()
+		if err != nil {
+			t.Fatalf("validated sampling spec failed to compile: %v", err)
+		}
+		// A compiled sampled table must expand to scenarios the
+		// simulator itself accepts — spec-level validation may not be
+		// looser than sim-level.
+		for _, sc := range c.Scenarios() {
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("compiled scenario invalid: %v", err)
+			}
+		}
+	})
+}

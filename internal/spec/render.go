@@ -283,6 +283,45 @@ func compileRegionCDF(t Table) (compiledTable, error) {
 	return compiledTable{id: t.ID, analysisCost: blocks * len(wls), render: render}, nil
 }
 
+// compileSampled expands the exact-vs-sampled comparison. The config
+// expansion and the renderer are the harness's own (SampledConfigsFor /
+// SampledTableFor), so a spec-declared comparison is cell-for-cell the
+// compiled-in experiment — the same parity contract every other kind
+// honours by mirroring the assembly shape.
+func compileSampled(t Table) (compiledTable, error) {
+	sd := t.Sampled
+	wl := sd.Workload
+	if wl == "" {
+		wl = harness.SampledWorkload
+	}
+	var mechs []sim.Mechanism
+	if sd.Mechanisms == nil {
+		mechs = harness.SampledMechs()
+	} else {
+		for _, name := range sd.Mechanisms {
+			m, err := parseMechanism(name)
+			if err != nil {
+				return compiledTable{}, err
+			}
+			mechs = append(mechs, m)
+		}
+	}
+	schedule := sd.Sampling.Sim()
+	cfgs := harness.SampledConfigsFor(wl, mechs, schedule)
+	var scenarios []sim.Scenario
+	for _, cfg := range cfgs {
+		sc := sim.SingleCore(cfg)
+		if err := sc.Validate(); err != nil {
+			return compiledTable{}, err
+		}
+		scenarios = append(scenarios, sc)
+	}
+	render := func(r *harness.Runner) *stats.Table {
+		return harness.SampledTableFor(r, t.Title, wl, mechs, schedule)
+	}
+	return compiledTable{id: t.ID, scenarios: scenarios, render: render}, nil
+}
+
 // compileBranchCoverage expands the Figure 4 analysis (no simulations).
 func compileBranchCoverage(t Table) (compiledTable, error) {
 	bc := t.BranchCoverage

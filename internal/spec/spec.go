@@ -107,6 +107,11 @@ type Table struct {
 	RegionCDF *RegionCDF `json:"region_cdf,omitempty"`
 	// BranchCoverage is the Figure 4 trace analysis (no simulations).
 	BranchCoverage *BranchCoverage `json:"branch_coverage,omitempty"`
+	// Sampled is the exact-vs-sampled comparison under periodic
+	// sampling. The sampling object lives only here: strict parsing
+	// rejects it on every other kind (the analysis kinds run no
+	// simulations to sample).
+	Sampled *Sampled `json:"sampled,omitempty"`
 }
 
 // Config is a set of per-cell overrides onto sim.Config. Zero-valued
@@ -225,6 +230,56 @@ type BranchCoverage struct {
 	Points []int `json:"points"`
 }
 
+// Sampled declares the exact-vs-sampled comparison table: each listed
+// mechanism runs the workload both exactly and under the periodic
+// sampling schedule, and the table reports the sampled IPC estimate
+// (mean ± 95% CI) next to the exact IPC with the measured relative
+// error.
+type Sampled struct {
+	// Workload is the compared workload (default the compiled-in
+	// experiment's).
+	Workload string `json:"workload,omitempty"`
+	// Mechanisms lists the compared mechanisms; absent means the
+	// compiled-in experiment's pair (none, shotgun).
+	Mechanisms []string `json:"mechanisms,omitempty"`
+	// Sampling is the periodic-sampling schedule (required).
+	Sampling Sampling `json:"sampling"`
+}
+
+// Sampling is the spec spelling of sim.Sampling: the periodic-sampling
+// schedule in trace blocks plus the statistical stopping rule.
+type Sampling struct {
+	// Period is the sampling period P in trace blocks (required).
+	Period uint64 `json:"period"`
+	// Warmup is the detailed warm-up W before each measured unit.
+	Warmup uint64 `json:"warmup,omitempty"`
+	// Unit is the measured detailed unit length U (required).
+	Unit uint64 `json:"unit"`
+	// FuncWarm bounds the functional-warming window; 0 warms the whole
+	// P−W−U gap (pure SMARTS).
+	FuncWarm uint64 `json:"func_warm,omitempty"`
+	// Units is the baseline measured-unit count.
+	Units int `json:"units,omitempty"`
+	// TargetCI, when non-zero, escalates units until the relative 95%
+	// half-width reaches it (SMARTS targets 0.03).
+	TargetCI float64 `json:"target_ci,omitempty"`
+	// MaxUnits caps adaptive escalation.
+	MaxUnits int `json:"max_units,omitempty"`
+}
+
+// Sim converts to the simulator's sampling block.
+func (s Sampling) Sim() sim.Sampling {
+	return sim.Sampling{
+		PeriodBlocks:   s.Period,
+		WarmupBlocks:   s.Warmup,
+		UnitBlocks:     s.Unit,
+		FuncWarmBlocks: s.FuncWarm,
+		Units:          s.Units,
+		TargetCI:       s.TargetCI,
+		MaxUnits:       s.MaxUnits,
+	}
+}
+
 // Parse decodes and validates a spec. Decoding is strict: unknown
 // fields anywhere in the document are errors, so a typoed knob can
 // never silently run at its default.
@@ -323,8 +378,11 @@ func (t Table) validateKind() error {
 	if t.BranchCoverage != nil {
 		kinds++
 	}
+	if t.Sampled != nil {
+		kinds++
+	}
 	if kinds != 1 {
-		return fmt.Errorf("exactly one of grid, interference, region_cdf, branch_coverage must be set (got %d)", kinds)
+		return fmt.Errorf("exactly one of grid, interference, region_cdf, branch_coverage, sampled must be set (got %d)", kinds)
 	}
 	switch {
 	case t.Grid != nil:
@@ -333,6 +391,8 @@ func (t Table) validateKind() error {
 		return t.Interference.validate()
 	case t.RegionCDF != nil:
 		return t.RegionCDF.validate()
+	case t.Sampled != nil:
+		return t.Sampled.validate()
 	default:
 		return t.BranchCoverage.validate()
 	}
@@ -526,6 +586,34 @@ func (bc *BranchCoverage) validate() error {
 			return fmt.Errorf("points must be positive and strictly increasing (got %d after %d)", k, prev)
 		}
 		prev = k
+	}
+	return nil
+}
+
+func (sd *Sampled) validate() error {
+	if sd.Workload != "" {
+		if _, err := workload.Get(sd.Workload); err != nil {
+			return err
+		}
+	}
+	if sd.Mechanisms != nil && len(sd.Mechanisms) == 0 {
+		return fmt.Errorf("mechanisms must not be empty (omit the field for the default pair)")
+	}
+	seen := make(map[string]bool, len(sd.Mechanisms))
+	for _, m := range sd.Mechanisms {
+		if seen[m] {
+			return fmt.Errorf("duplicate mechanism %q", m)
+		}
+		seen[m] = true
+		if _, err := parseMechanism(m); err != nil {
+			return err
+		}
+	}
+	// The simulator's own validation carries the DoS bounds (period and
+	// unit-count caps) sampling parameters need when they arrive from
+	// disk or HTTP.
+	if err := sd.Sampling.Sim().Validate(); err != nil {
+		return fmt.Errorf("sampling: %w", err)
 	}
 	return nil
 }

@@ -43,6 +43,7 @@ type Table struct {
 	title   string
 	headers []string
 	rows    [][]string
+	sampled bool
 }
 
 // NewTable builds a table with the given title and column headers.
@@ -65,6 +66,15 @@ func (t *Table) Headers() []string { return t.headers }
 // returned slices alias the table's own storage, and machine-readable
 // emitters (internal/report) rely on seeing exactly what String renders.
 func (t *Table) Rows() [][]string { return t.rows }
+
+// SetSampled marks the table as built from sampled (confidence-
+// interval) simulation results rather than exact runs. Machine-readable
+// emitters (internal/report) carry the marker so downstream consumers
+// never mistake an estimate-bearing table for an exact one.
+func (t *Table) SetSampled() { t.sampled = true }
+
+// Sampled reports whether the table carries sampled estimates.
+func (t *Table) Sampled() bool { return t.sampled }
 
 // Addf appends a row where the first cell is a label and the remaining
 // cells are formatted floats.

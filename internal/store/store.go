@@ -44,8 +44,13 @@ import (
 // scenario encoding. Generation 3: the canonical encoding orders cores
 // canonically, so per-core permutations of one scenario share one key
 // — records written under order-sensitive keys must not linger as
-// unreachable (or, worse, colliding) debris.
-const FormatVersion = 3
+// unreachable (or, worse, colliding) debris. Generation 4: configs
+// carry an optional Sampling block and results an optional Sampled
+// summary; exact-run encodings are byte-identical (both fields omit
+// when nil), but a store written by a sampling-aware build must not be
+// read by an older binary that would silently drop the block from
+// round-tripped records.
+const FormatVersion = 4
 
 const (
 	versionFile = "VERSION"

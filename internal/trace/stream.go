@@ -25,9 +25,13 @@ type Stream struct {
 }
 
 // NewStream validates the whole trace (header and every record) and
-// returns a stream positioned at the first block. A trace with no
-// blocks cannot loop and is rejected.
+// returns a stream positioned at the first block. The source is seeked
+// to its start first, so a reader a previous consumer left mid-trace
+// is fine. A trace with no blocks cannot loop and is rejected.
 func NewStream(src io.ReadSeeker) (*Stream, error) {
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("trace: seek to start: %w", err)
+	}
 	r, err := NewReader(src)
 	if err != nil {
 		return nil, err

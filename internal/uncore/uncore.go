@@ -542,6 +542,56 @@ func (h *Hierarchy) NextArrival() uint64 { return h.nextReady }
 // flight.
 const NoArrival = noInflight
 
+// WarmFetch is the functional-warming counterpart of FetchBlock: it
+// updates cache contents (L1-I presence/LRU, prefetch-buffer promotion,
+// LLC occupancy under this core's ASID) exactly as a demand fetch would,
+// but charges no time — no mesh traversal, no in-flight tracking, no
+// stats. Sampling's fast-forward path uses it to keep microarchitectural
+// cache state warm between detailed units without paying the timed
+// model.
+// WarmLLC touches only the shared LLC for one fetched block — the
+// skim-mode fast-forward's warming. The LLC is the one structure whose
+// content cannot be rebuilt inside a bounded functional-warming window
+// (its block capacity exceeds any affordable window), so a skimmed gap
+// keeps it tracking the stream while every small structure (L1s, BTBs,
+// predictor) is left to the window to repair.
+func (h *Hierarchy) WarmLLC(addr isa.Addr) {
+	tagged := h.asid | addr.Block()
+	if !h.LLC.Access(tagged) {
+		h.LLC.Insert(tagged)
+	}
+}
+
+func (h *Hierarchy) WarmFetch(addr isa.Addr) {
+	block := addr.Block()
+	if h.L1I.Access(block) {
+		return
+	}
+	if h.PrefBuf.Take(block) {
+		h.L1I.Insert(block)
+		return
+	}
+	tagged := h.asid | block
+	if !h.LLC.Access(tagged) {
+		h.LLC.Insert(tagged)
+	}
+	h.L1I.Insert(block)
+}
+
+// WarmData is WarmFetch for the data side: L1-D and LLC contents move as
+// under DataAccess, with no timing, traffic, or stats.
+func (h *Hierarchy) WarmData(addr isa.Addr) {
+	block := addr.Block()
+	if h.L1D.Access(block) {
+		return
+	}
+	tagged := h.asid | block
+	if !h.LLC.Access(tagged) {
+		h.LLC.Insert(tagged)
+	}
+	h.L1D.Insert(block)
+}
+
 // DataAccess is a load/store to the data side. It returns the cycle the
 // data is available and whether the L1-D hit. Misses traverse the mesh to
 // the LLC (sharing bandwidth with instruction prefetches — the coupling
