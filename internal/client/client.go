@@ -139,6 +139,17 @@ func (c *Client) Heartbeat(ctx context.Context, worker string, keys []string) ([
 	return out.Lost, err
 }
 
+// Register announces worker — and the leases it currently holds — to a
+// coordinator, returning the lease TTL now in force and the keys the
+// coordinator refused to adopt. Workers call it when failing over to a
+// standby so in-flight work survives the takeover without being
+// re-leased to someone else.
+func (c *Client) Register(ctx context.Context, worker string, jobs []LeasedJob) (time.Duration, []string, error) {
+	var out RegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/register", RegisterRequest{Worker: worker, Jobs: jobs}, &out)
+	return time.Duration(out.TTLMillis) * time.Millisecond, out.Lost, err
+}
+
 // Complete pushes one finished job (or its failure message) back to
 // the coordinator, reporting whether this push finished the job.
 func (c *Client) Complete(ctx context.Context, worker, key string, res sim.ScenarioResult, errMsg string) (bool, error) {
@@ -259,9 +270,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 func decodeError(resp *http.Response, path string) error {
 	ae := &APIError{Status: resp.StatusCode, Path: path}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
+		ae.RetryAfter = parseRetryAfter(ra, time.Now())
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
 	var env ErrorEnvelope
@@ -271,6 +280,26 @@ func decodeError(resp *http.Response, path string) error {
 	}
 	ae.Message = string(bytes.TrimSpace(raw))
 	return ae
+}
+
+// parseRetryAfter parses a Retry-After header value, which RFC 9110
+// allows in two forms: delay-seconds ("120") and HTTP-date ("Fri, 07
+// Aug 2026 09:00:00 GMT"). The date form yields the delay until that
+// instant relative to now. Unparseable or non-positive values return 0
+// — the caller falls back to its own backoff.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if at, err := http.ParseTime(ra); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // WriteJSON writes a 200 JSON response the way every v1 handler does

@@ -257,3 +257,50 @@ func TestRetryableCodeTable(t *testing.T) {
 		}
 	}
 }
+
+// TestParseRetryAfterBothForms is the regression test for the header
+// parser accepting only delay-seconds: RFC 9110 also allows the
+// HTTP-date form, which used to fall back silently to the default
+// backoff.
+func TestParseRetryAfterBothForms(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // date in the past
+		{"soon", 0}, // garbage falls back to default backoff
+		{"", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateHeader drives the date form through a real
+// response: the decoded APIError carries the delay until the date.
+func TestRetryAfterHTTPDateHeader(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		WriteError(w, http.StatusServiceUnavailable, CodeOverloaded, "shedding load")
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts(WithRetries(0))...)
+	_, err := c.Version(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	// Allow scheduling slack between the header being stamped and the
+	// client parsing it.
+	if ae.RetryAfter <= 20*time.Second || ae.RetryAfter > 30*time.Second {
+		t.Errorf("RetryAfter = %v, want ~30s from an HTTP-date header", ae.RetryAfter)
+	}
+}

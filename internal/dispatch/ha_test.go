@@ -1,0 +1,134 @@
+// Coordinator HA acceptance: a primary and a warm-standby coordinator
+// share one result store; the primary is killed mid-sweep and the
+// standby must finish the batch from store state plus worker
+// re-registration — with every scenario simulated exactly once.
+package dispatch_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"shotgun/internal/dispatch"
+	"shotgun/internal/harness"
+	"shotgun/internal/sim"
+	"shotgun/internal/store"
+)
+
+// startWorkerHA runs a Worker that knows the whole coordinator fleet
+// and fails over on its own when the active one dies.
+func startWorkerHA(t *testing.T, urls []string, id string, ctx context.Context, onLease func([]string)) chan struct{} {
+	t.Helper()
+	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Coordinators: urls,
+		ID:           id,
+		Runner:       harness.NewRunnerWorkers(clusterScale(), 1),
+		Poll:         10 * time.Millisecond,
+		OnLease:      onLease,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	return done
+}
+
+// TestClusterCoordinatorHAFailover is the standby-takeover acceptance
+// test. A sweep is submitted to the primary and resubmitted to the
+// standby (the operator's recovery move — the store dedups everything
+// already finished, the lease table dedups everything in flight). The
+// worker leases its first job from the primary, which dies before the
+// simulation starts. The worker must fail over: it registers its
+// in-flight lease with the standby — flipping it active and adopting
+// the lease rather than twinning the resubmitted copy — and the sweep
+// completes with exactly one store put per unique key.
+func TestClusterCoordinatorHAFailover(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeTime{t: time.Unix(1_700_000_000, 0)}
+	prim := newClusterNode(t, st, clk, false)
+	stby := newClusterNode(t, st, clk, true)
+	if got := stby.coord.Stats().Role; got != "standby" {
+		t.Fatalf("standby role before takeover = %q, want standby", got)
+	}
+	if got := prim.coord.Stats().Role; got != "active" {
+		t.Fatalf("primary role = %q, want active", got)
+	}
+
+	scs := []sim.Scenario{
+		sim.SingleCore(sim.Config{Workload: "Nutch", Mechanism: sim.None}),
+		sim.SingleCore(sim.Config{Workload: "Oracle", Mechanism: sim.FDIP}),
+		sim.SingleCore(sim.Config{Workload: "Streaming", Mechanism: sim.None}),
+	}
+	keys := submitScenarios(t, prim.ts.URL, scs)
+	// Resubmit to the standby before anything runs: its table holds the
+	// whole sweep as pending, and submissions alone must not flip it
+	// active (only worker traffic is a takeover signal).
+	keys2 := submitScenarios(t, stby.ts.URL, scs)
+	for i := range keys {
+		if keys[i] != keys2[i] {
+			t.Fatalf("key %d drifted across coordinators: %s vs %s", i, keys[i], keys2[i])
+		}
+	}
+	if got := stby.coord.Stats().Role; got != "standby" {
+		t.Fatalf("resubmission flipped the standby active (role %q)", got)
+	}
+
+	// One worker, fleet-aware. Its first lease comes from the primary;
+	// the kill fires from inside the lease callback, before the
+	// simulation starts, so the job is in flight with no live owner.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var killOnce sync.Once
+	var killedKey string
+	wdone := startWorkerHA(t, []string{prim.ts.URL, stby.ts.URL}, "w1", ctx, func(leased []string) {
+		killOnce.Do(func() {
+			killedKey = leased[0]
+			prim.ts.Close()
+		})
+	})
+
+	// The whole sweep — including the job leased from the dead primary
+	// — must complete against the standby.
+	for _, key := range keys {
+		waitDone(t, stby.ts.URL, key)
+	}
+	cancel()
+	select {
+	case <-wdone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not exit")
+	}
+	if killedKey == "" {
+		t.Fatal("worker never leased from the primary")
+	}
+
+	// Exactly-once: one store put per unique key, despite the job that
+	// was in flight when its coordinator died.
+	if puts := st.Stats().Puts; puts != uint64(len(keys)) {
+		t.Fatalf("store puts = %d, want %d (a scenario was simulated twice or lost)", puts, len(keys))
+	}
+	cs := stby.coord.Stats()
+	if cs.Role != "active" {
+		t.Fatalf("standby never took over: role %q", cs.Role)
+	}
+	if cs.Adopted != 1 {
+		t.Fatalf("adopted leases = %d, want 1 (the job in flight at the kill): %+v", cs.Adopted, cs)
+	}
+	if cs.Completed != uint64(len(keys)) {
+		t.Fatalf("standby completed = %d, want %d: %+v", cs.Completed, len(keys), cs)
+	}
+	// The adopted job was never re-leased — only the two jobs the
+	// primary hadn't granted yet went through the standby's Lease path.
+	if cs.Leased != uint64(len(keys)-1) {
+		t.Fatalf("standby leased = %d, want %d: %+v", cs.Leased, len(keys)-1, cs)
+	}
+}

@@ -1,0 +1,242 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"shotgun/internal/store"
+)
+
+// TestReaperRequeuesWithoutTraffic is the regression test for lazy
+// lease reaping: before the periodic reaper, an expired lease sat dead
+// until the next worker poll touched the table — a quiet cluster never
+// requeued anything. Here NO table entry point runs after expiry
+// (Stats deliberately does not reap), so only the background ticker
+// can flip the Requeued counter.
+func TestReaperRequeuesWithoutTraffic(t *testing.T) {
+	clk := newFakeClock()
+	sink := newRecSink()
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:  time.Minute,
+		Sink:      sink,
+		Now:       clk.Now,
+		ReapEvery: time.Millisecond,
+	})
+	defer c.Stop(true)
+	if err := c.Enqueue("k1", scenarioOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := c.Lease("w", 1); len(jobs) != 1 {
+		t.Fatalf("lease = %+v", jobs)
+	}
+	clk.Advance(2 * time.Minute)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Requeued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reaper never requeued the expired lease without worker traffic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sink.mu.Lock()
+	requeued := append([]string(nil), sink.requeued...)
+	sink.mu.Unlock()
+	if len(requeued) != 1 || requeued[0] != "k1" {
+		t.Fatalf("sink requeues = %v", requeued)
+	}
+	// The job is back in the queue, leaseable again.
+	if jobs, _ := c.Lease("w2", 1); len(jobs) != 1 || jobs[0].Key != "k1" {
+		t.Fatalf("requeued job not re-granted: %+v", jobs)
+	}
+}
+
+// TestReaperDisabled: a negative ReapEvery turns the ticker off and
+// expiry falls back to the lazy path (reaped on the next table touch).
+func TestReaperDisabled(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newTestCoordinator(t, clk, nil, 0, 0)
+	defer c.Stop(true)
+	if err := c.Enqueue("k1", scenarioOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Lease("w", 1)
+	clk.Advance(2 * time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Stats().Requeued; got != 0 {
+		t.Fatalf("requeued = %d with reaper disabled and no traffic", got)
+	}
+	// The next worker poll still reaps.
+	if jobs, _ := c.Lease("w2", 1); len(jobs) != 1 || jobs[0].Key != "k1" {
+		t.Fatalf("lazy reap on poll broken: %+v", jobs)
+	}
+}
+
+// TestRegisterWorkerAdoptsInFlight: a worker failing over presents a
+// lease the coordinator has never seen; the coordinator adopts it so
+// the worker keeps its work and a later resubmission dedups onto it.
+func TestRegisterWorkerAdoptsInFlight(t *testing.T) {
+	clk := newFakeClock()
+	c, sink := newTestCoordinator(t, clk, nil, 0, 0)
+	defer c.Stop(true)
+	sc := scenarioOf(1)
+	key := store.ScenarioKey(sc)
+
+	lost := c.RegisterWorker("w1", []LeasedJob{{Key: key, Scenario: sc}})
+	if len(lost) != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	s := c.Stats()
+	if s.Adopted != 1 || s.InFlight != 1 || s.Leased != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The adopted lease is owned: nobody else can lease the key, and a
+	// resubmitted sweep enqueue is a dedup no-op.
+	if jobs, _ := c.Lease("w2", 4); len(jobs) != 0 {
+		t.Fatalf("adopted lease double-granted: %+v", jobs)
+	}
+	if err := c.Enqueue(key, sc); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := c.Lease("w2", 4); len(jobs) != 0 {
+		t.Fatalf("resubmission twinned the adopted lease: %+v", jobs)
+	}
+	// The adopting worker completes it like any other lease.
+	if ok, err := c.Complete("w1", key, resultOf(sc), ""); err != nil || !ok {
+		t.Fatalf("complete = %v, %v", ok, err)
+	}
+	if done := sink.doneKeys(); len(done) != 1 || done[0] != key {
+		t.Fatalf("sink done = %v", done)
+	}
+}
+
+// TestRegisterWorkerRenewsOwnLease: re-registering a lease the worker
+// already holds is a renewal, not an adoption.
+func TestRegisterWorkerRenewsOwnLease(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newTestCoordinator(t, clk, nil, 0, 0)
+	defer c.Stop(true)
+	sc := scenarioOf(1)
+	key := store.ScenarioKey(sc)
+	if err := c.Enqueue(key, sc); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := c.Lease("w1", 1)
+	if len(jobs) != 1 {
+		t.Fatalf("lease = %+v", jobs)
+	}
+
+	clk.Advance(40 * time.Second)
+	if lost := c.RegisterWorker("w1", jobs); len(lost) != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if s := c.Stats(); s.Adopted != 0 {
+		t.Fatalf("renewal counted as adoption: %+v", s)
+	}
+	// The registration reset the clock: 80s after the original grant
+	// (but only 40s after the renewal) the lease is still live.
+	clk.Advance(40 * time.Second)
+	c.Reap()
+	if s := c.Stats(); s.Requeued != 0 {
+		t.Fatalf("renewed lease expired: %+v", s)
+	}
+}
+
+// TestRegisterWorkerRefusals: everything the handshake must NOT adopt
+// — keys already finished in the store, keys owned by a live worker,
+// and keys that do not address the scenario the worker claims.
+func TestRegisterWorkerRefusals(t *testing.T) {
+	clk := newFakeClock()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := newTestCoordinator(t, clk, st, 0, 0)
+	defer c.Stop(true)
+
+	scDone := scenarioOf(1)
+	keyDone := store.ScenarioKey(scDone)
+	if err := st.PutScenario(scDone, resultOf(scDone)); err != nil {
+		t.Fatal(err)
+	}
+	scLive := scenarioOf(2)
+	keyLive := store.ScenarioKey(scLive)
+	if err := c.Enqueue(keyLive, scLive); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := c.Lease("owner", 1); len(jobs) != 1 {
+		t.Fatalf("setup lease = %+v", jobs)
+	}
+	scBad := scenarioOf(3)
+
+	lost := c.RegisterWorker("w1", []LeasedJob{
+		{Key: keyDone, Scenario: scDone},      // finished before the failover
+		{Key: keyLive, Scenario: scLive},      // live owner elsewhere
+		{Key: "not-the-key", Scenario: scBad}, // key does not address the scenario
+		{Key: "", Scenario: scBad},            // no key at all
+	})
+	if len(lost) != 4 {
+		t.Fatalf("lost = %v, want all 4 refused", lost)
+	}
+	refused := map[string]bool{}
+	for _, k := range lost {
+		refused[k] = true
+	}
+	for _, k := range []string{keyDone, keyLive, "not-the-key", ""} {
+		if !refused[k] {
+			t.Fatalf("key %q not refused: %v", k, lost)
+		}
+	}
+	if s := c.Stats(); s.Adopted != 0 {
+		t.Fatalf("refused jobs counted as adopted: %+v", s)
+	}
+	// The live owner kept its lease.
+	if jobs, _ := c.Lease("w1", 4); len(jobs) != 0 {
+		t.Fatalf("owner's lease stolen: %+v", jobs)
+	}
+}
+
+// TestStandbyActivatesOnWorkerContact: a standby stays standby through
+// submissions and flips active on the first worker handshake, adopting
+// a resubmitted pending task instead of twinning it.
+func TestStandbyActivatesOnWorkerContact(t *testing.T) {
+	clk := newFakeClock()
+	sink := newRecSink()
+	c := NewCoordinator(CoordinatorConfig{
+		LeaseTTL:  time.Minute,
+		Sink:      sink,
+		Now:       clk.Now,
+		Standby:   true,
+		ReapEvery: -1,
+	})
+	defer c.Stop(true)
+	sc := scenarioOf(1)
+	key := store.ScenarioKey(sc)
+
+	if got := c.Stats().Role; got != "standby" {
+		t.Fatalf("role = %q, want standby", got)
+	}
+	// The sweep is resubmitted before the worker makes contact: the key
+	// sits pending, and the standby is still a standby.
+	if err := c.Enqueue(key, sc); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Role; got != "standby" {
+		t.Fatalf("enqueue flipped the standby active (role %q)", got)
+	}
+
+	lost := c.RegisterWorker("w1", []LeasedJob{{Key: key, Scenario: sc}})
+	if len(lost) != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	s := c.Stats()
+	if s.Role != "active" {
+		t.Fatalf("worker contact did not activate the standby: %+v", s)
+	}
+	if s.Adopted != 1 || s.InFlight != 1 {
+		t.Fatalf("pending task not adopted: %+v", s)
+	}
+	// Adopted FROM pending, not duplicated: the queue is empty now.
+	if jobs, _ := c.Lease("w2", 4); len(jobs) != 0 {
+		t.Fatalf("pending twin leased: %+v", jobs)
+	}
+}

@@ -95,8 +95,9 @@ type Config struct {
 	// Workers sizes the simulation pool (values below 1 mean 1).
 	Workers int
 	// Store, when non-nil, persists results across restarts and is
-	// consulted before simulating.
-	Store *store.Store
+	// consulted before simulating. Any store.Backend works: the local
+	// on-disk store, or the sharded replicated one (-store-shards).
+	Store store.Backend
 	// QueueDepth bounds the inner executor's backlog (default 4096).
 	QueueDepth int
 	// MaxQueue bounds jobs waiting in the fair-share queue across all
@@ -215,7 +216,7 @@ func (j *job) scenarioSnapshot() ScenarioStatus {
 // Server is the HTTP simulation service.
 type Server struct {
 	runner       *harness.Runner
-	st           *store.Store
+	st           store.Backend
 	scale        harness.Scale
 	scaleName    string
 	maxBatch     int
@@ -271,6 +272,9 @@ func New(cfg Config) *Server {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	runner := harness.NewRunnerWorkers(cfg.Scale, workers)
+	if !store.Real(cfg.Store) {
+		cfg.Store = nil // typed-nil normalization; see store.Real
+	}
 	if cfg.Store != nil {
 		runner.SetStore(cfg.Store)
 	}

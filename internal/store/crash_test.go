@@ -1,0 +1,195 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"shotgun/internal/sim"
+)
+
+// TestPruneKeepsRecentlyRead is the regression test for the eviction
+// bug where Prune ordered by write time while reads never touched the
+// file: a hot, frequently-read record written long ago was evicted
+// before a cold one written later. A hit now bumps the record's mtime,
+// so eviction order is by last access — the freshly-read OLD record
+// must survive a prune that evicts the unread NEWER one.
+func TestPruneKeepsRecentlyRead(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := testConfig("Oracle"), testConfig("DB2")
+	if err := s.Put(hot, fakeResult("Oracle", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(cold, fakeResult("DB2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate both so the write order is unambiguous: hot written long
+	// before cold.
+	for i, cfg := range []sim.Config{hot, cold} {
+		mt := time.Unix(1_700_000_000+int64(i)*1000, 0)
+		if err := os.Chtimes(s.recordPath(Key(cfg)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read the old record; the hit must reorder eviction.
+	if _, ok := s.Get(hot); !ok {
+		t.Fatal("hot record missing before prune")
+	}
+
+	info, err := os.Stat(s.recordPath(Key(hot)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := s.Prune(info.Size() + 1) // room for the newest-by-access record only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d records, want 1", dropped)
+	}
+	if _, ok := s.Get(hot); !ok {
+		t.Fatal("freshly-read old record was evicted (last-access ordering regressed to last-write)")
+	}
+	if _, ok := s.Get(cold); ok {
+		t.Fatal("unread newer record survived ahead of the freshly-read one")
+	}
+}
+
+// TestCrashBetweenRecordAndIndex simulates the put-path crash window:
+// the record file has landed (atomic rename) but the process dies
+// before writeIndexLocked. Open's reconciliation must validate the
+// orphan and serve it — the records directory, not the index, is the
+// source of truth.
+func TestCrashBetweenRecordAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A normally-indexed record, so index.json exists and is non-empty.
+	if err := s.Put(testConfig("Oracle"), fakeResult("Oracle", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" mid-put of a second record: write exactly the bytes
+	// putRecord would have written, then never touch the index.
+	orphan := sim.SingleCore(testConfig("DB2"))
+	rec, err := NewRecord(orphan, sim.ScenarioResult{Cores: []sim.Result{fakeResult("DB2", 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(s.recordPath(rec.Key), append(raw, '\n')); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next process Opens the same directory and recovers the orphan.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reconciled index has %d records, want 2", s2.Len())
+	}
+	got, ok := s2.GetScenario(orphan)
+	if !ok {
+		t.Fatal("crash-orphaned record not recovered by Open")
+	}
+	if got.Cores[0] != fakeResult("DB2", 2) {
+		t.Fatalf("recovered record corrupted: %+v", got.Cores[0])
+	}
+	if e, ok := s2.Entries()[rec.Key]; !ok || e.Workload != "DB2" {
+		t.Fatalf("orphan missing from reconciled index: %+v", e)
+	}
+
+	// The mirror-image crash — index entry present, record file gone —
+	// reconciles the other way: the entry is dropped, not served.
+	if err := os.Remove(s2.recordPath(rec.Key)); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 1 {
+		t.Fatalf("index kept a fileless entry: %d records", s3.Len())
+	}
+	if _, ok := s3.GetScenario(orphan); ok {
+		t.Fatal("fileless index entry served a hit")
+	}
+}
+
+// TestConcurrentPutPruneGet hammers Put, Prune, and Get together under
+// -race: pruning must never tear a read, corrupt a surviving record,
+// or wedge the index. (TestConcurrentReadWrite covers put/get; this
+// adds the eviction writer.)
+func TestConcurrentPutPruneGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []string{"Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2"}
+	const rounds = 30
+	var wg sync.WaitGroup
+	for _, wl := range workloads {
+		wl := wl
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := s.Put(testConfig(wl), fakeResult(wl, uint64(1000+i))); err != nil {
+					t.Errorf("put %s: %v", wl, err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if res, ok := s.Get(testConfig(wl)); ok {
+					if res.Workload != wl || res.Core.Instructions < 1000 {
+						t.Errorf("torn read for %s: %+v", wl, res)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // the evictor: alternates starvation and plenty
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			budget := int64(1 << 30)
+			if i%2 == 1 {
+				budget = 600 // roughly one record
+			}
+			if _, err := s.Prune(budget); err != nil {
+				t.Errorf("prune: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Whatever survived must be intact, and a fresh Open must agree
+	// with the in-memory index.
+	if st := s.Stats(); st.CorruptDropped != 0 {
+		t.Fatalf("corruption under concurrency: %+v", st)
+	}
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("reopened store has %d records, in-memory index %d", s2.Len(), s.Len())
+	}
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is how many virtual points each shard contributes to
+// the ring. 128 keeps the per-shard load spread within a few percent
+// and the add-a-shard key movement close to the ideal 1/N while the
+// whole ring still fits in a few KB.
+const defaultVnodes = 128
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned
+// by a shard.
+type ringPoint struct {
+	pos   uint64
+	shard int // index into Ring.shards
+}
+
+// Ring is a consistent-hash ring over the SHA-256 scenario-key space.
+// Shards are identified by opaque names (the sharded backend uses
+// their base URLs); every key maps to the first point clockwise from
+// its hash, and a record replicated K ways lives on the K distinct
+// shards that follow. Adding a shard moves only the keys whose arc the
+// new shard's points capture — about 1/N of the space — which is the
+// property that makes shard-set growth cheap (asserted by FuzzRing and
+// TestRingRebalanceBound).
+//
+// The ring is immutable after construction except through Add; it is
+// not safe for concurrent mutation (the sharded backend builds it once
+// at Open and never mutates — shard *health* is dynamic, membership is
+// not).
+type Ring struct {
+	vnodes int
+	shards []string
+	points []ringPoint // sorted by pos
+}
+
+// NewRing builds an empty ring with vnodes virtual points per shard
+// (values below 1 mean defaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// ringHash positions an arbitrary string on the ring: the first 8
+// bytes of its SHA-256. Scenario keys are already SHA-256 hex, but the
+// ring must place ANY string (hostile poll keys reach it too), so it
+// hashes uniformly instead of trusting the input's format.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a shard's virtual points. Adding the same name twice is
+// an error — two point sets for one shard would double its share.
+func (r *Ring) Add(name string) error {
+	for _, s := range r.shards {
+		if s == name {
+			return fmt.Errorf("store: ring already has shard %q", name)
+		}
+	}
+	idx := len(r.shards)
+	r.shards = append(r.shards, name)
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{
+			pos:   ringHash(fmt.Sprintf("%s#%d", name, v)),
+			shard: idx,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Position ties (astronomically rare but fuzz-reachable with
+		// crafted names) break by shard index so ownership stays
+		// deterministic across identically built rings.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return nil
+}
+
+// Shards returns the shard names in insertion order.
+func (r *Ring) Shards() []string {
+	out := make([]string, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// Successors returns the k distinct shards owning key, clockwise from
+// its ring position — the replica set for a record. k is clamped to
+// [1, len(shards)]; an empty ring returns nil.
+func (r *Ring) Successors(key string, k int) []string {
+	n := len(r.shards)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	pos := ringHash(key)
+	// First point at or after pos, wrapping.
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	seen := make(map[int]bool, k)
+	out := make([]string, 0, k)
+	for i := 0; i < len(r.points) && len(out) < k; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		out = append(out, r.shards[p.shard])
+	}
+	return out
+}
+
+// Primary returns the first successor — the shard that owns the key's
+// canonical copy.
+func (r *Ring) Primary(key string) string {
+	s := r.Successors(key, 1)
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0]
+}

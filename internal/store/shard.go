@@ -1,0 +1,232 @@
+package store
+
+// The shard wire protocol: one *Store served over HTTP so a front-end
+// (or a peer re-replicating) can read and write records by content
+// key. A shard node is `shotgun-server -shard -store <dir>`; the
+// sharded backend (sharded.go) speaks this protocol to N of them.
+//
+//	GET  /shard/v1/records/{key}   one full Record (404: not held here)
+//	PUT  /shard/v1/records/{key}   store a Record (validated before landing)
+//	GET  /shard/v1/keys            {"keys":[...]} — every key this shard holds
+//	GET  /shard/v1/stats           the shard store's Stats
+//	GET  /shard/v1/healthz         liveness ("ok")
+//
+// Records are validated on PUT exactly like local puts (generation,
+// shape, key-matches-scenario), so a compromised or confused peer
+// cannot poison a shard under someone else's address. Errors use the
+// same JSON envelope as every other surface in the repo.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"shotgun/internal/client"
+)
+
+// maxShardBody bounds a PUT record body; the largest legitimate record
+// (a MaxCores scenario with sampled results) fits comfortably.
+const maxShardBody = 8 << 20
+
+// ShardServer serves one local Store over the shard wire protocol.
+type ShardServer struct {
+	st *Store
+}
+
+// NewShardServer wraps a store for serving.
+func NewShardServer(st *Store) *ShardServer { return &ShardServer{st: st} }
+
+// Register mounts the shard routes on mux.
+func (s *ShardServer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /shard/v1/records/{key}", s.handleGet)
+	mux.HandleFunc("PUT /shard/v1/records/{key}", s.handlePut)
+	mux.HandleFunc("GET /shard/v1/keys", s.handleKeys)
+	mux.HandleFunc("GET /shard/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /shard/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+func (s *ShardServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	rec, ok := s.st.GetKey(key)
+	if !ok {
+		client.WriteError(w, http.StatusNotFound, client.CodeNotFound, "shard holds no record %q", key)
+		return
+	}
+	client.WriteJSON(w, rec)
+}
+
+func (s *ShardServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	r.Body = http.MaxBytesReader(w, r.Body, maxShardBody)
+	var rec Record
+	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "decode record: %v", err)
+		return
+	}
+	if rec.Key != key {
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest,
+			"record key %q does not match path key %q", rec.Key, key)
+		return
+	}
+	if err := s.st.PutRecord(rec); err != nil {
+		client.WriteError(w, http.StatusBadRequest, client.CodeInvalidRequest, "%v", err)
+		return
+	}
+	client.WriteJSON(w, map[string]bool{"stored": true})
+}
+
+// shardKeysResponse is GET /shard/v1/keys' body.
+type shardKeysResponse struct {
+	Keys []string `json:"keys"`
+}
+
+func (s *ShardServer) handleKeys(w http.ResponseWriter, _ *http.Request) {
+	client.WriteJSON(w, shardKeysResponse{Keys: s.st.Keys()})
+}
+
+func (s *ShardServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	client.WriteJSON(w, s.st.Stats())
+}
+
+// ---------------------------------------------------------------------
+// Remote side: the client one Sharded backend holds per shard.
+// ---------------------------------------------------------------------
+
+// remoteShard speaks the shard protocol to one shard node.
+type remoteShard struct {
+	base string // e.g. "http://shard0:9090", no trailing slash
+	hc   *http.Client
+}
+
+// getRecord fetches one record. The bool distinguishes a clean miss
+// (404 — the shard is healthy, it just doesn't hold the key) from an
+// error (the shard is unreachable or misbehaving).
+func (r *remoteShard) getRecord(ctx context.Context, key string) (Record, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/shard/v1/records/"+key, nil)
+	if err != nil {
+		return Record{}, false, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return Record{}, false, err
+	}
+	defer drain(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return Record{}, false, nil
+	case resp.StatusCode != http.StatusOK:
+		return Record{}, false, fmt.Errorf("store: shard %s: status %d", r.base, resp.StatusCode)
+	}
+	var rec Record
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxShardBody)).Decode(&rec); err != nil {
+		return Record{}, false, fmt.Errorf("store: shard %s: decode record: %w", r.base, err)
+	}
+	if rec.Key != key || !validRecord(rec) {
+		return Record{}, false, fmt.Errorf("store: shard %s served an invalid record for %q", r.base, key)
+	}
+	return rec, true, nil
+}
+
+// putRecord replicates one record onto the shard.
+func (r *remoteShard) putRecord(ctx context.Context, rec Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal record: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		r.base+"/shard/v1/records/"+rec.Key, bytesReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: shard %s: put %q: status %d", r.base, rec.Key, resp.StatusCode)
+	}
+	return nil
+}
+
+// keys lists every key the shard holds.
+func (r *remoteShard) keys(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/shard/v1/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: shard %s: keys: status %d", r.base, resp.StatusCode)
+	}
+	var out shardKeysResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("store: shard %s: decode keys: %w", r.base, err)
+	}
+	return out.Keys, nil
+}
+
+// stats fetches the shard store's counters.
+func (r *remoteShard) stats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/shard/v1/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("store: shard %s: stats: status %d", r.base, resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("store: shard %s: decode stats: %w", r.base, err)
+	}
+	return st, nil
+}
+
+// healthy probes /shard/v1/healthz.
+func (r *remoteShard) healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/shard/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer drain(resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// drain discards and closes a response body so the transport can reuse
+// the connection.
+func drain(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, maxShardBody))
+	rc.Close()
+}
+
+// bytesReader avoids importing bytes for one call site.
+func bytesReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,378 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shotgun/internal/sim"
+)
+
+// defaultShardTimeout bounds one shard round-trip. Records are small
+// (a few KB) and shards are LAN peers; a shard that cannot answer in
+// five seconds is treated as down and the next replica is tried.
+const defaultShardTimeout = 5 * time.Second
+
+// ShardedConfig configures a sharded store backend.
+type ShardedConfig struct {
+	// Shards are the shard base URLs (e.g. "http://shard0:9090"), the
+	// identities hashed onto the ring. Order does not affect placement.
+	Shards []string
+	// Replication is K: every record is written to the K distinct ring
+	// successors of its key. Clamped to [1, len(Shards)].
+	Replication int
+	// Vnodes overrides the virtual points per shard (0 = default).
+	Vnodes int
+	// Client overrides the HTTP client (nil = 5s-timeout default).
+	Client *http.Client
+	// RepairInterval, when positive, starts a background loop that
+	// probes shard health and re-replicates under-replicated records
+	// when a shard rejoins. Zero disables the loop (tests drive
+	// Rereplicate directly).
+	RepairInterval time.Duration
+	// Logf receives health transitions and repair summaries (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// shardRef is one shard's runtime state: its wire client plus a health
+// flag flipped down on request failure and up on probe/request success.
+type shardRef struct {
+	name string
+	rs   *remoteShard
+	up   atomic.Bool
+}
+
+// Sharded is the replicated store Backend: a consistent-hash ring over
+// the scenario-key space routing every record to K shard replicas over
+// HTTP. Reads fall through the replica list (a down shard costs one
+// failed round-trip, then is skipped until a probe revives it); writes
+// land on every reachable successor and succeed if at least one copy
+// lands — re-replication restores the factor when the rest return.
+type Sharded struct {
+	ring   *Ring
+	k      int
+	shards map[string]*shardRef
+	logf   func(format string, args ...any)
+
+	hits, misses, puts, putErrors atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// OpenSharded builds a sharded backend over the configured shard set.
+// It does not require the shards to be reachable yet — each starts
+// optimistically "up" and demotes itself on first failure.
+func OpenSharded(cfg ShardedConfig) (*Sharded, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("store: sharded backend needs at least one shard")
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: defaultShardTimeout}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Sharded{
+		ring:   NewRing(cfg.Vnodes),
+		k:      cfg.Replication,
+		shards: make(map[string]*shardRef, len(cfg.Shards)),
+		logf:   logf,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, raw := range cfg.Shards {
+		name := normalizeShardURL(raw)
+		if err := s.ring.Add(name); err != nil {
+			return nil, err
+		}
+		ref := &shardRef{name: name, rs: &remoteShard{base: name, hc: hc}}
+		ref.up.Store(true)
+		s.shards[name] = ref
+	}
+	if s.k < 1 {
+		s.k = 1
+	}
+	if s.k > len(s.shards) {
+		s.k = len(s.shards)
+	}
+	if cfg.RepairInterval > 0 {
+		go s.repairLoop(cfg.RepairInterval)
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// normalizeShardURL trims the trailing slash so "http://s/" and
+// "http://s" hash to one ring identity.
+func normalizeShardURL(u string) string {
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// Close stops the background repair loop (if any) and waits for it.
+func (s *Sharded) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Replication returns the effective replication factor K.
+func (s *Sharded) Replication() int { return s.k }
+
+// replicas returns the shard refs owning key, in ring order.
+func (s *Sharded) replicas(key string) []*shardRef {
+	names := s.ring.Successors(key, s.k)
+	out := make([]*shardRef, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.shards[n])
+	}
+	return out
+}
+
+// markDown demotes a shard after a failed request, logging the
+// transition once.
+func (s *Sharded) markDown(ref *shardRef, err error) {
+	if ref.up.Swap(false) {
+		s.logf("store: shard %s down: %v", ref.name, err)
+	}
+}
+
+// markUp promotes a shard after a successful round-trip, logging the
+// transition once and reporting whether this call flipped it.
+func (s *Sharded) markUp(ref *shardRef) bool {
+	if !ref.up.Swap(true) {
+		s.logf("store: shard %s up", ref.name)
+		return true
+	}
+	return false
+}
+
+// GetKey reads the record under key from its replica set, nearest ring
+// successor first. Shards marked down are deferred to a second pass —
+// they cost a round-trip only when every healthy replica missed.
+func (s *Sharded) GetKey(key string) (Record, bool) {
+	ctx := context.Background()
+	reps := s.replicas(key)
+	for _, pass := range []bool{true, false} {
+		for _, ref := range reps {
+			if ref.up.Load() != pass {
+				continue
+			}
+			rec, ok, err := ref.rs.getRecord(ctx, key)
+			if err != nil {
+				s.markDown(ref, err)
+				continue
+			}
+			s.markUp(ref)
+			if ok {
+				s.hits.Add(1)
+				return rec, true
+			}
+		}
+	}
+	s.misses.Add(1)
+	return Record{}, false
+}
+
+// GetScenario returns the stored result for a scenario, mapped to the
+// caller's core order — the same identity contract as *Store.
+func (s *Sharded) GetScenario(sc sim.Scenario) (sim.ScenarioResult, bool) {
+	norm, perm := sc.NormalizedPerm()
+	rec, ok := s.GetKey(ScenarioKey(norm))
+	if !ok {
+		return sim.ScenarioResult{}, false
+	}
+	return rec.Result.Reorder(perm), true
+}
+
+// PutScenario canonicalizes the result into a record and writes it to
+// every successor in the key's replica set. One landed copy is enough
+// to succeed (the repair loop restores the factor later); zero copies
+// is an error — the result would otherwise silently evaporate.
+func (s *Sharded) PutScenario(sc sim.Scenario, res sim.ScenarioResult) error {
+	rec, err := NewRecord(sc, res)
+	if err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	ctx := context.Background()
+	landed := 0
+	var firstErr error
+	for _, ref := range s.replicas(rec.Key) {
+		if err := ref.rs.putRecord(ctx, rec); err != nil {
+			s.markDown(ref, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.markUp(ref)
+		landed++
+	}
+	if landed == 0 {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: no replica accepted %q: %w", rec.Key, firstErr)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// keyUnion lists the distinct keys held across reachable shards and,
+// per key, which shards hold it.
+func (s *Sharded) keyUnion(ctx context.Context) map[string][]*shardRef {
+	holders := make(map[string][]*shardRef)
+	for _, ref := range s.sortedRefs() {
+		keys, err := ref.rs.keys(ctx)
+		if err != nil {
+			s.markDown(ref, err)
+			continue
+		}
+		s.markUp(ref)
+		for _, k := range keys {
+			holders[k] = append(holders[k], ref)
+		}
+	}
+	return holders
+}
+
+// sortedRefs returns the shard refs in deterministic (name) order.
+func (s *Sharded) sortedRefs() []*shardRef {
+	out := make([]*shardRef, 0, len(s.shards))
+	for _, ref := range s.shards {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of distinct records across reachable shards.
+// Replication means per-shard record counts overlap, so this asks each
+// shard for its key list and counts the union.
+func (s *Sharded) Len() int {
+	return len(s.keyUnion(context.Background()))
+}
+
+// Stats snapshots the front-end traffic counters. Records is the
+// distinct-key union across reachable shards; per-shard disk counters
+// live in each shard's own /shard/v1/stats.
+func (s *Sharded) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrors.Load(),
+		Records:   s.Len(),
+	}
+}
+
+// ShardHealth is one shard's view in /v1/cluster and /metrics.
+type ShardHealth struct {
+	URL     string `json:"url"`
+	Up      bool   `json:"up"`
+	Records int    `json:"records"` // -1 when the shard is unreachable
+}
+
+// Health probes every shard and returns the live view, updating the
+// internal up/down flags as a side effect.
+func (s *Sharded) Health() []ShardHealth {
+	ctx := context.Background()
+	out := make([]ShardHealth, 0, len(s.shards))
+	for _, ref := range s.sortedRefs() {
+		h := ShardHealth{URL: ref.name, Records: -1}
+		if st, err := ref.rs.stats(ctx); err == nil {
+			s.markUp(ref)
+			h.Up, h.Records = true, st.Records
+		} else {
+			s.markDown(ref, err)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Rereplicate restores the replication factor: every record held by
+// fewer than K of its ring successors is copied from a holder onto the
+// missing successors. It returns how many replica copies were written.
+// The scan is driven by shard key lists, so a record is repaired even
+// if every copy currently sits on the "wrong" shards (e.g. after the
+// shard set changed).
+func (s *Sharded) Rereplicate(ctx context.Context) (int, error) {
+	holders := s.keyUnion(ctx)
+	copied := 0
+	var firstErr error
+	for key, held := range holders {
+		byName := make(map[string]bool, len(held))
+		for _, ref := range held {
+			byName[ref.name] = true
+		}
+		var rec Record
+		loaded := false
+		for _, want := range s.replicas(key) {
+			if byName[want.name] || !want.up.Load() {
+				continue
+			}
+			if !loaded {
+				var ok bool
+				var err error
+				rec, ok, err = held[0].rs.getRecord(ctx, key)
+				if err != nil || !ok {
+					if firstErr == nil && err != nil {
+						firstErr = err
+					}
+					break // holder vanished; next repair pass will retry
+				}
+				loaded = true
+			}
+			if err := want.rs.putRecord(ctx, rec); err != nil {
+				s.markDown(want, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			copied++
+		}
+	}
+	return copied, firstErr
+}
+
+// repairLoop probes shard health every interval and runs a repair pass
+// whenever a shard comes (back) up — the rejoin path that restores K
+// copies of everything the shard missed while it was down.
+func (s *Sharded) repairLoop(interval time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		revived := false
+		for _, ref := range s.sortedRefs() {
+			if ref.rs.healthy(ctx) {
+				revived = s.markUp(ref) || revived
+			} else {
+				s.markDown(ref, fmt.Errorf("health probe failed"))
+			}
+		}
+		if revived {
+			if n, err := s.Rereplicate(ctx); n > 0 || err != nil {
+				s.logf("store: re-replication copied %d records (err=%v)", n, err)
+			}
+		}
+		cancel()
+	}
+}

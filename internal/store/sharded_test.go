@@ -1,0 +1,398 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shotgun/internal/sim"
+)
+
+// testShard is one shard node for e2e tests: a real *Store behind a
+// real ShardServer, with a kill switch. Killing flips the handler to
+// connection-level failure (503 on every route), which is what a
+// crashed shard looks like to the HTTP client; rejoin flips it back —
+// same address, same on-disk state, exactly like a process restart.
+type testShard struct {
+	st   *Store
+	srv  *httptest.Server
+	down atomic.Bool
+}
+
+func (ts *testShard) kill()   { ts.down.Store(true) }
+func (ts *testShard) rejoin() { ts.down.Store(false) }
+
+func newTestShard(t *testing.T) *testShard {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &testShard{st: st}
+	mux := http.NewServeMux()
+	NewShardServer(st).Register(mux)
+	ts.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ts.down.Load() {
+			http.Error(w, "shard down", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.srv.Close)
+	return ts
+}
+
+// newCluster builds n shards and a Sharded backend with replication k.
+func newShardedCluster(t *testing.T, n, k int) (*Sharded, []*testShard) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = newTestShard(t)
+		urls[i] = shards[i].srv.URL
+	}
+	s, err := OpenSharded(ShardedConfig{Shards: urls, Replication: k, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, shards
+}
+
+// holdersOf counts which live shard stores hold key on disk.
+func holdersOf(shards []*testShard, key string) []*testShard {
+	var out []*testShard
+	for _, ts := range shards {
+		if _, ok := ts.st.GetKey(key); ok {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+func TestShardedRoundTripAndPlacement(t *testing.T) {
+	s, shards := newShardedCluster(t, 3, 2)
+
+	workloads := []string{"Oracle", "DB2", "Nutch", "Zeus", "Apache", "Streaming"}
+	for i, wl := range workloads {
+		sc := sim.SingleCore(testConfig(wl))
+		want := sim.ScenarioResult{Cores: []sim.Result{fakeResult(wl, uint64(100+i))}}
+		if err := s.PutScenario(sc, want); err != nil {
+			t.Fatalf("put %s: %v", wl, err)
+		}
+		got, ok := s.GetScenario(sc)
+		if !ok || got.Cores[0] != want.Cores[0] {
+			t.Fatalf("round trip %s: ok=%v got=%+v", wl, ok, got)
+		}
+		// Exactly K copies, on exactly the ring successors.
+		key := ScenarioKey(sc)
+		holders := holdersOf(shards, key)
+		if len(holders) != 2 {
+			t.Fatalf("%s: %d copies, want 2", wl, len(holders))
+		}
+		want2 := s.ring.Successors(key, 2)
+		for _, h := range holders {
+			found := false
+			for _, u := range want2 {
+				if u == h.srv.URL {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s landed on non-successor %s (want %v)", wl, h.srv.URL, want2)
+			}
+		}
+	}
+
+	// Multi-core scenarios keep the permutation contract through the
+	// wire: a swapped-core read sees its own view of the shared record.
+	sc := sim.Scenario{Cores: []sim.Config{testConfig("Oracle"), {
+		Workload: "DB2", Mechanism: sim.FDIP, WarmupInstr: 1000, MeasureInstr: 2000, Samples: 1}}}
+	want := sim.ScenarioResult{Cores: []sim.Result{fakeResult("Oracle", 11), fakeResult("DB2", 22)}}
+	if err := s.PutScenario(sc, want); err != nil {
+		t.Fatal(err)
+	}
+	swapped := sim.Scenario{Cores: []sim.Config{sc.Cores[1], sc.Cores[0]}}
+	got, ok := s.GetScenario(swapped)
+	if !ok || got.Cores[0] != want.Cores[1] || got.Cores[1] != want.Cores[0] {
+		t.Fatalf("permuted view misaligned: ok=%v %+v", ok, got.Cores)
+	}
+
+	if n := s.Len(); n != len(workloads)+1 {
+		t.Fatalf("Len() = %d, want %d distinct records", n, len(workloads)+1)
+	}
+	st := s.Stats()
+	if st.Puts != uint64(len(workloads)+1) || st.PutErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestShardedKillShardNoLoss is the tentpole acceptance e2e: with N=3
+// shards and K=2, killing one shard mid-sweep loses zero records —
+// every key stays readable, writes keep landing — and re-replication
+// restores K copies of everything once the shard rejoins.
+func TestShardedKillShardNoLoss(t *testing.T) {
+	s, shards := newShardedCluster(t, 3, 2)
+
+	// First half of the sweep with everyone up.
+	var keys []string
+	putOne := func(i int) {
+		sc := sim.SingleCore(testConfig(fmt.Sprintf("wl-%03d", i)))
+		res := sim.ScenarioResult{Cores: []sim.Result{fakeResult("Oracle", uint64(1000+i))}}
+		if err := s.PutScenario(sc, res); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		keys = append(keys, ScenarioKey(sc))
+	}
+	for i := 0; i < 20; i++ {
+		putOne(i)
+	}
+
+	// Kill the shard holding the most records — the worst case.
+	victim := shards[0]
+	for _, ts := range shards[1:] {
+		if ts.st.Len() > victim.st.Len() {
+			victim = ts
+		}
+	}
+	victim.kill()
+
+	// Second half of the sweep lands with one shard dark: writes whose
+	// replica set includes the victim still succeed on the surviving
+	// successor.
+	for i := 20; i < 40; i++ {
+		putOne(i)
+	}
+
+	// Zero loss: every key — including those primaried on the victim —
+	// is still readable through the backend.
+	for _, key := range keys {
+		if _, ok := s.GetKey(key); !ok {
+			t.Fatalf("key %s unreadable with one shard down", key)
+		}
+	}
+
+	// Rejoin and repair: every record is back to K=2 copies on its ring
+	// successors.
+	victim.rejoin()
+	copied, err := s.Rereplicate(context.Background())
+	if err != nil {
+		t.Fatalf("rereplicate: %v", err)
+	}
+	if copied == 0 {
+		t.Fatal("rejoin repaired nothing; expected under-replicated records")
+	}
+	for _, key := range keys {
+		holders := holdersOf(shards, key)
+		if len(holders) < 2 {
+			t.Fatalf("key %s has %d copies after repair, want 2", key, len(holders))
+		}
+	}
+	// A second pass finds nothing left to do.
+	if copied, err := s.Rereplicate(context.Background()); err != nil || copied != 0 {
+		t.Fatalf("second repair pass = (%d, %v), want (0, nil)", copied, err)
+	}
+}
+
+// TestShardedAllReplicasDown: when every replica of a key is dark, a
+// put fails loudly (no silent evaporation) and a get is a miss, and
+// the shard flips back to serving after markUp.
+func TestShardedAllReplicasDown(t *testing.T) {
+	s, shards := newShardedCluster(t, 2, 2)
+	sc := sim.SingleCore(testConfig("Oracle"))
+	res := sim.ScenarioResult{Cores: []sim.Result{fakeResult("Oracle", 7)}}
+	for _, ts := range shards {
+		ts.kill()
+	}
+	if err := s.PutScenario(sc, res); err == nil {
+		t.Fatal("put succeeded with every replica down")
+	}
+	if _, ok := s.GetScenario(sc); ok {
+		t.Fatal("get hit with every replica down")
+	}
+	for _, ts := range shards {
+		ts.rejoin()
+	}
+	if err := s.PutScenario(sc, res); err != nil {
+		t.Fatalf("put after rejoin: %v", err)
+	}
+	if _, ok := s.GetScenario(sc); !ok {
+		t.Fatal("get missed after rejoin")
+	}
+	if st := s.Stats(); st.PutErrors != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1 put + 1 put error", st)
+	}
+}
+
+// TestShardServerRejectsPoison: the shard PUT path validates records —
+// a record whose key doesn't match its scenario (or the path) cannot
+// land under someone else's address.
+func TestShardServerRejectsPoison(t *testing.T) {
+	ts := newTestShard(t)
+	sc := sim.SingleCore(testConfig("Oracle"))
+	rec, err := NewRecord(sc, sim.ScenarioResult{Cores: []sim.Result{fakeResult("Oracle", 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(path string, rec Record) int {
+		raw, _ := json.Marshal(rec)
+		req, _ := http.NewRequest(http.MethodPut, ts.srv.URL+"/shard/v1/records/"+path, strings.NewReader(string(raw)))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	victimKey := ScenarioKey(sim.SingleCore(testConfig("DB2")))
+	poisoned := rec
+	poisoned.Key = victimKey // claims DB2's address, carries Oracle's bytes
+	if code := put(victimKey, poisoned); code != http.StatusBadRequest {
+		t.Fatalf("poisoned record got %d, want 400", code)
+	}
+	if code := put(victimKey, rec); code != http.StatusBadRequest {
+		t.Fatalf("path/key mismatch got %d, want 400", code)
+	}
+	stale := rec
+	stale.Version = FormatVersion - 1
+	if code := put(rec.Key, stale); code != http.StatusBadRequest {
+		t.Fatalf("stale-version record got %d, want 400", code)
+	}
+	if ts.st.Len() != 0 {
+		t.Fatalf("invalid record landed: %d records", ts.st.Len())
+	}
+	if code := put(rec.Key, rec); code != http.StatusOK {
+		t.Fatalf("valid record got %d, want 200", code)
+	}
+	if _, ok := ts.st.GetKey(rec.Key); !ok {
+		t.Fatal("valid record not stored")
+	}
+}
+
+// TestShardedHealth: Health reflects live shard state and flips the
+// internal up/down flags both ways.
+func TestShardedHealth(t *testing.T) {
+	s, shards := newShardedCluster(t, 3, 2)
+	for _, h := range s.Health() {
+		if !h.Up || h.Records != 0 {
+			t.Fatalf("fresh cluster health %+v", h)
+		}
+	}
+	shards[1].kill()
+	downURL := shards[1].srv.URL
+	ups := 0
+	for _, h := range s.Health() {
+		if h.URL == downURL {
+			if h.Up || h.Records != -1 {
+				t.Fatalf("dead shard health %+v", h)
+			}
+			continue
+		}
+		if !h.Up {
+			t.Fatalf("live shard reported down: %+v", h)
+		}
+		ups++
+	}
+	if ups != 2 {
+		t.Fatalf("%d shards up, want 2", ups)
+	}
+	shards[1].rejoin()
+	for _, h := range s.Health() {
+		if !h.Up {
+			t.Fatalf("rejoined cluster health %+v", h)
+		}
+	}
+}
+
+// TestShardedRepairLoopHeals exercises the autonomous repair path: no
+// explicit Rereplicate call — the background loop's health probes must
+// notice the kill and the rejoin on their own and restore every record
+// to full replication.
+func TestShardedRepairLoopHeals(t *testing.T) {
+	shards := make([]*testShard, 3)
+	urls := make([]string, 3)
+	for i := range shards {
+		shards[i] = newTestShard(t)
+		urls[i] = shards[i].srv.URL
+	}
+	s, err := OpenSharded(ShardedConfig{
+		Shards:         urls,
+		Replication:    2,
+		RepairInterval: 10 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Replication(); got != 2 {
+		t.Fatalf("replication = %d, want 2", got)
+	}
+
+	workloads := []string{"Oracle", "DB2", "Nutch", "Zeus", "Apache", "Streaming"}
+	keys := make([]string, len(workloads))
+	for i, wl := range workloads {
+		sc := sim.SingleCore(testConfig(wl))
+		if err := s.PutScenario(sc, sim.ScenarioResult{Cores: []sim.Result{fakeResult(wl, uint64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = ScenarioKey(sc)
+	}
+
+	shards[0].kill()
+	// Let the loop observe the death (probe failure marks it down)...
+	time.Sleep(50 * time.Millisecond)
+	shards[0].rejoin()
+
+	// ...and after the rejoin, every key must drift back to 2 on-disk
+	// copies with nobody calling Rereplicate.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healed := true
+		for _, key := range keys {
+			if len(holdersOf(shards, key)) != 2 {
+				healed = false
+				break
+			}
+		}
+		if healed {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, key := range keys {
+				t.Logf("key %s: %d copies", key[:12], len(holdersOf(shards, key)))
+			}
+			t.Fatal("repair loop never restored full replication")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBackendReal pins the typed-nil normalization: an optional Backend
+// field holding a typed-nil *Store or *Sharded must read as absent.
+func TestBackendReal(t *testing.T) {
+	var nilStore *Store
+	var nilSharded *Sharded
+	if Real(nil) || Real(nilStore) || Real(nilSharded) {
+		t.Fatal("nil backends reported usable")
+	}
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Real(st) {
+		t.Fatal("real store reported unusable")
+	}
+	s, _ := newShardedCluster(t, 1, 1)
+	if !Real(s) {
+		t.Fatal("real sharded backend reported unusable")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shotgun/internal/sim"
 )
@@ -73,12 +74,46 @@ func Key(cfg sim.Config) string {
 	return ScenarioKey(sim.SingleCore(cfg))
 }
 
-// Record is the on-disk form of one cached simulation.
+// Record is the on-disk form of one cached simulation — and the wire
+// form the shard protocol ships between store nodes, so a replicated
+// record is byte-identical to a locally written one.
 type Record struct {
 	Version  int                `json:"version"`
 	Key      string             `json:"key"`
 	Scenario sim.Scenario       `json:"scenario"`
 	Result   sim.ScenarioResult `json:"result"`
+}
+
+// NewRecord canonicalizes one scenario result into its Record: the
+// scenario is normalized (canonical core order), the results are
+// permuted to match, and the key is the content address of the
+// canonical form. Every writer — the local store and the sharded
+// backend — builds records here, so placement and on-disk bytes can
+// never disagree about identity.
+func NewRecord(sc sim.Scenario, res sim.ScenarioResult) (Record, error) {
+	norm, perm := sc.NormalizedPerm()
+	if len(res.Cores) != len(norm.Cores) {
+		return Record{}, fmt.Errorf("store: %d results for %d cores", len(res.Cores), len(norm.Cores))
+	}
+	canon := make([]sim.Result, len(res.Cores))
+	for i, k := range perm {
+		canon[k] = res.Cores[i]
+	}
+	key := ScenarioKey(norm)
+	return Record{Version: FormatVersion, Key: key, Scenario: norm, Result: sim.ScenarioResult{Cores: canon}}, nil
+}
+
+// validRecord reports whether a decoded record can be trusted: right
+// generation, internally consistent shape, and a key that matches the
+// scenario it claims to cache (a shard must not accept a poisoned
+// record under someone else's address).
+func validRecord(rec Record) bool {
+	if rec.Version != FormatVersion ||
+		len(rec.Scenario.Cores) == 0 || len(rec.Result.Cores) != len(rec.Scenario.Cores) {
+		return false
+	}
+	norm, _ := rec.Scenario.NormalizedPerm()
+	return ScenarioKey(norm) == rec.Key
 }
 
 // Entry is the index summary of one record: the primary (core-0)
@@ -269,7 +304,12 @@ func (s *Store) Get(cfg sim.Config) (sim.Result, bool) {
 }
 
 // GetKey returns the full stored record under a raw key (the server's
-// poll endpoint looks results up by the key it handed out).
+// poll endpoint looks results up by the key it handed out). A hit
+// bumps the record file's mtime so Prune's oldest-first eviction order
+// is by last access, not last write — without it a hot, frequently-read
+// record written long ago would be evicted before a cold one written
+// yesterday. The bump is best-effort: losing it costs eviction
+// priority, never correctness.
 func (s *Store) GetKey(key string) (Record, bool) {
 	rec, ok := s.load(key)
 	if !ok {
@@ -277,6 +317,8 @@ func (s *Store) GetKey(key string) (Record, bool) {
 		return Record{}, false
 	}
 	s.hits.Add(1)
+	now := time.Now()
+	_ = os.Chtimes(s.recordPath(key), now, now)
 	return rec, true
 }
 
@@ -299,38 +341,53 @@ func (s *Store) Put(cfg sim.Config, res sim.Result) error {
 }
 
 func (s *Store) put(sc sim.Scenario, res sim.ScenarioResult) error {
-	norm, perm := sc.NormalizedPerm()
-	if len(res.Cores) != len(norm.Cores) {
-		return fmt.Errorf("store: %d results for %d cores", len(res.Cores), len(norm.Cores))
+	// Canonicalize once, in NewRecord: results land in canonical core
+	// order, matching the canonical scenario the record carries (the
+	// caller may hold any permutation).
+	rec, err := NewRecord(sc, res)
+	if err != nil {
+		return err
 	}
-	// Persist results in canonical core order, matching the canonical
-	// scenario the record carries (the caller may hold any permutation).
-	canon := make([]sim.Result, len(res.Cores))
-	for i, k := range perm {
-		canon[k] = res.Cores[i]
-	}
-	sc = norm
-	res = sim.ScenarioResult{Cores: canon}
-	key := ScenarioKey(sc)
-	rec := Record{Version: FormatVersion, Key: key, Scenario: sc, Result: res}
+	return s.putRecord(rec)
+}
+
+// putRecord persists one already-canonical record. It is the shared
+// tail of PutScenario and the shard server's replica-write path, so a
+// replicated record is byte-identical to a locally computed one.
+func (s *Store) putRecord(rec Record) error {
 	raw, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: marshal record: %w", err)
 	}
-	if err := writeFileAtomic(s.recordPath(key), append(raw, '\n')); err != nil {
+	if err := writeFileAtomic(s.recordPath(rec.Key), append(raw, '\n')); err != nil {
 		return err
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := entryOf(sc)
-	if old, ok := s.idx[key]; ok && old == e {
+	e := entryOf(rec.Scenario)
+	if old, ok := s.idx[rec.Key]; ok && old == e {
 		// Re-put of a known key: the record was refreshed above; the
 		// index is unchanged, so skip the O(records) rewrite.
 		return nil
 	}
-	s.idx[key] = e
+	s.idx[rec.Key] = e
 	return s.writeIndexLocked()
+}
+
+// PutRecord persists a record received from another node (the shard
+// replication path). The record is validated — generation, shape, and
+// key-matches-scenario — before it can land under its claimed address,
+// then written through the same canonical path PutScenario uses.
+func (s *Store) PutRecord(rec Record) error {
+	if !validRecord(rec) {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: record %q failed validation (version/shape/key mismatch)", rec.Key)
+	}
+	// Normalize defensively: a valid record is already canonical, so
+	// this is the identity transform, but it keeps a semi-canonical
+	// input from writing non-canonical bytes.
+	return s.PutScenario(rec.Scenario, rec.Result)
 }
 
 // writeIndexLocked rewrites index.json from the in-memory index.
@@ -348,6 +405,19 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.idx)
+}
+
+// Keys returns the indexed record keys, sorted (the shard protocol's
+// key-listing endpoint; deterministic for tests and diffs).
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.idx))
+	for k := range s.idx {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Entries returns a copy of the index.
