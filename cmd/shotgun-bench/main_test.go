@@ -48,8 +48,8 @@ func TestParseOptionsDefaultsToAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(opts.run) != 15 {
-		t.Fatalf("default selection has %d experiments, want 15", len(opts.run))
+	if len(opts.run) != 18 {
+		t.Fatalf("default selection has %d experiments, want 18", len(opts.run))
 	}
 	if opts.parallel < 1 {
 		t.Fatalf("default parallel %d", opts.parallel)

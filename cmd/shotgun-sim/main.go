@@ -7,6 +7,8 @@
 //	shotgun-sim -workload Oracle -mechanism shotgun -btb 2048 \
 //	    -warmup 2000000 -measure 3000000 -samples 3
 //	shotgun-sim -workload Oracle -region entire -bits 32   # a footprint variant
+//	shotgun-sim -workload Oracle -bpu clz                  # CLZ-TAGE direction predictor
+//	shotgun-sim -workload Oracle -contexts 4               # 4 SMT contexts, one front-end
 //	shotgun-sim -workload DB2 -json -out result.json
 //	shotgun-sim -workload Oracle -cores 4                  # 3 identical co-runners
 //	shotgun-sim -workload Oracle -mix fdip,none            # 2 co-runners, mixed mechanisms
@@ -75,12 +77,14 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	fs.SetOutput(stderr)
 	var (
 		wl      = fs.String("workload", "Oracle", "workload name: "+strings.Join(workload.Names(), ", "))
-		mech    = fs.String("mechanism", "shotgun", "mechanism: none, fdip, rdip, boomerang, confluence, shotgun, ideal")
+		mech    = fs.String("mechanism", "shotgun", "mechanism: none, fdip, rdip, delta, boomerang, confluence, shotgun, ideal")
 		btb     = fs.Int("btb", 2048, "conventional BTB entry budget")
 		warmup  = fs.Uint64("warmup", 2_000_000, "warmup instructions")
 		measure = fs.Uint64("measure", 3_000_000, "measured instructions")
 		samples = fs.Int("samples", 3, "measurement windows")
 		region  = fs.String("region", "vector", "shotgun region mode: vector, none, entire, 5blocks")
+		bpu     = fs.String("bpu", "tage", "direction predictor: tage, clz")
+		nctx    = fs.Int("contexts", 1, "hardware contexts sharing each core's front-end (1..8)")
 		bits    = fs.Int("bits", 8, "footprint bit-vector width (8 or 32)")
 		cores   = fs.Int("cores", 0, "total cores in the scenario (0: derived from -mix, else 1)")
 		mix     = fs.String("mix", "", "comma-separated co-runner mechanisms (cycled over cores 2..N; default: same as core 0)")
@@ -169,6 +173,15 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	default:
 		return options{}, fmt.Errorf("-bits must be 8 or 32 (got %d)", *bits)
 	}
+	bpuAxis, err := sim.ParseBPU(*bpu)
+	if err != nil {
+		return options{}, err
+	}
+	primary.BPU = bpuAxis
+	if *nctx < 1 || *nctx > sim.MaxContexts {
+		return options{}, fmt.Errorf("-contexts must be in [1, %d] (got %d)", sim.MaxContexts, *nctx)
+	}
+	primary.Contexts = *nctx
 
 	// The -sample-* family switches the run to periodic sampling; the
 	// schedule needs at least a period and a unit length, and the rest
@@ -233,6 +246,9 @@ func parseOptions(args []string, stderr io.Writer) (options, error) {
 	}
 	if opts.tracePath != "" && *llc != 0 {
 		return options{}, fmt.Errorf("-llc shapes the scenario's shared LLC; a -trace replay runs the single-core default")
+	}
+	if opts.tracePath != "" && *nctx > 1 {
+		return options{}, fmt.Errorf("-trace replays a single-context stream; drop -contexts")
 	}
 	if err := opts.scenario.Validate(); err != nil {
 		return options{}, err

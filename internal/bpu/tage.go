@@ -6,6 +6,8 @@
 package bpu
 
 import (
+	"math/bits"
+
 	"shotgun/internal/isa"
 )
 
@@ -23,6 +25,11 @@ type TAGE struct {
 	histLen []int
 
 	ghist uint64 // global direction history, youngest bit at LSB
+
+	// clz selects the CLZ-rotated history folding (NewCLZTAGE). It only
+	// gates how the folded terms are computed; tables, update rules and
+	// storage are identical to the default variant.
+	clz bool
 
 	// Folded-history cache: the per-table fold terms of index() and
 	// tag() depend only on ghist, which advances once per retired
@@ -73,11 +80,42 @@ func NewTAGE() *TAGE {
 	return t
 }
 
+// NewCLZTAGE builds the CLZ-indexing variant: the same tables, budget,
+// and update rules as NewTAGE, but the per-table history folds rotate
+// each successive chunk by the leading-zero count of the running fold
+// (clzFold) instead of XOR-folding chunks in place. Sparse histories —
+// long runs of identical outcomes, common in loop-heavy server code —
+// then spread across the index space instead of collapsing onto a few
+// low bits. Swept as the sim.Config BPU axis.
+func NewCLZTAGE() *TAGE {
+	t := NewTAGE()
+	t.clz = true
+	return t
+}
+
 func fold(h uint64, lenBits, outBits int) uint64 {
 	h &= (1 << uint(lenBits)) - 1
 	var f uint64
 	for h != 0 {
 		f ^= h & ((1 << uint(outBits)) - 1)
+		h >>= uint(outBits)
+	}
+	return f
+}
+
+// clzFold compresses the low lenBits of h into outBits. Where fold XORs
+// successive outBits-wide chunks in place, clzFold rotates each chunk
+// by the leading-zero count of the running fold before XORing it in, so
+// equal chunks landed at different register states hash apart. The
+// result is always below 1<<outBits (FuzzCLZIndex pins this).
+func clzFold(h uint64, lenBits, outBits int) uint64 {
+	h &= (1 << uint(lenBits)) - 1
+	mask := uint64(1)<<uint(outBits) - 1
+	var f uint64
+	for h != 0 {
+		chunk := h & mask
+		rot := bits.LeadingZeros64(f|1) % outBits
+		f ^= (chunk<<uint(rot) | chunk>>uint(outBits-rot)) & mask
 		h >>= uint(outBits)
 	}
 	return f
@@ -97,8 +135,13 @@ func (t *TAGE) folds() {
 		return
 	}
 	for i := 0; i < numTables; i++ {
-		t.foldIdx[i] = fold(t.ghist, t.histLen[i], tableBits) ^ (fold(t.ghist, t.histLen[i], tableBits-1) << 1)
-		t.foldTag[i] = fold(t.ghist, t.histLen[i], tagBits)
+		if t.clz {
+			t.foldIdx[i] = clzFold(t.ghist, t.histLen[i], tableBits)
+			t.foldTag[i] = clzFold(t.ghist, t.histLen[i], tagBits)
+		} else {
+			t.foldIdx[i] = fold(t.ghist, t.histLen[i], tableBits) ^ (fold(t.ghist, t.histLen[i], tableBits-1) << 1)
+			t.foldTag[i] = fold(t.ghist, t.histLen[i], tagBits)
+		}
 	}
 	t.foldsValid = true
 }

@@ -46,6 +46,10 @@ type Config struct {
 
 	RASEntries int // 32
 
+	// CLZTage selects the CLZ-indexed TAGE variant (bpu.NewCLZTAGE) as
+	// the direction predictor; false is the default TAGE.
+	CLZTage bool
+
 	// Data-side behaviour (from the workload profile).
 	LoadFrac   float64
 	DataBlocks int
@@ -197,19 +201,81 @@ type Core struct {
 	// progress unit of sampled execution (RunBlocks).
 	blocksDispatched uint64
 
+	// ctxs, when non-nil, switches the core to the multi-context
+	// front-end (NewMultiContext): N hardware contexts share the fetch
+	// engine, BTB/prefetch engine, L1-I and direction predictor, with
+	// <1-cycle switch-on-stall. The single-context fields above are then
+	// unused; Tick/NextEvent/AdvanceIdle dispatch to the MC variants.
+	ctxs   []*hwContext
+	runCtx int // context the BPU runahead is following
+	fetCtx int // context the fetch engine last dispatched for
+
 	stats Stats
+}
+
+// hwContext is one hardware context of a multi-context front-end: its
+// own trace stream, return-address stack, lookahead window and data-side
+// RNG state. Everything else — TAGE, engine, caches, fetch bandwidth,
+// ROB, retire — is shared with its siblings, which is exactly where the
+// SMT pressure this mode models comes from.
+type hwContext struct {
+	trace workload.Stream
+	ras   *bpu.RAS
+
+	dataRNG  *xrand.Source
+	dataZipf *xrand.Zipf
+
+	pending []pblock
+	ftqLen  int
+
+	runStallUntil uint64
+	wrongPath     bool
+
+	headIssued  bool
+	headReadyAt uint64
+}
+
+// ensurePending tops up the context's lookahead window from its trace.
+func (hc *hwContext) ensurePending(n int) {
+	for len(hc.pending) < n {
+		hc.pending = append(hc.pending, pblock{bb: hc.trace.Next()})
+	}
+}
+
+// popPending removes the context's pending[0] after dispatch, mirroring
+// Core.popPending's compaction policy.
+func (hc *hwContext) popPending(cfg *Config) {
+	hc.pending = hc.pending[1:]
+	hc.ftqLen--
+	hc.headIssued = false
+	if cap(hc.pending) > 4*(cfg.FTQEntries+8) && len(hc.pending) <= cfg.FTQEntries+8 {
+		fresh := make([]pblock, len(hc.pending), cfg.FTQEntries+8)
+		copy(fresh, hc.pending)
+		hc.pending = fresh
+	}
+}
+
+// ctxDataSalt decorrelates per-context data-side RNG streams within one
+// core. Context 0 is unsalted: a one-context core draws the exact
+// single-context stream.
+func ctxDataSalt(k int) uint64 {
+	return uint64(k) * 0x94d049bb133111eb
 }
 
 // New builds a core over the given trace, engine and hierarchy.
 func New(cfg Config, trace workload.Stream, engine prefetch.Engine, hier *uncore.Hierarchy) *Core {
 	cfg.setDefaults()
 	rng := xrand.New(cfg.DataSeed)
+	tage := bpu.NewTAGE()
+	if cfg.CLZTage {
+		tage = bpu.NewCLZTAGE()
+	}
 	return &Core{
 		cfg:       cfg,
 		trace:     trace,
 		engine:    engine,
 		hier:      hier,
-		tage:      bpu.NewTAGE(),
+		tage:      tage,
 		ras:       bpu.NewRAS(cfg.RASEntries),
 		dataRNG:   rng,
 		dataZipf:  xrand.NewZipf(rng, cfg.DataBlocks, cfg.DataZipfS),
@@ -217,6 +283,35 @@ func New(cfg Config, trace workload.Stream, engine prefetch.Engine, hier *uncore
 		loadSched: make([]isa.Addr, 0, isa.MaxBlockInstrs),
 		rob:       make([]uint64, cfg.ROBEntries),
 	}
+}
+
+// NewMultiContext builds a core whose front-end is shared by
+// len(streams) hardware contexts, one trace stream per context. A
+// single stream yields exactly the classic single-context core (New),
+// so the scenario layer can call this unconditionally. With N>1
+// streams, each context gets its own RAS, lookahead window and salted
+// data-side RNG; the fetch engine, prefetch engine/BTB, caches,
+// direction predictor, ROB and retire stage are shared.
+func NewMultiContext(cfg Config, streams []workload.Stream, engine prefetch.Engine, hier *uncore.Hierarchy) *Core {
+	if len(streams) == 0 {
+		panic("core: NewMultiContext needs at least one stream")
+	}
+	cfg.setDefaults()
+	c := New(cfg, streams[0], engine, hier)
+	if len(streams) == 1 {
+		return c
+	}
+	c.ctxs = make([]*hwContext, len(streams))
+	for k, s := range streams {
+		rng := xrand.New(cfg.DataSeed ^ ctxDataSalt(k))
+		c.ctxs[k] = &hwContext{
+			trace:    s,
+			ras:      bpu.NewRAS(cfg.RASEntries),
+			dataRNG:  rng,
+			dataZipf: xrand.NewZipf(rng, cfg.DataBlocks, cfg.DataZipfS),
+		}
+	}
+	return c
 }
 
 // Now returns the current cycle.
@@ -426,6 +521,9 @@ func (c *Core) warmCaches(bb isa.BasicBlock) {
 // is right, a wrong path implies an undispatched FTQ entry, and a full
 // FTQ implies fetch or retire has a pending deadline.
 func (c *Core) NextEvent() uint64 {
+	if c.ctxs != nil {
+		return c.nextEventMC()
+	}
 	// Completed fills are materialized the cycle the watermark expires.
 	next := c.hier.NextArrival()
 
@@ -483,6 +581,10 @@ func (c *Core) AdvanceIdle(k uint64) {
 	if k == 0 {
 		return
 	}
+	if c.ctxs != nil {
+		c.advanceIdleMC(k)
+		return
+	}
 	// fetch() counts a fill-wait cycle iff it is past the bandwidth
 	// boundary with an issued head that has not arrived yet.
 	if c.ftqLen > 0 && c.now >= c.fetchBusyUntil && c.headIssued && c.headReadyAt > c.now {
@@ -501,6 +603,10 @@ func (c *Core) AdvanceIdle(k uint64) {
 
 // Tick advances the simulation by one cycle.
 func (c *Core) Tick() {
+	if c.ctxs != nil {
+		c.tickMC()
+		return
+	}
 	// 1. Materialize completed fills; let the engine predecode them.
 	if arr := c.hier.PollArrivals(c.now); arr != nil {
 		c.engine.OnArrival(c.now, arr)
@@ -543,7 +649,7 @@ func (c *Core) runahead() {
 		c.ensurePending(c.ftqLen + 1)
 		p := &c.pending[c.ftqLen]
 		if !p.evaluated {
-			stall := c.evaluate(p)
+			stall := c.evaluate(p, c.ras)
 			if stall > c.now {
 				c.runStallUntil = stall
 			}
@@ -556,8 +662,10 @@ func (c *Core) runahead() {
 }
 
 // evaluate performs the one-time BPU evaluation of a pending block,
-// returning a non-zero stall deadline for reactive resolutions.
-func (c *Core) evaluate(p *pblock) uint64 {
+// returning a non-zero stall deadline for reactive resolutions. The RAS
+// is passed in because it is per-context state in multi-context mode;
+// the single-context path always passes c.ras.
+func (c *Core) evaluate(p *pblock, ras *bpu.RAS) uint64 {
 	bb := p.bb
 	p.evaluated = true
 
@@ -568,7 +676,7 @@ func (c *Core) evaluate(p *pblock) uint64 {
 	rasOK := false
 	rasWrong := false
 	if bb.Kind.IsReturn() {
-		e, ok := c.ras.Pop()
+		e, ok := ras.Pop()
 		rasOK = ok
 		rasCallBlock = e.CallBlock
 		rasPredTarget = e.ReturnAddr
@@ -597,7 +705,7 @@ func (c *Core) evaluate(p *pblock) uint64 {
 			c.engine.OnMispredict(c.now, wrong)
 		}
 	case bb.Kind.IsCallLike():
-		c.ras.Push(bpu.RASEntry{ReturnAddr: bb.FallThrough(), CallBlock: bb.PC})
+		ras.Push(bpu.RASEntry{ReturnAddr: bb.FallThrough(), CallBlock: bb.PC})
 		c.tage.NoteUncond()
 	case bb.Kind.IsReturn():
 		if ev.BTBHit && rasWrong {
@@ -653,7 +761,7 @@ func (c *Core) fetch() {
 	if c.robFree() < n {
 		return // backend pressure
 	}
-	c.dispatch(p.bb)
+	c.dispatch(p.bb, c.dataRNG, c.dataZipf)
 
 	// Fetch bandwidth: a 3-wide front-end needs ceil(n/width) cycles.
 	busy := uint64((n + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth)
@@ -713,14 +821,16 @@ func (c *Core) popPending() {
 // result is unchanged), then the hierarchy is charged and the ROB filled
 // from the schedule. Non-load instructions take the scheduling fast path:
 // one RNG draw, no hierarchy call.
-func (c *Core) dispatch(bb isa.BasicBlock) {
+// The RNG and Zipf are passed in because they are per-context state in
+// multi-context mode; the single-context path always passes its own.
+func (c *Core) dispatch(bb isa.BasicBlock, rng *xrand.Source, zipf *xrand.Zipf) {
 	execLat := uint64(c.cfg.ExecLatencyCycles)
 	// Pass 1: the load schedule. A sentinel address marks non-loads so
 	// pass 2 preserves instruction order without a second draw.
 	sched := c.loadSched[:0]
 	for i := 0; i < bb.NumInstr; i++ {
-		if c.loadDraw.Draw(c.dataRNG) {
-			sched = append(sched, dataBase+isa.Addr(c.dataZipf.Next()*isa.BlockBytes))
+		if c.loadDraw.Draw(rng) {
+			sched = append(sched, dataBase+isa.Addr(zipf.Next()*isa.BlockBytes))
 		} else {
 			sched = append(sched, 0)
 		}
@@ -774,4 +884,227 @@ func (c *Core) retire() {
 			c.stats.BackEndStallCycles++
 		}
 	}
+}
+
+// ---- Multi-context front-end ------------------------------------------
+//
+// The MC variants below mirror Tick/NextEvent/AdvanceIdle over N hardware
+// contexts sharing one fetch engine, prefetch engine/BTB, L1-I, direction
+// predictor, ROB and retire stage. Switch-on-stall is sub-cycle: in the
+// same cycle a context stalls, the runahead and the fetch engine move to
+// the next ready sibling. The single-context fields of Core are unused in
+// this mode; per-context state lives in hwContext.
+
+// tickMC advances the multi-context simulation by one cycle, in the same
+// sub-unit order as Tick.
+func (c *Core) tickMC() {
+	if arr := c.hier.PollArrivals(c.now); arr != nil {
+		c.engine.OnArrival(c.now, arr)
+	}
+	c.runaheadMC()
+	c.fetchMC()
+	c.retire()
+	c.now++
+	c.stats.Cycles++
+}
+
+// runaheadMC spends the cycle's RunaheadPerCycle evaluations on the
+// contexts: the BPU keeps following c.runCtx while it can make progress
+// (not stalled, not wrong-path, FTQ room) and switches to the next ready
+// sibling the moment it cannot — switch-on-stall at zero cost.
+func (c *Core) runaheadMC() {
+	for i := 0; i < c.cfg.RunaheadPerCycle; i++ {
+		var hc *hwContext
+		for j := 0; j < len(c.ctxs); j++ {
+			k := (c.runCtx + j) % len(c.ctxs)
+			cand := c.ctxs[k]
+			if c.now < cand.runStallUntil || cand.wrongPath || cand.ftqLen >= c.cfg.FTQEntries {
+				continue
+			}
+			c.runCtx = k
+			hc = cand
+			break
+		}
+		if hc == nil {
+			return // every context stalled, wrong-path, or FTQ-full
+		}
+		hc.ensurePending(hc.ftqLen + 1)
+		p := &hc.pending[hc.ftqLen]
+		if !p.evaluated {
+			if stall := c.evaluate(p, hc.ras); stall > c.now {
+				hc.runStallUntil = stall
+			}
+		}
+		if p.decodeRedirect || p.execRedirect {
+			hc.wrongPath = true
+		}
+		hc.ftqLen++
+	}
+}
+
+// issueHead issues the demand fetch for a context's FTQ head, recording
+// when its last block arrives.
+func (c *Core) issueHead(hc *hwContext) {
+	ready := c.now
+	first, last := hc.pending[0].bb.BlockSpan()
+	for blk := first; blk <= last; blk += isa.BlockBytes {
+		r, src := c.hier.FetchBlock(c.now, blk)
+		c.engine.OnFetch(c.now, blk, src)
+		if src == uncore.SrcLLC || src == uncore.SrcMemory {
+			c.engine.OnDemandMiss(c.now, blk)
+		}
+		if r > ready {
+			ready = r
+		}
+	}
+	hc.headIssued = true
+	hc.headReadyAt = ready
+}
+
+// fetchMC shares the fetch engine across contexts: once past the
+// bandwidth boundary it first issues every unissued FTQ head (demand
+// probes overlap across contexts — fetch-under-fill), then dispatches
+// for the first context, round-robin from the last one served, whose
+// head has arrived and fits the ROB. At most one context dispatches per
+// bandwidth slot; a cycle where the only eligible heads are waiting on
+// fills is a fetch stall.
+func (c *Core) fetchMC() {
+	if c.now < c.fetchBusyUntil {
+		return
+	}
+	for _, hc := range c.ctxs {
+		if hc.ftqLen > 0 && !hc.headIssued {
+			c.issueHead(hc)
+		}
+	}
+	for j := 0; j < len(c.ctxs); j++ {
+		k := (c.fetCtx + j) % len(c.ctxs)
+		hc := c.ctxs[k]
+		if hc.ftqLen == 0 || hc.headReadyAt > c.now {
+			continue
+		}
+		p := &hc.pending[0]
+		if c.robFree() < p.bb.NumInstr {
+			continue // backend pressure
+		}
+		c.dispatch(p.bb, hc.dataRNG, hc.dataZipf)
+		busy := uint64((p.bb.NumInstr + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth)
+		c.fetchBusyUntil = c.now + busy
+		switch {
+		case p.decodeRedirect:
+			c.stats.DecodeRedirects++
+			c.redirectCtx(hc, c.cfg.DecodeRedirectCycles)
+		case p.execRedirect:
+			c.stats.ExecRedirects++
+			c.redirectCtx(hc, c.cfg.ExecRedirectCycles)
+		}
+		hc.popPending(&c.cfg)
+		c.fetCtx = k
+		return
+	}
+	// No context could dispatch; charge one fill-wait cycle iff some
+	// context is actually waiting on an issued fetch.
+	for _, hc := range c.ctxs {
+		if hc.ftqLen > 0 && hc.headIssued && hc.headReadyAt > c.now {
+			c.stats.FetchStallCycles++
+			return
+		}
+	}
+}
+
+// redirectCtx is redirect for one context of a multi-context front-end:
+// the bubble occupies the shared fetch engine, the flush is local to the
+// re-steered context.
+func (c *Core) redirectCtx(hc *hwContext, penalty int) {
+	until := c.now + uint64(penalty)
+	if until > c.fetchBusyUntil {
+		c.fetchBusyUntil = until
+	}
+	hc.ftqLen = 1 // keep only the block being dispatched
+	if hc.runStallUntil > c.now {
+		hc.runStallUntil = c.now
+	}
+	hc.wrongPath = false
+}
+
+// nextEventMC mirrors NextEvent over the context set: each per-context
+// gating condition contributes a deadline, shared fetch bandwidth and
+// retire contribute theirs, and any condition that lets this very cycle
+// do work returns Now immediately.
+func (c *Core) nextEventMC() uint64 {
+	next := c.hier.NextArrival()
+
+	for _, hc := range c.ctxs {
+		if !hc.wrongPath && hc.ftqLen < c.cfg.FTQEntries {
+			if c.now >= hc.runStallUntil {
+				return c.now
+			}
+			if hc.runStallUntil < next {
+				next = hc.runStallUntil
+			}
+		}
+	}
+
+	anyFTQ := false
+	for _, hc := range c.ctxs {
+		if hc.ftqLen > 0 {
+			anyFTQ = true
+			break
+		}
+	}
+	if anyFTQ {
+		if c.now < c.fetchBusyUntil {
+			if c.fetchBusyUntil < next {
+				next = c.fetchBusyUntil
+			}
+		} else {
+			for _, hc := range c.ctxs {
+				if hc.ftqLen == 0 {
+					continue
+				}
+				switch {
+				case !hc.headIssued:
+					return c.now
+				case hc.headReadyAt > c.now:
+					if hc.headReadyAt < next {
+						next = hc.headReadyAt
+					}
+				case c.robFree() >= hc.pending[0].bb.NumInstr:
+					return c.now
+					// Otherwise this head waits on backend pressure; only
+					// the retire deadline below can relieve it.
+				}
+			}
+		}
+	}
+
+	if c.robLen > 0 && c.rob[c.robHead] < next {
+		next = c.rob[c.robHead]
+	}
+	if next < c.now {
+		return c.now
+	}
+	return next
+}
+
+// advanceIdleMC bulk-applies k idle cycles in multi-context mode. The
+// stall predicates are constant across the span for the same reason as
+// AdvanceIdle's: every cycle that could flip one is a deadline
+// nextEventMC includes.
+func (c *Core) advanceIdleMC(k uint64) {
+	if c.now >= c.fetchBusyUntil {
+		for _, hc := range c.ctxs {
+			if hc.ftqLen > 0 && hc.headIssued && hc.headReadyAt > c.now {
+				c.stats.FetchStallCycles += k
+				break
+			}
+		}
+	}
+	if c.robLen == 0 {
+		c.stats.FrontEndStallCycles += k
+	} else {
+		c.stats.BackEndStallCycles += k
+	}
+	c.now += k
+	c.stats.Cycles += k
 }

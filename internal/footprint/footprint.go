@@ -142,6 +142,11 @@ type Recorder struct {
 	// footprints can be attributed to the call's U-BTB entry.
 	stack []isa.Addr
 
+	// commit is the reusable buffer Observe returns a pointer into, so
+	// the per-retire hot path never heap-allocates; it is valid until
+	// the next Observe call.
+	commit Commit
+
 	// Commits counts finished regions; Dropped counts region accesses
 	// outside the encodable window (precision loss).
 	Commits uint64
@@ -170,7 +175,9 @@ func NewContiguousRecorder(layout Layout) *Recorder {
 func (r *Recorder) Layout() Layout { return r.layout }
 
 // Observe consumes one retired basic block and returns a non-nil Commit
-// when the block's unconditional branch closed a region.
+// when the block's unconditional branch closed a region. The returned
+// pointer aliases a reusable internal buffer — consume it before the
+// next Observe call.
 func (r *Recorder) Observe(bb isa.BasicBlock) *Commit {
 	// Accumulate this block's cache-block accesses into the open region.
 	if r.active {
@@ -205,7 +212,8 @@ func (r *Recorder) Observe(bb isa.BasicBlock) *Commit {
 		if r.contiguous {
 			vec = r.contiguousVector()
 		}
-		done = &Commit{Owner: r.owner, IsReturnRegion: r.isReturn, Vector: vec}
+		r.commit = Commit{Owner: r.owner, IsReturnRegion: r.isReturn, Vector: vec}
+		done = &r.commit
 		r.Commits++
 	}
 

@@ -852,6 +852,15 @@ func Experiments() []Experiment {
 		{"sampled", "Sampled vs exact IPC with confidence intervals",
 			Sampled,
 			func() []sim.Scenario { return scenariosOf(SampledConfigs()) }},
+		{"delta", "Delta prefetcher vs the BTB-directed lineage",
+			func(r *Runner) *stats.Table { _, t := DeltaGrid(r); return t },
+			func() []sim.Scenario { return scenariosOf(mechConfigs(DeltaGridMechs())) }},
+		{"clztage", "CLZ-TAGE direction-predictor sweep",
+			func(r *Runner) *stats.Table { _, t := CLZTage(r); return t },
+			func() []sim.Scenario { return scenariosOf(CLZTageConfigs()) }},
+		{"smt", "SMT front-end pressure vs hardware contexts",
+			func(r *Runner) *stats.Table { _, t := SMT(r); return t },
+			func() []sim.Scenario { return scenariosOf(SMTConfigs()) }},
 	}
 }
 

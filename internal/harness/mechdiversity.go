@@ -1,0 +1,192 @@
+// The mechanism-diversity experiments: the delta-pattern prefetcher
+// against the BTB-directed lineage, the CLZ-TAGE direction-predictor
+// axis, and the multi-context (SMT) front-end pressure sweep. Like every
+// other experiment they exist twice — compiled in here and declared as
+// specs/{delta,clztage,smt}.json — held byte-identical by the golden
+// parity gate, so their render shapes mirror the spec compiler's grid
+// assembly cell for cell.
+
+package harness
+
+import (
+	"fmt"
+
+	"shotgun/internal/sim"
+	"shotgun/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Delta-pattern prefetcher vs the BTB-directed lineage.
+// ---------------------------------------------------------------------
+
+// DeltaGridMechs lists the delta grid's mechanisms: the BTB-directed
+// lineage bracketing the pattern-based outsider.
+func DeltaGridMechs() []sim.Mechanism {
+	return []sim.Mechanism{sim.FDIP, sim.RDIP, sim.Delta, sim.Boomerang, sim.Shotgun}
+}
+
+// DeltaGrid regenerates the delta-prefetcher comparison.
+func DeltaGrid(r *Runner) ([]SpeedupRow, *stats.Table) {
+	return speedupFigure(r, "Delta prefetcher vs the BTB-directed lineage (speedup over no-prefetch)", DeltaGridMechs())
+}
+
+// ---------------------------------------------------------------------
+// CLZ-TAGE direction-predictor axis.
+// ---------------------------------------------------------------------
+
+// CLZColumn is one point of the CLZ-TAGE sweep: a mechanism under one
+// direction-predictor variant.
+type CLZColumn struct {
+	Name string
+	Mech sim.Mechanism
+	// BPU is the sim.Config axis value ("" for the default TAGE).
+	BPU string
+}
+
+// CLZColumns lists the sweep's points: the two strongest prefetchers,
+// each under both predictor variants.
+func CLZColumns() []CLZColumn {
+	return []CLZColumn{
+		{Name: "boomerang/tage", Mech: sim.Boomerang, BPU: ""},
+		{Name: "boomerang/clz", Mech: sim.Boomerang, BPU: sim.BPUCLZ},
+		{Name: "shotgun/tage", Mech: sim.Shotgun, BPU: ""},
+		{Name: "shotgun/clz", Mech: sim.Shotgun, BPU: sim.BPUCLZ},
+	}
+}
+
+// clzConfig is the simulation for one CLZ-sweep column.
+func clzConfig(wl string, col CLZColumn) sim.Config {
+	return sim.Config{Workload: wl, Mechanism: col.Mech, BPU: col.BPU}
+}
+
+// CLZTageConfigs declares the baseline plus per-column simulations the
+// CLZ-TAGE sweep needs.
+func CLZTageConfigs() []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range Workloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+		for _, col := range CLZColumns() {
+			cfgs = append(cfgs, clzConfig(wl, col))
+		}
+	}
+	return cfgs
+}
+
+// CLZTage regenerates the CLZ-TAGE sweep: speedup over the no-prefetch
+// baseline for each (mechanism, predictor-variant) column.
+func CLZTage(r *Runner) ([]SpeedupRow, *stats.Table) {
+	cols := CLZColumns()
+	r.Prefetch(CLZTageConfigs())
+	headers := []string{"Workload"}
+	for _, col := range cols {
+		headers = append(headers, col.Name)
+	}
+	t := stats.NewTable("CLZ-TAGE: CLZ-rotated history folds vs default TAGE (speedup over no-prefetch)", headers...)
+	var rows []SpeedupRow
+	gmeans := make(map[string][]float64)
+	for _, wl := range Workloads() {
+		base := r.baseline(wl)
+		row := SpeedupRow{Workload: wl, Speedup: map[string]float64{}}
+		var cells []float64
+		for _, col := range cols {
+			res := r.Run(clzConfig(wl, col))
+			s := res.Speedup(base)
+			row.Speedup[col.Name] = s
+			gmeans[col.Name] = append(gmeans[col.Name], s)
+			cells = append(cells, s)
+		}
+		rows = append(rows, row)
+		t.AddF(wl, "%.3f", cells...)
+	}
+	var gm []float64
+	grow := SpeedupRow{Workload: "Gmean", Speedup: map[string]float64{}}
+	for _, col := range cols {
+		g := stats.GeoMean(gmeans[col.Name])
+		grow.Speedup[col.Name] = g
+		gm = append(gm, g)
+	}
+	rows = append(rows, grow)
+	t.AddF("Gmean", "%.3f", gm...)
+	return rows, t
+}
+
+// ---------------------------------------------------------------------
+// SMT pressure: N hardware contexts sharing one front-end.
+// ---------------------------------------------------------------------
+
+// SMTWorkloads lists the SMT-pressure experiment's workloads.
+func SMTWorkloads() []string { return []string{"Oracle", "DB2"} }
+
+// SMTContexts are the swept hardware-context counts.
+var SMTContexts = []int{1, 2, 4}
+
+// SMTMechs lists the mechanisms whose front-ends are put under context
+// pressure.
+func SMTMechs() []sim.Mechanism {
+	return []sim.Mechanism{sim.Boomerang, sim.Shotgun}
+}
+
+// smtConfig is the simulation for one (workload, mechanism, contexts)
+// cell.
+func smtConfig(wl string, m sim.Mechanism, contexts int) sim.Config {
+	return sim.Config{Workload: wl, Mechanism: m, Contexts: contexts}
+}
+
+// SMTConfigs declares every simulation of the SMT-pressure experiment,
+// including the per-workload baselines — grids always declare their
+// baselines, so the spec twin expands to the same key set.
+func SMTConfigs() []sim.Config {
+	var cfgs []sim.Config
+	for _, wl := range SMTWorkloads() {
+		cfgs = append(cfgs, baselineConfig(wl))
+		for _, m := range SMTMechs() {
+			for _, n := range SMTContexts {
+				cfgs = append(cfgs, smtConfig(wl, m, n))
+			}
+		}
+	}
+	return cfgs
+}
+
+// SMTRow is one (workload, mechanism) row: demand L1-I MPKI across
+// context counts.
+type SMTRow struct {
+	Workload  string
+	Mechanism string
+	MPKI      map[int]float64
+}
+
+// SMT regenerates the SMT-pressure table: demand L1-I MPKI as N
+// contexts share one fetch engine, BTB and L1-I.
+func SMT(r *Runner) ([]SMTRow, *stats.Table) {
+	r.Prefetch(SMTConfigs())
+	headers := []string{"Workload", "Mechanism"}
+	for _, n := range SMTContexts {
+		headers = append(headers, fmt.Sprintf("%dctx", n))
+	}
+	t := stats.NewTable("SMT pressure: demand L1-I MPKI vs hardware contexts sharing one front-end", headers...)
+	var rows []SMTRow
+	agg := make([][]float64, len(SMTContexts))
+	for _, wl := range SMTWorkloads() {
+		for _, m := range SMTMechs() {
+			row := SMTRow{Workload: wl, Mechanism: string(m), MPKI: map[int]float64{}}
+			rowCells := []string{wl, string(m)}
+			for ci, n := range SMTContexts {
+				v := r.Run(smtConfig(wl, m, n)).L1IMPKI()
+				row.MPKI[n] = v
+				agg[ci] = append(agg[ci], v)
+				rowCells = append(rowCells, fmt.Sprintf("%.2f", v))
+			}
+			rows = append(rows, row)
+			t.AddRow(rowCells...)
+		}
+	}
+	sums := make([]float64, len(SMTContexts))
+	sumCells := []string{"Avg", ""}
+	for ci, vs := range agg {
+		sums[ci] = stats.Mean(vs)
+		sumCells = append(sumCells, fmt.Sprintf("%.2f", sums[ci]))
+	}
+	t.AddRow(sumCells...)
+	return rows, t
+}

@@ -1,16 +1,26 @@
-// Package prefetch implements the six control-flow delivery mechanisms
-// the paper evaluates, behind one Engine interface driven by the core's
-// cycle loop:
+// Package prefetch implements the eight control-flow delivery
+// mechanisms the evaluation compares, behind one Engine interface
+// driven by the core's cycle loop:
 //
 //   - None: conventional 2K-entry BTB, no prefetching (the baseline).
 //   - FDIP: fetch-directed instruction prefetching (Reinman et al.);
 //     speculates straight-line through BTB misses.
+//   - RDIP: RAS-context miss signatures replay recorded L1-I misses
+//     (Kolli et al., MICRO'13); the BTB still thrashes.
+//   - Delta: delta-pattern prefetching — a shift register of
+//     block-address deltas plus a repeating-cycle matcher projects
+//     stable strides, with no BTB-directed lookahead at all.
 //   - Boomerang: FDIP + reactive BTB fill; stalls the runahead to
 //     resolve each BTB miss (Kumar et al., HPCA'17).
 //   - Confluence: temporal-streaming unified prefetcher over SHIFT
 //     history with a 16K-entry BTB (Kaynak et al., MICRO'15).
 //   - Shotgun: this paper — U-BTB/C-BTB/RIB with spatial footprints.
 //   - Ideal: BTB and L1-I never miss (the opportunity bound).
+//
+// Every engine is additionally held to the mechanism-conformance
+// contract (conformance_test.go): Warm never touches timing state,
+// replays are deterministic, and the per-block hot path is
+// allocation-free.
 package prefetch
 
 import (

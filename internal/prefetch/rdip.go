@@ -67,14 +67,20 @@ func (e *RDIP) Name() string { return "rdip" }
 // signature hashes the top few RAS frames into a program context.
 func (e *RDIP) signature() uint64 {
 	var sig uint64 = 0x9e3779b97f4a7c15
-	// Hash the youngest four frames, like RDIP's context register.
+	// Hash the youngest four frames, like RDIP's context register. Peek
+	// emulation: pop into a fixed scratch array and push back in reverse
+	// (a defer per frame would heap-allocate on every call/return).
+	var frames [4]bpu.RASEntry
 	depth := e.ras.Depth()
-	for i := 0; i < 4 && i < depth; i++ {
-		// Peek emulation: pop/push preserves content.
+	n := 0
+	for ; n < 4 && n < depth; n++ {
 		f, _ := e.ras.Pop()
-		defer e.ras.Push(f)
+		frames[n] = f
 		sig ^= uint64(f.ReturnAddr)
 		sig *= 0x100000001b3
+	}
+	for i := n - 1; i >= 0; i-- {
+		e.ras.Push(frames[i])
 	}
 	return sig
 }

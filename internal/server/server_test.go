@@ -509,8 +509,8 @@ func TestExperimentEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Experiments) != 15 {
-		t.Fatalf("listed %d experiments, want 15", len(list.Experiments))
+	if len(list.Experiments) != 18 {
+		t.Fatalf("listed %d experiments, want 18", len(list.Experiments))
 	}
 
 	// fig3 is a pure trace analysis: renders without timing simulation.

@@ -24,32 +24,55 @@ func evtCfg(wl string, m Mechanism) Config {
 // skipped cycle was not actually idle (or idle accounting drifted) and
 // fails here, not in a golden diff.
 func TestEventKernelMatchesLockstep(t *testing.T) {
-	mechs := Mechanisms() // all 7
-	wls := []string{"Oracle", "Nutch", "DB2", "Zeus", "Apache", "Streaming", "Oracle"}
+	mechs := Mechanisms() // all 8
+	wls := []string{"Oracle", "Nutch", "DB2", "Zeus", "Apache", "Streaming", "Oracle", "Nutch"}
 
 	var cases []Scenario
+	var names []string
 	// N=1 and N=2: every mechanism drives its own scenario (paired with
 	// a pressure-generating None co-runner at N=2).
 	for _, m := range mechs {
 		cases = append(cases, Scenario{Cores: []Config{evtCfg("Oracle", m)}})
+		names = append(names, fmt.Sprintf("n1_%s", m))
 		cases = append(cases, Scenario{Cores: []Config{
 			evtCfg("Oracle", m),
 			evtCfg("Nutch", None),
 		}})
+		names = append(names, fmt.Sprintf("n2_%s", m))
 	}
-	// N=8: one heterogeneous mix seats all 7 mechanisms on one mesh.
+	// N=8: one heterogeneous mix seats all 8 mechanisms on one mesh.
 	var eight []Config
-	for i, m := range append(mechs, Shotgun) {
+	for i, m := range mechs {
 		eight = append(eight, evtCfg(wls[i%len(wls)], m))
 	}
 	cases = append(cases, Scenario{Cores: eight})
+	names = append(names, "n8_all_mechanisms")
+	// The new axes: the CLZ-TAGE predictor variant and the multi-context
+	// front-end, each at 1, 2 and 8 cores — the per-context stall
+	// deadlines (runStallUntil, headReadyAt, fetchBusyUntil) are exactly
+	// the flip points the event kernel must include to stay bit-equal.
+	clz := func(wl string, m Mechanism) Config { c := evtCfg(wl, m); c.BPU = BPUCLZ; return c }
+	smt := func(wl string, m Mechanism, n int) Config { c := evtCfg(wl, m); c.Contexts = n; return c }
+	cases = append(cases,
+		Scenario{Cores: []Config{clz("Oracle", Shotgun)}},
+		Scenario{Cores: []Config{clz("Oracle", Boomerang), evtCfg("Nutch", None)}},
+		Scenario{Cores: []Config{
+			clz("Oracle", Shotgun), clz("Nutch", Boomerang), clz("DB2", FDIP), clz("Zeus", Delta),
+			clz("Apache", Confluence), clz("Streaming", RDIP), clz("Oracle", None), clz("Nutch", Ideal),
+		}},
+		Scenario{Cores: []Config{smt("Oracle", Shotgun, 2)}},
+		Scenario{Cores: []Config{smt("Oracle", Boomerang, 4), smt("Nutch", Shotgun, 2)}},
+		Scenario{Cores: []Config{
+			smt("Oracle", Shotgun, 2), smt("Nutch", Boomerang, 4), smt("DB2", Delta, 2), smt("Zeus", FDIP, 8),
+			evtCfg("Apache", Confluence), smt("Streaming", RDIP, 2), smt("Oracle", None, 2), smt("Nutch", Ideal, 2),
+		}},
+	)
+	names = append(names, "n1_clz", "n2_clz", "n8_clz_all_mechanisms",
+		"n1_smt2", "n2_smt_mixed", "n8_smt_all_mechanisms")
 
 	for i, sc := range cases {
 		sc := sc
-		name := fmt.Sprintf("n%d_%s", len(sc.Cores), sc.Cores[0].Mechanism)
-		if i == len(cases)-1 {
-			name = "n8_all_mechanisms"
-		}
+		name := names[i]
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			norm := sc.Normalized()

@@ -76,10 +76,13 @@ func runWith(t *testing.T, run func(Scenario) (ScenarioResult, error), sc Scenar
 // Cores[i], however the caller ordered them. The property must hold on
 // both engines.
 func TestPermutationEquivariance(t *testing.T) {
+	smt := metaCfg("Zeus", Delta)
+	smt.Contexts = 2
 	base := []Config{
 		metaCfg("Oracle", Shotgun),
 		metaCfg("DB2", Boomerang),
 		metaCfg("Nutch", None),
+		smt,
 	}
 	for _, eng := range engines {
 		eng := eng
@@ -159,6 +162,16 @@ func goldenShapes() []Scenario {
 	co.RegionMode = prefetch.RegionEntire
 	co.Layout = footprint.Layout32
 	scs = append(scs, Scenario{Cores: []Config{metaCfg("Oracle", Shotgun), co, co}})
+	// The mechanism-diversity axes (the delta engine already rides in via
+	// Mechanisms above): the CLZ-TAGE predictor variant and the
+	// multi-context front-end, alone and sharing an uncore.
+	clz := metaCfg("Oracle", Shotgun)
+	clz.BPU = BPUCLZ
+	scs = append(scs, SingleCore(clz))
+	smt := metaCfg("DB2", Boomerang)
+	smt.Contexts = 4
+	scs = append(scs, SingleCore(smt))
+	scs = append(scs, Scenario{Cores: []Config{smt, clz, metaCfg("Nutch", Delta)}})
 	return scs
 }
 

@@ -123,10 +123,23 @@ func compareConfigs(a, b Config) int {
 			return 1
 		}
 	}
-	// Sampling compares last, appended to the frozen order: nil (exact
-	// mode, every pre-sampling config) ranks before any sampled config,
-	// so existing canonical core orders are undisturbed.
-	return compareSampling(a.Sampling, b.Sampling)
+	// Sampling, BPU and Contexts compare last, appended to the frozen
+	// order: their zero values (exact mode, default TAGE, single
+	// context — every pre-axis config) rank before any non-default, so
+	// existing canonical core orders are undisturbed.
+	if c := compareSampling(a.Sampling, b.Sampling); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.BPU, b.BPU); c != 0 {
+		return c
+	}
+	switch {
+	case a.Contexts < b.Contexts:
+		return -1
+	case a.Contexts > b.Contexts:
+		return 1
+	}
+	return 0
 }
 
 // sizesRank orders the absence of an explicit size override before any
@@ -397,20 +410,30 @@ func buildStates(sc Scenario) ([]*coreState, error) {
 			return nil, err
 		}
 		salt := coreSalt(i)
-		stream := workload.NewWalkerConfig(prof.Program(), prof.WalkSeed^salt, prof.Walk)
 		hier := shared.AttachCore(i)
 		engine, err := buildEngine(prefetch.Context{Hier: hier, Dec: prof.Decoder()}, cfg)
 		if err != nil {
 			return nil, err
 		}
 		ccfg := core.Config{
+			CLZTage:    cfg.BPU == BPUCLZ,
 			LoadFrac:   prof.LoadFrac,
 			DataBlocks: prof.DataBlocks,
 			DataZipfS:  prof.DataZipfS,
 			DataSeed:   prof.WalkSeed ^ 0xd00d ^ salt,
 		}
+		// Context 0's walk seed carries only the core salt, so a
+		// one-context core walks the exact single-context stream.
+		nctx := cfg.Contexts
+		if nctx < 1 {
+			nctx = 1
+		}
+		streams := make([]workload.Stream, nctx)
+		for k := range streams {
+			streams[k] = workload.NewWalkerConfig(prof.Program(), prof.WalkSeed^salt^contextSalt(k), prof.Walk)
+		}
 		cs := &coreState{
-			c:      core.New(ccfg, stream, engine, hier),
+			c:      core.NewMultiContext(ccfg, streams, engine, hier),
 			engine: engine,
 			phases: phasesOf(cfg),
 			res:    Result{Workload: cfg.Workload, Mechanism: cfg.Mechanism},

@@ -232,3 +232,30 @@ func TestCanonicalBytesStable(t *testing.T) {
 		t.Fatal("distinct scenarios collided")
 	}
 }
+
+// TestNewAxesKeyStability: the BPU and Contexts axes are omitempty
+// fields whose default spellings normalize to the zero value, so every
+// scenario key minted before the axes existed stays byte-identical —
+// the store's content addresses survive without a FormatVersion bump.
+func TestNewAxesKeyStability(t *testing.T) {
+	plain := Scenario{Cores: []Config{{Workload: "Oracle", Mechanism: Shotgun}}}
+	a := plain.CanonicalBytes()
+	for _, field := range []string{"BPU", "Contexts", "bpu", "contexts"} {
+		if bytes.Contains(a, []byte(field)) {
+			t.Fatalf("default scenario encodes %q: %s", field, a)
+		}
+	}
+	// The explicit default spellings are the same identity.
+	tage := Scenario{Cores: []Config{{Workload: "Oracle", Mechanism: Shotgun, BPU: "tage", Contexts: 1}}}
+	if !bytes.Equal(a, tage.CanonicalBytes()) {
+		t.Fatalf("explicit defaults changed the identity:\n%s\n%s", a, tage.CanonicalBytes())
+	}
+	// Non-default values are distinct identities, and distinct from each
+	// other.
+	clz := Scenario{Cores: []Config{{Workload: "Oracle", Mechanism: Shotgun, BPU: BPUCLZ}}}
+	smt := Scenario{Cores: []Config{{Workload: "Oracle", Mechanism: Shotgun, Contexts: 2}}}
+	if bytes.Equal(a, clz.CanonicalBytes()) || bytes.Equal(a, smt.CanonicalBytes()) ||
+		bytes.Equal(clz.CanonicalBytes(), smt.CanonicalBytes()) {
+		t.Fatal("new-axis scenarios collided with the default identity")
+	}
+}

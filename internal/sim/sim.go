@@ -35,6 +35,7 @@ const (
 	None       Mechanism = "none"
 	FDIP       Mechanism = "fdip"
 	RDIP       Mechanism = "rdip"
+	Delta      Mechanism = "delta"
 	Boomerang  Mechanism = "boomerang"
 	Confluence Mechanism = "confluence"
 	Shotgun    Mechanism = "shotgun"
@@ -43,8 +44,28 @@ const (
 
 // Mechanisms lists every scheme in presentation order.
 func Mechanisms() []Mechanism {
-	return []Mechanism{None, FDIP, RDIP, Boomerang, Confluence, Shotgun, Ideal}
+	return []Mechanism{None, FDIP, RDIP, Delta, Boomerang, Confluence, Shotgun, Ideal}
 }
+
+// BPU axis values: the empty string is the default TAGE (kept implicit so
+// every pre-axis content identity is byte-unchanged), BPUCLZ the
+// CLZ-indexed variant.
+const BPUCLZ = "clz"
+
+// ParseBPU canonicalizes a BPU axis name: "" and "tage" mean the default
+// predictor (canonical form ""), "clz" the CLZ-indexed TAGE.
+func ParseBPU(s string) (string, error) {
+	switch s {
+	case "", "tage":
+		return "", nil
+	case BPUCLZ:
+		return BPUCLZ, nil
+	}
+	return "", fmt.Errorf("sim: unknown BPU %q (have tage, clz)", s)
+}
+
+// MaxContexts bounds the multi-context front-end's context count.
+const MaxContexts = 8
 
 // Config describes one simulation.
 type Config struct {
@@ -79,6 +100,20 @@ type Config struct {
 	// keys, store hashes, dispatch leases) are untouched by the field's
 	// existence.
 	Sampling *Sampling `json:",omitempty"`
+
+	// BPU selects the direction-predictor variant: "" is the default
+	// TAGE, BPUCLZ the CLZ-indexed one. Like Sampling, omitempty keeps
+	// the default out of the canonical encoding so pre-axis content
+	// identities are byte-unchanged.
+	BPU string `json:",omitempty"`
+
+	// Contexts is the multi-context front-end width: N>1 hardware
+	// contexts (each walking its own salted trace) share the core's
+	// fetch engine, BTB/prefetch engine, L1-I and direction predictor
+	// with sub-cycle switch-on-stall. 0 and 1 both mean the classic
+	// single-context core; 1 normalizes to 0 so the knob stays out of
+	// the canonical encoding unless it changes behaviour.
+	Contexts int `json:",omitempty"`
 }
 
 func (c *Config) setDefaults() {
@@ -107,6 +142,12 @@ func (c *Config) setDefaults() {
 		s := c.Sampling.withDefaults()
 		c.Sampling = &s
 	}
+	if c.BPU == "tage" {
+		c.BPU = "" // canonical spelling of the default predictor
+	}
+	if c.Contexts == 1 {
+		c.Contexts = 0 // canonical spelling of the single-context core
+	}
 }
 
 // Normalized returns the config with every defaulted field made explicit
@@ -128,9 +169,18 @@ func (c Config) Validate() error {
 		return err
 	}
 	switch n.Mechanism {
-	case None, FDIP, RDIP, Boomerang, Confluence, Shotgun, Ideal:
+	case None, FDIP, RDIP, Delta, Boomerang, Confluence, Shotgun, Ideal:
 	default:
 		return fmt.Errorf("sim: unknown mechanism %q", n.Mechanism)
+	}
+	if _, err := ParseBPU(n.BPU); err != nil {
+		return err
+	}
+	if n.Contexts < 0 || n.Contexts > MaxContexts {
+		return fmt.Errorf("sim: contexts must be in [0, %d] (got %d)", MaxContexts, n.Contexts)
+	}
+	if n.Contexts > 1 && n.Sampling != nil {
+		return fmt.Errorf("sim: sampling requires a single-context core (got %d contexts)", n.Contexts)
 	}
 	if n.BTBEntries <= 0 {
 		return fmt.Errorf("sim: BTB entries must be positive (got %d)", n.BTBEntries)
@@ -242,7 +292,17 @@ func RunStream(cfg Config, stream workload.Stream) (Result, error) {
 	if stream == nil {
 		return Result{}, fmt.Errorf("sim: RunStream requires a stream")
 	}
+	if cfg.Normalized().Contexts > 1 {
+		return Result{}, fmt.Errorf("sim: RunStream requires a single-context core")
+	}
 	return runSingle(cfg, stream)
+}
+
+// contextSalt decorrelates the per-context walker seeds of a
+// multi-context core. Context 0 is unsalted: its stream is exactly the
+// single-context one.
+func contextSalt(k int) uint64 {
+	return uint64(k) * 0xbf58476d1ce4e5b9
 }
 
 // runSingle is the shared body of Run and RunStream: a nil stream means
@@ -280,12 +340,23 @@ func runSingle(cfg Config, stream workload.Stream) (Result, error) {
 	}
 
 	ccfg := core.Config{
+		CLZTage:    cfg.BPU == BPUCLZ,
 		LoadFrac:   prof.LoadFrac,
 		DataBlocks: prof.DataBlocks,
 		DataZipfS:  prof.DataZipfS,
 		DataSeed:   prof.WalkSeed ^ 0xd00d,
 	}
-	c := core.New(ccfg, stream, engine, hier)
+	var c *core.Core
+	if cfg.Contexts > 1 {
+		streams := make([]workload.Stream, cfg.Contexts)
+		streams[0] = stream
+		for k := 1; k < cfg.Contexts; k++ {
+			streams[k] = workload.NewWalkerConfig(prog, prof.WalkSeed^contextSalt(k), prof.Walk)
+		}
+		c = core.NewMultiContext(ccfg, streams, engine, hier)
+	} else {
+		c = core.New(ccfg, stream, engine, hier)
+	}
 
 	if cfg.Sampling != nil {
 		return runSampled(cfg, c, engine)
@@ -380,6 +451,8 @@ func buildEngine(ctx prefetch.Context, cfg Config) (prefetch.Engine, error) {
 		return prefetch.NewFDIP(ctx, cfg.BTBEntries), nil
 	case RDIP:
 		return prefetch.NewRDIP(ctx, cfg.BTBEntries), nil
+	case Delta:
+		return prefetch.NewDelta(ctx, cfg.BTBEntries), nil
 	case Boomerang:
 		return prefetch.NewBoomerang(ctx, cfg.BTBEntries), nil
 	case Confluence:

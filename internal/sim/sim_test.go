@@ -163,6 +163,10 @@ func TestValidate(t *testing.T) {
 		// REntries == 0 is the no-RIB ablation, not an error.
 		{Workload: "Nutch", Mechanism: Shotgun,
 			ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 0}},
+		{Workload: "Oracle", Mechanism: Delta},
+		{Workload: "Oracle", Mechanism: Shotgun, BPU: "clz"},
+		{Workload: "Oracle", Mechanism: Shotgun, BPU: "tage"},
+		{Workload: "Oracle", Mechanism: Boomerang, Contexts: MaxContexts},
 	}
 	for i, cfg := range good {
 		if err := cfg.Validate(); err != nil {
@@ -181,6 +185,13 @@ func TestValidate(t *testing.T) {
 		{Workload: "Oracle", Mechanism: Shotgun, ShotgunSizes: &btb.Sizes{UEntries: -5, CEntries: 64, REntries: 512}},
 		{Workload: "Oracle", Mechanism: Shotgun, ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 0, REntries: 512}},
 		{Workload: "Oracle", Mechanism: Shotgun, ShotgunSizes: &btb.Sizes{UEntries: 1536, CEntries: 64, REntries: 509}}, // unfactorable
+		{Workload: "Oracle", Mechanism: Shotgun, BPU: "gshare"},
+		{Workload: "Oracle", Mechanism: Shotgun, Contexts: -1},
+		{Workload: "Oracle", Mechanism: Shotgun, Contexts: MaxContexts + 1},
+		// Sampling is single-context stream mode; a multi-context run has
+		// no functional-warming path per context.
+		{Workload: "Oracle", Mechanism: Shotgun, Contexts: 2,
+			Sampling: &Sampling{PeriodBlocks: 4096, UnitBlocks: 256}},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

@@ -104,6 +104,16 @@ func (c Config) apply(cfg sim.Config) (sim.Config, error) {
 	default:
 		return cfg, fmt.Errorf("footprint_bits must be 8 or 32 (got %d)", c.FootprintBits)
 	}
+	if c.BPU != "" {
+		b, err := sim.ParseBPU(c.BPU)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.BPU = b
+	}
+	if c.Contexts != 0 {
+		cfg.Contexts = c.Contexts
+	}
 	return cfg, nil
 }
 

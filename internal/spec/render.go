@@ -150,7 +150,17 @@ func compileGrid(t Table) (compiledTable, error) {
 					sums[ci] = stats.Mean(vs)
 				}
 			}
-			tab.AddF(label, format, sums...)
+			if implicitRows {
+				tab.AddF(label, format, sums...)
+			} else {
+				// Explicit-row grids carry the extra rows-label column;
+				// pad it so the summary cells stay column-aligned.
+				sumCells := []string{label, ""}
+				for _, v := range sums {
+					sumCells = append(sumCells, fmt.Sprintf(format, v))
+				}
+				tab.AddRow(sumCells...)
+			}
 		}
 		return tab
 	}

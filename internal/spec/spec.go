@@ -133,6 +133,11 @@ type Config struct {
 	// CBTBEntries overrides the C-BTB capacity within the budget-derived
 	// Shotgun sizes (the Figure 12 sensitivity knob).
 	CBTBEntries int `json:"cbtb_entries,omitempty"`
+	// BPU is the direction-predictor variant: tage or clz.
+	BPU string `json:"bpu,omitempty"`
+	// Contexts is the multi-context front-end width (1..sim.MaxContexts;
+	// 1 is the classic single-context core).
+	Contexts int `json:"contexts,omitempty"`
 }
 
 // Axis is one named point of a grid axis: the label rendered in the
@@ -648,6 +653,14 @@ func (c Config) validate() error {
 	}
 	if c.CBTBEntries < 0 {
 		return fmt.Errorf("cbtb_entries must be non-negative (got %d)", c.CBTBEntries)
+	}
+	if c.BPU != "" {
+		if _, err := sim.ParseBPU(c.BPU); err != nil {
+			return err
+		}
+	}
+	if c.Contexts < 0 || c.Contexts > sim.MaxContexts {
+		return fmt.Errorf("contexts must be in [0, %d] (got %d)", sim.MaxContexts, c.Contexts)
 	}
 	return nil
 }
